@@ -1,0 +1,72 @@
+// Ablation: the four triangular-solve engines of Table I on identical
+// Tacho-style factors -- substitution, element level-set, supernodal
+// level-set, and partitioned inverse -- plus the approximate Jacobi-sweep
+// variant.  Reports per-engine operation profiles and modeled CPU/GPU times
+// for one preconditioner application, isolating the design choice the paper
+// discusses in Section V-B2.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "direct/multifrontal.hpp"
+#include "fem/assembly.hpp"
+#include "graph/nested_dissection.hpp"
+#include "trisolve/engines.hpp"
+
+using namespace frosch;
+using namespace frosch::bench;
+
+int main(int argc, char** argv) {
+  auto opt = parse_options(argc, argv);
+  SummitModel model(perf::miniature_summit());
+
+  // One subdomain-sized elasticity matrix, ND ordered (block compressed).
+  const index_t e = std::max<index_t>(opt.scale, 4);
+  fem::BrickMesh mesh(e, e, e);
+  auto A_full = fem::assemble_elasticity(mesh);
+  auto sys = fem::apply_dirichlet(A_full, fem::clamped_x0_dofs(mesh));
+  auto A = sys.A;
+  {
+    dd::LocalSolverConfig ord;
+    ord.dof_block_size = 3;
+    // Reuse the block-compressed ND through a LocalSolver symbolic pass by
+    // computing the permutation the same way: quotient-graph ND.
+    la::TripletBuilder<char> qb(A.num_rows() / 3, A.num_rows() / 3);
+    for (index_t i = 0; i < A.num_rows(); ++i)
+      for (index_t k = A.row_begin(i); k < A.row_end(i); ++k)
+        if (i / 3 != A.col(k) / 3) qb.add(i / 3, A.col(k) / 3, 1);
+    auto qperm = graph::nested_dissection(graph::build_graph(qb.build()));
+    IndexVector perm(A.num_rows());
+    for (index_t q = 0; q < index_t(qperm.size()); ++q)
+      for (index_t c = 0; c < 3; ++c) perm[3 * q + c] = 3 * qperm[q] + c;
+    A = la::permute_symmetric(A, perm);
+  }
+  direct::MultifrontalCholesky<double> chol;
+  chol.symbolic(A);
+  chol.numeric(A);
+  const auto& f = chol.factorization();
+
+  std::printf("local matrix n=%d, factor nnz=%lld\n", int(A.num_rows()),
+              (long long)f.factor_nnz());
+  std::printf("%-22s %10s %8s %8s %12s %12s\n", "engine", "launches", "depth",
+              "width", "CPU us", "GPU us");
+  std::vector<double> b(A.num_rows(), 1.0), x;
+  for (auto kind :
+       {trisolve::TrisolveKind::Substitution, trisolve::TrisolveKind::LevelSet,
+        trisolve::TrisolveKind::SupernodalLevelSet,
+        trisolve::TrisolveKind::PartitionedInverse,
+        trisolve::TrisolveKind::JacobiSweeps}) {
+    auto eng = trisolve::make_trisolve<double>(kind);
+    eng->setup(f, nullptr);
+    OpProfile p;
+    eng->solve(b, x, &p);
+    std::printf("%-22s %10lld %8lld %8.1f %12.2f %12.2f\n",
+                trisolve::to_string(kind), (long long)p.launches,
+                (long long)p.critical_path, p.mean_width(),
+                1e6 * model.config().cpu.time(p),
+                1e6 * model.config().gpu.time(p, 7));
+  }
+  std::printf("\nExpected: supernodal cuts launches vs element level-set;\n"
+              "partitioned inverse trades extra flops for full-width SpMVs;\n"
+              "jacobi-sweeps has constant depth but is approximate.\n");
+  return 0;
+}

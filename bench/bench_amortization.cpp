@@ -1,0 +1,48 @@
+// Ablation: setup-cost amortization over repeated solves.
+//
+// The paper (Sections I and VIII-A) notes that a single linear solve gives a
+// 1.1-1.8x GPU advantage with Tacho, but applications solving a SEQUENCE of
+// systems with the same matrix amortize the numerical setup and approach the
+// pure solve-phase speedup of ~2x.  This bench sweeps the number of
+// right-hand sides and reports total time (setup + m solves) for CPU and
+// GPU(np/gpu=7), for both direct-solver presets.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace frosch;
+using namespace frosch::bench;
+
+int main(int argc, char** argv) {
+  auto opt = parse_options(argc, argv);
+  SummitModel model(perf::miniature_summit());
+
+  for (DirectPreset preset : {DirectPreset::SuperLU, DirectPreset::Tacho}) {
+    // One weak-scaling node, CPU decomposition vs GPU decomposition.
+    auto cpu_spec = weak_spec(1, kCoresPerNode, opt.scale);
+    apply_preset(cpu_spec, preset);
+    auto cpu_res = perf::run_experiment(cpu_spec);
+    auto cpu_t = perf::model_times(cpu_res, model, Execution::CpuCores, 1,
+                                   factor_on_cpu(preset));
+
+    auto gpu_spec = weak_spec(1, kGpusPerNode * 7, opt.scale);
+    apply_preset(gpu_spec, preset);
+    auto gpu_res = perf::run_experiment(gpu_spec);
+    auto gpu_t = perf::model_times(gpu_res, model, Execution::Gpu, 7,
+                                   factor_on_cpu(preset));
+
+    std::printf("\n=== Amortization (%s): setup + m solves, one node, "
+                "modeled ms ===\n",
+                preset_name(preset));
+    std::printf("%8s %12s %12s %10s\n", "m", "CPU", "GPU np7", "speedup");
+    for (int m : {1, 2, 4, 8, 16, 32}) {
+      const double tc = cpu_t.setup + m * cpu_t.solve;
+      const double tg = gpu_t.setup + m * gpu_t.solve;
+      std::printf("%8d %12.2f %12.2f %9.1fx\n", m, 1e3 * tc, 1e3 * tg,
+                  tc / tg);
+    }
+  }
+  std::printf("\nExpected: the speedup rises with m toward the solve-phase "
+              "ratio\n(~2x), the paper's amortization argument.\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Shared harness code for the paper-reproduction benchmarks: experiment
+// sweeps over node counts and MPS configurations, paper-style table
+// printing, and command-line scale control.
+//
+// Every bench binary reproduces one table or figure of the paper
+// (see DESIGN.md section 4).  Conventions:
+//   * iteration counts are REAL (measured from the actual GDSW+GMRES run);
+//   * times are MODELED Summit seconds (perf/ machine model replaying the
+//     recorded operation profiles); the host wall-clock of the real run is
+//     also printed for transparency;
+//   * --scale N enlarges the per-rank subdomain (default small so the whole
+//     suite runs in minutes on one core); --nodes M caps the node ladder.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "perf/experiment.hpp"
+
+namespace frosch::bench {
+
+using perf::Execution;
+using perf::ExperimentResult;
+using perf::ExperimentSpec;
+using perf::ModeledTimes;
+using perf::SummitModel;
+
+struct BenchOptions {
+  index_t scale = 4;       ///< elems per CPU-rank subdomain axis
+  index_t max_nodes = 4;   ///< node ladder cap (paper: 16)
+  bool run_micro = false;  ///< also run google-benchmark micro timers
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions o;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--scale") && i + 1 < argc)
+      o.scale = static_cast<index_t>(std::atoi(argv[++i]));
+    else if (!std::strcmp(argv[i], "--nodes") && i + 1 < argc)
+      o.max_nodes = static_cast<index_t>(std::atoi(argv[++i]));
+    else if (!std::strcmp(argv[i], "--micro"))
+      o.run_micro = true;
+  }
+  return o;
+}
+
+/// Node ladder {1,2,4,...} up to max_nodes.
+inline std::vector<index_t> node_ladder(index_t max_nodes) {
+  std::vector<index_t> nodes;
+  for (index_t n = 1; n <= max_nodes; n *= 2) nodes.push_back(n);
+  return nodes;
+}
+
+/// The paper's MPS sweep (Tables II/III): ranks per GPU.
+inline const std::vector<int>& mps_sweep() {
+  static const std::vector<int> k{1, 2, 4, 6, 7};
+  return k;
+}
+
+constexpr int kCoresPerNode = 42;
+constexpr int kGpusPerNode = 6;
+
+/// Builds the weak-scaling spec for `nodes` nodes: the global mesh is fixed
+/// by the 42-ranks-per-node CPU decomposition; `ranks` subdomains partition
+/// it (42/node for CPU rows, 6*np_per_gpu/node for GPU rows).
+inline ExperimentSpec weak_spec(index_t nodes, index_t ranks_per_node,
+                                index_t scale) {
+  ExperimentSpec spec;
+  const index_t cpu_ranks = nodes * kCoresPerNode;
+  const auto mesh = perf::weak_scaling_mesh(cpu_ranks, scale);
+  spec.global_ex = mesh[0];
+  spec.global_ey = mesh[1];
+  spec.global_ez = mesh[2];
+  spec.ranks = nodes * ranks_per_node;
+  return spec;
+}
+
+/// Formats "time (iters)" like the paper's tables.  Modeled times at the
+/// miniature scale are milliseconds; the paper's full-scale runs are
+/// seconds -- the tables compare SHAPE, not absolute magnitude.
+inline std::string cell(double seconds, index_t iters) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f (%d)", 1e3 * seconds, int(iters));
+  return buf;
+}
+
+inline std::string cell(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", 1e3 * seconds);
+  return buf;
+}
+
+/// Prints a row: label column then fixed-width cells.
+inline void print_row(const std::string& label,
+                      const std::vector<std::string>& cells) {
+  std::printf("%-22s", label.c_str());
+  for (const auto& c : cells) std::printf(" %14s", c.c_str());
+  std::printf("\n");
+}
+
+inline void print_header(const std::string& title,
+                         const std::vector<index_t>& nodes) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::vector<std::string> cells;
+  for (index_t n : nodes) cells.push_back("nodes=" + std::to_string(n));
+  print_row("", cells);
+}
+
+/// Applies a solver-option preset to a spec.
+enum class DirectPreset {
+  SuperLU,  ///< CPU left-looking LU + supernodal SpTRSV (factor on host)
+  Tacho,    ///< multifrontal Cholesky + level-set SpTRSV (all on device)
+};
+
+inline void apply_preset(ExperimentSpec& spec, DirectPreset p) {
+  using dd::LocalSolverKind;
+  using trisolve::TrisolveKind;
+  if (p == DirectPreset::SuperLU) {
+    spec.schwarz.subdomain.kind = LocalSolverKind::SuperLULike;
+    spec.schwarz.subdomain.trisolve = TrisolveKind::SupernodalLevelSet;
+  } else {
+    // Tacho's internal triangular solve operates on its supernodal fronts;
+    // the supernodal level-set engine is the faithful profile.
+    spec.schwarz.subdomain.kind = LocalSolverKind::TachoLike;
+    spec.schwarz.subdomain.trisolve = TrisolveKind::SupernodalLevelSet;
+  }
+}
+
+inline bool factor_on_cpu(DirectPreset p) {
+  return p == DirectPreset::SuperLU;
+}
+
+inline const char* preset_name(DirectPreset p) {
+  return p == DirectPreset::SuperLU ? "SuperLU" : "Tacho";
+}
+
+}  // namespace frosch::bench

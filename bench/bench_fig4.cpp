@@ -1,0 +1,46 @@
+// Reproduces Fig. 4: breakdown of the numerical setup time on ONE node
+// (42 MPI ranks) for SuperLU vs Tacho, CPU vs GPU.
+//
+// Expected shape (paper): on CPU the sparse direct factorization dominates;
+// with SuperLU on GPU, the factorization time is unchanged (it runs on the
+// CPU) and a large extra bar appears for the supernodal-SpTRSV setup, which
+// must be redone after every numeric factorization because partial pivoting
+// makes the factor structure value-dependent; Tacho's device factorization
+// shrinks its bar ~2.4x while the host-staged parts (coarse RAP, overlap
+// assembly -- the paper's "black" bar) run slower on the GPU.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace frosch;
+using namespace frosch::bench;
+
+int main(int argc, char** argv) {
+  auto opt = parse_options(argc, argv);
+  SummitModel model(perf::miniature_summit());
+
+  for (DirectPreset preset : {DirectPreset::SuperLU, DirectPreset::Tacho}) {
+    auto spec = weak_spec(1, kCoresPerNode, opt.scale);
+    apply_preset(spec, preset);
+    auto res = perf::run_experiment(spec);
+
+    std::printf("\n=== Fig. 4 (%s): setup breakdown on one node, "
+                "n=%d dofs, 42 ranks, modeled ms ===\n",
+                preset_name(preset), int(res.n));
+    auto cpu_bars = perf::model_setup_breakdown(res, model,
+                                                Execution::CpuCores, 1,
+                                                factor_on_cpu(preset));
+    auto gpu_bars = perf::model_setup_breakdown(res, model, Execution::Gpu, 7,
+                                                factor_on_cpu(preset));
+    std::printf("%-26s %12s %12s\n", "component", "CPU", "GPU(np7)");
+    double cpu_tot = 0.0, gpu_tot = 0.0;
+    for (size_t i = 0; i < cpu_bars.size(); ++i) {
+      std::printf("%-26s %12.3f %12.3f\n", cpu_bars[i].first.c_str(),
+                  1e3 * cpu_bars[i].second, 1e3 * gpu_bars[i].second);
+      cpu_tot += cpu_bars[i].second;
+      gpu_tot += gpu_bars[i].second;
+    }
+    std::printf("%-26s %12.3f %12.3f\n", "TOTAL", 1e3 * cpu_tot, 1e3 * gpu_tot);
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Reproduces Table II: weak-scaling TOTAL ITERATION (solve) TIME in seconds
+// and iteration count for 3D elasticity with exact local solvers --
+// (a) SuperLU-style and (b) Tacho-style -- on CPU (42 ranks/node) and GPU
+// with np/gpu in {1,2,4,6,7} via MPS.
+//
+// Expected shape (paper): GPU solve time falls as np/gpu grows (smaller
+// subdomains => cheaper superlinear local trisolve); best-GPU vs CPU
+// speedup ~2x; iteration counts depend only on the decomposition, so the
+// np/gpu=7 row matches the CPU row exactly.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace frosch;
+using namespace frosch::bench;
+
+namespace {
+
+void run_table(DirectPreset preset, const BenchOptions& opt) {
+  const auto nodes = node_ladder(opt.max_nodes);
+  SummitModel model(perf::miniature_summit());
+
+  std::printf("\n--- Table II(%s): total iteration time, modeled ms (iters), "
+              "weak scaling 3D elasticity ---\n",
+              preset_name(preset));
+  std::vector<std::string> head;
+  std::vector<std::string> size_row;
+  std::vector<std::string> cpu;
+  std::vector<std::vector<std::string>> gpu(mps_sweep().size());
+  std::vector<double> cpu_t(nodes.size()), best_gpu(nodes.size(), 1e30);
+
+  for (size_t ni = 0; ni < nodes.size(); ++ni) {
+    const index_t n = nodes[ni];
+    // CPU row: 42 ranks/node.
+    auto spec = weak_spec(n, kCoresPerNode, opt.scale);
+    apply_preset(spec, preset);
+    auto res = perf::run_experiment(spec);
+    auto t = perf::model_times(res, model, Execution::CpuCores, 1,
+                               factor_on_cpu(preset));
+    cpu.push_back(cell(t.solve, res.iterations));
+    cpu_t[ni] = t.solve;
+    size_row.push_back(std::to_string(res.n) + " dof");
+
+    // GPU rows: 6*k ranks/node, same mesh.
+    for (size_t ki = 0; ki < mps_sweep().size(); ++ki) {
+      const int k = mps_sweep()[ki];
+      auto gspec = weak_spec(n, kGpusPerNode * k, opt.scale);
+      apply_preset(gspec, preset);
+      auto gres = perf::run_experiment(gspec);
+      auto gt = perf::model_times(gres, model, Execution::Gpu, k,
+                                  factor_on_cpu(preset));
+      gpu[ki].push_back(cell(gt.solve, gres.iterations));
+      best_gpu[ni] = std::min(best_gpu[ni], gt.solve);
+    }
+  }
+  print_header(std::string("Table II(") + preset_name(preset) + ")", nodes);
+  print_row("matrix size", size_row);
+  print_row("CPU", cpu);
+  for (size_t ki = 0; ki < mps_sweep().size(); ++ki)
+    print_row("GPU np/gpu=" + std::to_string(mps_sweep()[ki]), gpu[ki]);
+  std::vector<std::string> spd;
+  for (size_t ni = 0; ni < nodes.size(); ++ni) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1fx", cpu_t[ni] / best_gpu[ni]);
+    spd.push_back(buf);
+  }
+  print_row("speedup (CPU/bestGPU)", spd);
+}
+
+void BM_SolveApply(benchmark::State& state) {
+  // Micro benchmark: one preconditioner application at the 1-node scale.
+  ExperimentSpec spec = weak_spec(1, kCoresPerNode, 2);
+  auto ps_res = perf::run_experiment(spec);
+  benchmark::DoNotOptimize(ps_res.iterations);
+  for (auto _ : state) {
+    auto r = perf::run_experiment(spec);
+    benchmark::DoNotOptimize(r.iterations);
+  }
+  state.counters["iterations"] = static_cast<double>(ps_res.iterations);
+}
+BENCHMARK(BM_SolveApply)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt = parse_options(argc, argv);
+  run_table(DirectPreset::SuperLU, opt);
+  run_table(DirectPreset::Tacho, opt);
+  if (opt.run_micro) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return 0;
+}

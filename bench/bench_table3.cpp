@@ -1,0 +1,76 @@
+// Reproduces Table III: weak-scaling NUMERICAL SETUP TIME for 3D elasticity
+// with exact local solvers, CPU vs GPU with np/gpu in {1,2,4,6,7} via MPS.
+//
+// Expected shape (paper): with SuperLU the GPU setup is far slower than CPU
+// at np/gpu=1 (the factorization stays on one CPU core while subdomains are
+// 7x larger, and the supernodal-SpTRSV setup must be redone after every
+// numeric factorization); MPS improves it up to ~17x.  With Tacho the setup
+// is roughly level with CPU (symbolic reuse + device factorization), MPS
+// improving ~3x.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace frosch;
+using namespace frosch::bench;
+
+namespace {
+
+void run_table(DirectPreset preset, const BenchOptions& opt) {
+  const auto nodes = node_ladder(opt.max_nodes);
+  SummitModel model(perf::miniature_summit());
+
+  std::vector<std::string> size_row, cpu;
+  std::vector<std::vector<std::string>> gpu(mps_sweep().size());
+  std::vector<double> cpu_t(nodes.size());
+  std::vector<double> gpu_first(nodes.size()), gpu_last(nodes.size());
+
+  for (size_t ni = 0; ni < nodes.size(); ++ni) {
+    const index_t n = nodes[ni];
+    auto spec = weak_spec(n, kCoresPerNode, opt.scale);
+    apply_preset(spec, preset);
+    auto res = perf::run_experiment(spec);
+    auto t = perf::model_times(res, model, Execution::CpuCores, 1,
+                               factor_on_cpu(preset));
+    cpu.push_back(cell(t.setup));
+    cpu_t[ni] = t.setup;
+    size_row.push_back(std::to_string(res.n) + " dof");
+    for (size_t ki = 0; ki < mps_sweep().size(); ++ki) {
+      const int k = mps_sweep()[ki];
+      auto gspec = weak_spec(n, kGpusPerNode * k, opt.scale);
+      apply_preset(gspec, preset);
+      auto gres = perf::run_experiment(gspec);
+      auto gt = perf::model_times(gres, model, Execution::Gpu, k,
+                                  factor_on_cpu(preset));
+      gpu[ki].push_back(cell(gt.setup));
+      if (ki == 0) gpu_first[ni] = gt.setup;
+      if (ki + 1 == mps_sweep().size()) gpu_last[ni] = gt.setup;
+    }
+  }
+  print_header(std::string("Table III(") + preset_name(preset) +
+                   "): numerical setup time, modeled ms",
+               nodes);
+  print_row("matrix size", size_row);
+  print_row("CPU", cpu);
+  for (size_t ki = 0; ki < mps_sweep().size(); ++ki)
+    print_row("GPU np/gpu=" + std::to_string(mps_sweep()[ki]), gpu[ki]);
+  std::vector<std::string> mps_gain, slowdown;
+  for (size_t ni = 0; ni < nodes.size(); ++ni) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1fx", gpu_first[ni] / gpu_last[ni]);
+    mps_gain.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.1fx", gpu_last[ni] / cpu_t[ni]);
+    slowdown.push_back(buf);
+  }
+  print_row("MPS improvement", mps_gain);
+  print_row("slowdown (GPU7/CPU)", slowdown);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt = parse_options(argc, argv);
+  run_table(DirectPreset::SuperLU, opt);
+  run_table(DirectPreset::Tacho, opt);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Reproduces Table IV: ILU(k) level sweep k in {0..3} on ONE node (42
+// ranks): (a) setup time, (b) solve time with iteration counts -- for
+// CPU SpILU, GPU Kokkos-Kernels-style level-set SpILU/SpTRSV ("KK"), and
+// the iterative FastILU/FastSpTRSV ("Fast"), each with natural ("No") and
+// nested-dissection ("ND") ordering.
+//
+// Expected shape (paper): setup speedup from the GPU grows with the ILU
+// level (more flops per pattern entry); iteration counts FALL as k grows
+// and rise with Fast (approximate factors/solves), yet Fast has the fastest
+// GPU time-to-solution because every sweep is one full-width launch;
+// ND raises ILU iteration counts at k=0 but converges with level.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace frosch;
+using namespace frosch::bench;
+
+namespace {
+
+struct IluVariant {
+  const char* name;
+  dd::LocalSolverKind kind;
+  trisolve::TrisolveKind tri;
+  dd::Ordering ord;
+  Execution exec;
+  int npg;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt = parse_options(argc, argv);
+  SummitModel model(perf::miniature_summit());
+
+  const IluVariant variants[] = {
+      {"CPU  (No)", dd::LocalSolverKind::Iluk,
+       trisolve::TrisolveKind::LevelSet, dd::Ordering::Natural,
+       Execution::CpuCores, 1},
+      {"CPU  (ND)", dd::LocalSolverKind::Iluk,
+       trisolve::TrisolveKind::LevelSet, dd::Ordering::NestedDissection,
+       Execution::CpuCores, 1},
+      {"KK   (No)", dd::LocalSolverKind::Iluk,
+       trisolve::TrisolveKind::LevelSet, dd::Ordering::Natural,
+       Execution::Gpu, 7},
+      {"KK   (ND)", dd::LocalSolverKind::Iluk,
+       trisolve::TrisolveKind::LevelSet, dd::Ordering::NestedDissection,
+       Execution::Gpu, 7},
+      {"Fast (No)", dd::LocalSolverKind::FastIlu,
+       trisolve::TrisolveKind::JacobiSweeps, dd::Ordering::Natural,
+       Execution::Gpu, 7},
+      {"Fast (ND)", dd::LocalSolverKind::FastIlu,
+       trisolve::TrisolveKind::JacobiSweeps, dd::Ordering::NestedDissection,
+       Execution::Gpu, 7},
+  };
+  const int levels[] = {0, 1, 2, 3};
+
+  std::vector<std::vector<ModeledTimes>> times(std::size(variants));
+  std::vector<std::vector<index_t>> iters(std::size(variants));
+  index_t ndofs = 0;
+  for (size_t vi = 0; vi < std::size(variants); ++vi) {
+    const auto& v = variants[vi];
+    for (int lev : levels) {
+      auto spec = weak_spec(1, kCoresPerNode, opt.scale);
+      spec.schwarz.subdomain.kind = v.kind;
+      spec.schwarz.subdomain.trisolve = v.tri;
+      spec.schwarz.subdomain.ordering = v.ord;
+      spec.schwarz.subdomain.ilu_level = lev;
+      auto res = perf::run_experiment(spec);
+      times[vi].push_back(
+          perf::model_times(res, model, v.exec, v.npg, false));
+      iters[vi].push_back(res.converged ? res.iterations : -1);
+      ndofs = res.n;
+    }
+  }
+
+  std::printf("\n=== Table IV(a): ILU setup time on one node (n=%d, 42 "
+              "ranks), modeled ms ===\n",
+              int(ndofs));
+  std::printf("%-12s", "ILU level");
+  for (int lev : levels) std::printf(" %10d", lev);
+  std::printf("\n");
+  for (size_t vi = 0; vi < std::size(variants); ++vi) {
+    std::printf("%-12s", variants[vi].name);
+    for (size_t li = 0; li < std::size(levels); ++li)
+      std::printf(" %10.2f", 1e3 * times[vi][li].setup);
+    std::printf("\n");
+  }
+
+  std::printf("\n=== Table IV(b): ILU solve time, modeled ms (iters) ===\n");
+  std::printf("%-12s", "ILU level");
+  for (int lev : levels) std::printf(" %14d", lev);
+  std::printf("\n");
+  for (size_t vi = 0; vi < std::size(variants); ++vi) {
+    std::printf("%-12s", variants[vi].name);
+    for (size_t li = 0; li < std::size(levels); ++li)
+      std::printf(" %14s",
+                  cell(times[vi][li].solve, iters[vi][li]).c_str());
+    std::printf("\n");
+  }
+  return 0;
+}

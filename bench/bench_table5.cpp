@@ -1,0 +1,94 @@
+// Reproduces Table V: weak-scaling performance with the inexact ILU(1)
+// local subdomain solver (42 ranks/node; natural ordering, as the paper
+// settles on): (a) setup time, (b) solve time with iteration counts, for
+// CPU, GPU level-set ("KK"), and GPU iterative ("Fast").
+//
+// Expected shape (paper): setup times are nearly level between CPU and GPU;
+// iteration counts stay almost flat in the number of subdomains even with
+// the inexact solver; Fast beats KK on GPU solve time despite more
+// iterations (2.5-3.8x GPU-vs-CPU solve speedup).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace frosch;
+using namespace frosch::bench;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  dd::LocalSolverKind kind;
+  trisolve::TrisolveKind tri;
+  Execution exec;
+  int npg;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt = parse_options(argc, argv);
+  SummitModel model(perf::miniature_summit());
+  const auto nodes = node_ladder(opt.max_nodes);
+
+  const Variant variants[] = {
+      {"CPU", dd::LocalSolverKind::Iluk, trisolve::TrisolveKind::LevelSet,
+       Execution::CpuCores, 1},
+      {"GPU KK", dd::LocalSolverKind::Iluk, trisolve::TrisolveKind::LevelSet,
+       Execution::Gpu, 7},
+      {"GPU Fast", dd::LocalSolverKind::FastIlu,
+       trisolve::TrisolveKind::JacobiSweeps, Execution::Gpu, 7},
+  };
+
+  std::vector<std::string> size_row;
+  std::vector<std::vector<ModeledTimes>> times(std::size(variants));
+  std::vector<std::vector<index_t>> iters(std::size(variants));
+  for (index_t n : nodes) {
+    for (size_t vi = 0; vi < std::size(variants); ++vi) {
+      const auto& v = variants[vi];
+      auto spec = weak_spec(n, v.exec == Execution::Gpu
+                                   ? index_t(kGpusPerNode * v.npg)
+                                   : index_t(kCoresPerNode),
+                            opt.scale);
+      spec.schwarz.subdomain.kind = v.kind;
+      spec.schwarz.subdomain.trisolve = v.tri;
+      spec.schwarz.subdomain.ordering = dd::Ordering::Natural;
+      spec.schwarz.subdomain.ilu_level = 1;
+      auto res = perf::run_experiment(spec);
+      times[vi].push_back(perf::model_times(res, model, v.exec, v.npg, false));
+      iters[vi].push_back(res.converged ? res.iterations : -1);
+      if (vi == 0) size_row.push_back(std::to_string(res.n) + " dof");
+    }
+  }
+
+  print_header("Table V(a): ILU(1) weak-scaling setup time, modeled ms",
+               nodes);
+  print_row("matrix size", size_row);
+  for (size_t vi = 0; vi < std::size(variants); ++vi) {
+    std::vector<std::string> cells;
+    for (size_t ni = 0; ni < nodes.size(); ++ni)
+      cells.push_back(cell(times[vi][ni].setup));
+    print_row(variants[vi].name, cells);
+  }
+
+  print_header("Table V(b): ILU(1) weak-scaling solve time, modeled ms "
+               "(iters)",
+               nodes);
+  print_row("matrix size", size_row);
+  for (size_t vi = 0; vi < std::size(variants); ++vi) {
+    std::vector<std::string> cells;
+    for (size_t ni = 0; ni < nodes.size(); ++ni)
+      cells.push_back(cell(times[vi][ni].solve, iters[vi][ni]));
+    print_row(variants[vi].name, cells);
+  }
+  std::vector<std::string> spd;
+  for (size_t ni = 0; ni < nodes.size(); ++ni) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1fx",
+                  times[0][ni].solve /
+                      std::min(times[1][ni].solve, times[2][ni].solve));
+    spd.push_back(buf);
+  }
+  print_row("speedup (CPU/bestGPU)", spd);
+  return 0;
+}

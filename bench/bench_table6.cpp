@@ -1,0 +1,70 @@
+// Reproduces Table VI: weak-scaling NUMERICAL SETUP TIME with the whole
+// FROSch preconditioner in single vs double precision (the
+// HalfPrecisionOperator study), for SuperLU- and Tacho-style local solvers
+// on CPU and GPU.
+//
+// Expected shape (paper): single precision cuts the setup time by ~1.3-1.5x
+// on CPU (half the memory traffic through every bandwidth-bound kernel) and
+// ~1.1-1.4x on GPU.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace frosch;
+using namespace frosch::bench;
+
+int main(int argc, char** argv) {
+  auto opt = parse_options(argc, argv);
+  SummitModel model(perf::miniature_summit());
+  const auto nodes = node_ladder(opt.max_nodes);
+
+  for (DirectPreset preset : {DirectPreset::SuperLU, DirectPreset::Tacho}) {
+    std::vector<std::string> size_row;
+    // [exec][precision][node]
+    double t[2][2][8] = {};
+    for (size_t ni = 0; ni < nodes.size(); ++ni) {
+      for (int fp32 = 0; fp32 <= 1; ++fp32) {
+        // CPU run (42 ranks/node).
+        auto spec = weak_spec(nodes[ni], kCoresPerNode, opt.scale);
+        apply_preset(spec, preset);
+        spec.single_precision = fp32;
+        auto res = perf::run_experiment(spec);
+        t[0][fp32][ni] = perf::model_times(res, model, Execution::CpuCores, 1,
+                                           factor_on_cpu(preset))
+                             .setup;
+        if (fp32 == 0)
+          size_row.push_back(std::to_string(res.n) + " dof");
+        // GPU run (np/gpu = 7).
+        auto gspec = weak_spec(nodes[ni], kGpusPerNode * 7, opt.scale);
+        apply_preset(gspec, preset);
+        gspec.single_precision = fp32;
+        auto gres = perf::run_experiment(gspec);
+        t[1][fp32][ni] = perf::model_times(gres, model, Execution::Gpu, 7,
+                                           factor_on_cpu(preset))
+                             .setup;
+      }
+    }
+    print_header(std::string("Table VI(") + preset_name(preset) +
+                     "): setup time, single vs double precision, modeled ms",
+                 nodes);
+    print_row("matrix size", size_row);
+    const char* execs[2] = {"CPU", "GPU np/gpu=7"};
+    for (int e = 0; e < 2; ++e) {
+      for (int fp32 = 0; fp32 <= 1; ++fp32) {
+        std::vector<std::string> cells;
+        for (size_t ni = 0; ni < nodes.size(); ++ni)
+          cells.push_back(cell(t[e][fp32][ni]));
+        print_row(std::string(execs[e]) + (fp32 ? " single" : " double"),
+                  cells);
+      }
+      std::vector<std::string> spd;
+      for (size_t ni = 0; ni < nodes.size(); ++ni) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.1fx", t[e][0][ni] / t[e][1][ni]);
+        spd.push_back(buf);
+      }
+      print_row(std::string(execs[e]) + " speedup", spd);
+    }
+  }
+  return 0;
+}

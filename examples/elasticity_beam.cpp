@@ -1,0 +1,83 @@
+// Domain-specific example: a clamped 3D elastic beam under a gravity load
+// -- the problem class the paper's whole evaluation section is built on.
+// Demonstrates: rigid-body-mode null spaces, the GDSW-vs-rGDSW coarse space
+// choice, and the effect of the coarse level on convergence.
+#include <cstdio>
+
+#include "dd/schwarz.hpp"
+#include "fem/assembly.hpp"
+#include "graph/partition.hpp"
+#include "krylov/gmres.hpp"
+
+using namespace frosch;
+
+namespace {
+
+struct Setup {
+  la::CsrMatrix<double> A;
+  la::DenseMatrix<double> Z;
+  dd::Decomposition decomp;
+  std::vector<double> load;
+};
+
+Setup make_beam(index_t px) {
+  // A long beam: px subdomains along x, clamped at x=0, loaded in -z.
+  fem::BrickMesh mesh(4 * px, 4, 4, double(px), 1.0, 1.0);
+  fem::ElasticityMaterial steel;  // E=210, nu=0.3
+  auto A_full = fem::assemble_elasticity(mesh, steel);
+  auto sys = fem::apply_dirichlet(A_full, fem::clamped_x0_dofs(mesh));
+  Setup s;
+  s.Z = fem::restrict_nullspace(fem::elasticity_nullspace(mesh), sys.keep);
+  auto node_part = graph::box_partition_3d(mesh.nodes_x(), mesh.nodes_y(),
+                                           mesh.nodes_z(), px, 1, 1);
+  IndexVector owner(sys.keep.size());
+  for (size_t q = 0; q < sys.keep.size(); ++q)
+    owner[q] = node_part[sys.keep[q] / 3];
+  s.A = std::move(sys.A);
+  s.decomp = dd::build_decomposition(s.A, owner, px, 1);
+  s.load.assign(static_cast<size_t>(s.A.num_rows()), 0.0);
+  for (size_t q = 0; q < sys.keep.size(); ++q)
+    if (sys.keep[q] % 3 == 2) s.load[q] = -1.0;  // z-component gravity
+  return s;
+}
+
+index_t solve(const Setup& s, bool two_level, dd::CoarseSpaceKind cs,
+              double* tip_deflection) {
+  dd::SchwarzConfig cfg;
+  cfg.two_level = two_level;
+  cfg.coarse_space = cs;
+  cfg.subdomain.dof_block_size = 3;
+  cfg.extension.dof_block_size = 3;
+  dd::SchwarzPreconditioner<double> prec(cfg, s.decomp);
+  prec.symbolic_setup(s.A);
+  prec.numeric_setup(s.A, s.Z);
+  krylov::CsrOperator<double> op(s.A);
+  std::vector<double> x;
+  auto res = krylov::gmres<double>(op, &prec, s.load, x);
+  if (tip_deflection) {
+    double mn = 0.0;
+    for (double v : x) mn = std::min(mn, v);
+    *tip_deflection = mn;
+  }
+  return res.converged ? res.iterations : -1;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("clamped elastic beam, GDSW vs rGDSW vs one-level Schwarz\n");
+  std::printf("%8s %10s %10s %10s\n", "subdoms", "one-level", "GDSW",
+              "rGDSW");
+  for (index_t px : {4, 8, 12}) {
+    auto s = make_beam(px);
+    double tip = 0.0;
+    const index_t i1 = solve(s, false, dd::CoarseSpaceKind::GDSW, nullptr);
+    const index_t ig = solve(s, true, dd::CoarseSpaceKind::GDSW, nullptr);
+    const index_t ir = solve(s, true, dd::CoarseSpaceKind::RGDSW, &tip);
+    std::printf("%8d %10d %10d %10d   (tip deflection %.4f)\n", int(px),
+                int(i1), int(ig), int(ir), tip);
+  }
+  std::printf("\nExpected: one-level iteration counts grow with the beam "
+              "length,\nboth coarse spaces stay flat (Section III).\n");
+  return 0;
+}

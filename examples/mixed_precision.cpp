@@ -1,0 +1,37 @@
+// HalfPrecisionOperator demo (Section V-A2, Tables VI/VII): build the ENTIRE
+// GDSW preconditioner in single precision and apply it inside a
+// double-precision GMRES.  The iteration count stays essentially unchanged
+// while every bandwidth-bound setup kernel moves half the bytes.
+#include <cstdio>
+
+#include "dd/half_precision.hpp"
+#include "perf/experiment.hpp"
+
+using namespace frosch;
+using namespace frosch::perf;
+
+int main() {
+  SummitModel model(miniature_summit());
+  const auto mesh = weak_scaling_mesh(42, 4);
+
+  std::printf("%-22s %8s %8s %14s %14s\n", "preconditioner", "conv", "iters",
+              "setup(ms,CPU)", "solve(ms,CPU)");
+  for (bool single : {false, true}) {
+    ExperimentSpec spec;
+    spec.global_ex = mesh[0];
+    spec.global_ey = mesh[1];
+    spec.global_ez = mesh[2];
+    spec.ranks = 42;
+    spec.single_precision = single;
+    auto res = run_experiment(spec);
+    auto t = model_times(res, model, Execution::CpuCores, 1);
+    std::printf("%-22s %8s %8d %14.2f %14.2f\n",
+                single ? "float (HalfPrecision)" : "double",
+                res.converged ? "yes" : "NO", int(res.iterations),
+                1e3 * t.setup, 1e3 * t.solve);
+  }
+  std::printf("\nExpected: same convergence to the double-precision GMRES\n"
+              "tolerance with a similar iteration count, and a ~1.3-1.5x\n"
+              "cheaper setup (half the memory traffic) -- Tables VI/VII.\n");
+  return 0;
+}

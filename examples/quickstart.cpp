@@ -1,0 +1,54 @@
+// Quickstart: solve a 3D Laplace problem with the two-level GDSW-
+// preconditioned GMRES solver in ~40 lines of user code.
+//
+//   1. assemble a problem (or bring your own CSR matrix + null space),
+//   2. partition the dofs and build the overlapping decomposition,
+//   3. set up the Schwarz preconditioner (symbolic + numeric phases),
+//   4. hand it to GMRES as a right preconditioner.
+#include <cstdio>
+
+#include "dd/schwarz.hpp"
+#include "fem/assembly.hpp"
+#include "graph/partition.hpp"
+#include "krylov/gmres.hpp"
+
+int main() {
+  using namespace frosch;
+
+  // 1. A 16^3-element Laplace problem, clamped on the x=0 face.
+  fem::BrickMesh mesh(16, 16, 16);
+  auto A_full = fem::assemble_laplace(mesh);
+  IndexVector fixed;
+  for (index_t node : mesh.x0_face_nodes()) fixed.push_back(node);
+  auto sys = fem::apply_dirichlet(A_full, fixed);
+  auto Z = fem::restrict_nullspace(fem::laplace_nullspace(mesh), sys.keep);
+
+  // 2. 2x2x2 box decomposition of the mesh nodes -> 8 subdomains,
+  //    extended by one layer of algebraic overlap.
+  const index_t num_parts = 8;
+  auto node_part = graph::box_partition_3d(mesh.nodes_x(), mesh.nodes_y(),
+                                           mesh.nodes_z(), 2, 2, 2);
+  IndexVector owner(sys.keep.size());
+  for (size_t q = 0; q < sys.keep.size(); ++q)
+    owner[q] = node_part[sys.keep[q]];
+  auto decomp = dd::build_decomposition(sys.A, owner, num_parts, /*overlap=*/1);
+
+  // 3. Two-level rGDSW preconditioner, Tacho-style local direct solves.
+  dd::SchwarzConfig cfg;
+  dd::SchwarzPreconditioner<double> prec(cfg, decomp);
+  prec.symbolic_setup(sys.A);
+  prec.numeric_setup(sys.A, Z);
+
+  // 4. Single-reduce GMRES(30), relative tolerance 1e-7 (paper settings).
+  krylov::CsrOperator<double> op(sys.A);
+  std::vector<double> b(static_cast<size_t>(sys.A.num_rows()), 1.0), x;
+  auto result = krylov::gmres<double>(op, &prec, b, x);
+
+  std::printf("quickstart: n=%d dofs, %d subdomains, coarse dim=%d\n",
+              int(sys.A.num_rows()), int(num_parts), int(prec.coarse_dim()));
+  std::printf("GMRES %s in %d iterations (residual %.2e -> %.2e)\n",
+              result.converged ? "converged" : "did NOT converge",
+              int(result.iterations), result.initial_residual,
+              result.final_residual);
+  return result.converged ? 0 : 1;
+}

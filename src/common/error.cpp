@@ -1,0 +1,11 @@
+#include "common/error.hpp"
+
+namespace frosch {
+
+void throw_error(const char* file, int line, const std::string& msg) {
+  std::ostringstream oss;
+  oss << file << ":" << line << ": " << msg;
+  throw Error(oss.str());
+}
+
+}  // namespace frosch

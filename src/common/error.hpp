@@ -1,0 +1,40 @@
+// Error handling: checked preconditions that throw frosch::Error.
+//
+// Following the C++ Core Guidelines (I.6/E.x) we validate API preconditions
+// with always-on checks; hot inner loops use FROSCH_ASSERT which compiles out
+// in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace frosch {
+
+/// Exception type thrown on any precondition or numerical failure
+/// (singular pivot, non-converged inner solver, malformed sparsity).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void throw_error(const char* file, int line, const std::string& msg);
+
+}  // namespace frosch
+
+/// Always-on precondition check; use at public API boundaries.
+#define FROSCH_CHECK(cond, msg)                                        \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream oss_;                                         \
+      oss_ << msg;                                                     \
+      ::frosch::throw_error(__FILE__, __LINE__, oss_.str());           \
+    }                                                                  \
+  } while (0)
+
+/// Debug-only invariant check for hot paths.
+#ifdef NDEBUG
+#define FROSCH_ASSERT(cond, msg) ((void)0)
+#else
+#define FROSCH_ASSERT(cond, msg) FROSCH_CHECK(cond, msg)
+#endif

@@ -1,0 +1,42 @@
+#include "common/op_profile.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace frosch {
+
+OpProfile& OpProfile::operator+=(const OpProfile& o) {
+  flops += o.flops;
+  bytes += o.bytes;
+  launches += o.launches;
+  critical_path += o.critical_path;
+  work_items += o.work_items;
+  reductions += o.reductions;
+  neighbor_msgs += o.neighbor_msgs;
+  msg_bytes += o.msg_bytes;
+  return *this;
+}
+
+OpProfile& OpProfile::operator-=(const OpProfile& o) {
+  flops = std::max(0.0, flops - o.flops);
+  bytes = std::max(0.0, bytes - o.bytes);
+  launches = std::max<count_t>(0, launches - o.launches);
+  critical_path = std::max<count_t>(0, critical_path - o.critical_path);
+  work_items = std::max(0.0, work_items - o.work_items);
+  reductions = std::max<count_t>(0, reductions - o.reductions);
+  neighbor_msgs = std::max<count_t>(0, neighbor_msgs - o.neighbor_msgs);
+  msg_bytes = std::max(0.0, msg_bytes - o.msg_bytes);
+  return *this;
+}
+
+std::string OpProfile::summary() const {
+  std::ostringstream oss;
+  oss << "flops=" << flops << " bytes=" << bytes << " launches=" << launches
+      << " depth=" << critical_path << " width=" << mean_width();
+  if (reductions > 0 || neighbor_msgs > 0) {
+    oss << " reduces=" << reductions << " msgs=" << neighbor_msgs;
+  }
+  return oss.str();
+}
+
+}  // namespace frosch

@@ -1,0 +1,75 @@
+// Operation profiles: the measurement layer that feeds the Summit machine
+// model (src/perf).
+//
+// Every computational kernel in miniFROSch (SpMV, SpGEMM, triangular solves,
+// factorizations, Jacobi sweeps, orthogonalization) records the *structure*
+// of the work it performed -- floating point operations, memory traffic,
+// number of parallel kernel launches, critical-path length of its dependency
+// DAG, and total parallel work items.  The perf/ machine models turn a
+// profile into modeled CPU-core or GPU time.  This is the substitution that
+// replaces the paper's Summit measurements: timing trends emerge from the
+// real algorithms' real operation counts, not from fitted curves.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace frosch {
+
+/// Aggregate record of the work performed by one kernel or one phase.
+///
+/// The granularity convention: one `launches` increment per data-parallel
+/// kernel a GPU implementation would launch (e.g. one per level of a
+/// level-set triangular solve, one per Jacobi sweep of FastSpTRSV, one per
+/// frontal-matrix level of a multifrontal factorization).  `work_items` is
+/// the total number of independent parallel tasks across those launches, so
+/// `work_items / launches` is the mean exposed parallelism -- the quantity
+/// that decides whether a V100 is utilized or latency-bound.
+struct OpProfile {
+  double flops = 0.0;        ///< floating point operations
+  double bytes = 0.0;        ///< memory traffic (read + write), in bytes
+  count_t launches = 0;      ///< data-parallel kernel launches
+  count_t critical_path = 0; ///< dependency-DAG depth (levels)
+  double work_items = 0.0;   ///< total parallel work items over all launches
+
+  // Distributed-memory side (consumed by the collective model).
+  count_t reductions = 0;    ///< global all-reduce operations
+  count_t neighbor_msgs = 0; ///< point-to-point halo messages
+  double msg_bytes = 0.0;    ///< total point-to-point payload
+
+  OpProfile& operator+=(const OpProfile& o);
+  friend OpProfile operator+(OpProfile a, const OpProfile& b) { return a += b; }
+
+  /// Removes a contained contribution (clamped at zero): used to separate
+  /// the Krylov-side work from preconditioner work recorded into the same
+  /// solver profile.
+  OpProfile& operator-=(const OpProfile& o);
+
+  /// Mean parallel width per launch (0 when nothing was launched).
+  double mean_width() const {
+    return launches > 0 ? work_items / static_cast<double>(launches) : 0.0;
+  }
+
+  /// Human-readable one-line summary, used by bench breakdown printers.
+  std::string summary() const;
+};
+
+/// Named accumulator used to attribute profiles to solver phases
+/// (symbolic setup / numeric setup / solve), mirroring the three-phase
+/// Trilinos solver structure described in Section V-A of the paper.
+class PhaseProfile {
+ public:
+  OpProfile symbolic;   ///< symbolic factorization / analysis
+  OpProfile numeric;    ///< numeric factorization + coarse construction
+  OpProfile solve;      ///< per-application (preconditioner apply, SpMV, ...)
+
+  PhaseProfile& operator+=(const PhaseProfile& o) {
+    symbolic += o.symbolic;
+    numeric += o.numeric;
+    solve += o.solve;
+    return *this;
+  }
+};
+
+}  // namespace frosch

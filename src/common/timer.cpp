@@ -1,0 +1,3 @@
+// Intentionally empty: Timer/TimerRegistry are header-only, this TU anchors
+// the frosch_common library target.
+#include "common/timer.hpp"

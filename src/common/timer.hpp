@@ -1,0 +1,41 @@
+// Wall-clock timer for the real (host) measurements reported alongside the
+// modeled Summit times in the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace frosch {
+
+/// Simple monotonic stopwatch.
+class Timer {
+ public:
+  Timer() { reset(); }
+  void reset() { start_ = Clock::now(); }
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named wall-clock intervals (used for setup breakdowns).
+class TimerRegistry {
+ public:
+  void add(const std::string& name, double seconds) { totals_[name] += seconds; }
+  double total(const std::string& name) const {
+    auto it = totals_.find(name);
+    return it == totals_.end() ? 0.0 : it->second;
+  }
+  const std::map<std::string, double>& totals() const { return totals_; }
+  void clear() { totals_.clear(); }
+
+ private:
+  std::map<std::string, double> totals_;
+};
+
+}  // namespace frosch

@@ -1,0 +1,26 @@
+// Fundamental scalar/index typedefs shared by every miniFROSch subsystem.
+//
+// All sparse structures use 32-bit local indices (`index_t`) and 64-bit
+// global/aggregate counters (`count_t`).  Matrices and solvers are templated
+// on the scalar type so the whole preconditioner can be instantiated in
+// single precision (the paper's HalfPrecisionOperator study, Tables VI/VII).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace frosch {
+
+/// Local row/column index within one (sub)domain or one rank's matrix.
+using index_t = std::int32_t;
+
+/// Wide counter for nnz totals, flop counts, and global dof counts.
+using count_t = std::int64_t;
+
+/// Convenience alias used throughout for index arrays.
+using IndexVector = std::vector<index_t>;
+
+/// The working precision of the outer Krylov solver in all experiments.
+using real_t = double;
+
+}  // namespace frosch

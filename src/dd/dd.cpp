@@ -1,0 +1,40 @@
+// Enum printers and explicit instantiations for the DD core.
+#include "dd/half_precision.hpp"
+#include "dd/schwarz.hpp"
+
+namespace frosch::dd {
+
+const char* to_string(EntityKind k) {
+  switch (k) {
+    case EntityKind::Vertex: return "vertex";
+    case EntityKind::Edge: return "edge";
+    case EntityKind::Face: return "face";
+  }
+  return "unknown";
+}
+
+const char* to_string(LocalSolverKind k) {
+  switch (k) {
+    case LocalSolverKind::SuperLULike: return "superlu-like";
+    case LocalSolverKind::TachoLike: return "tacho-like";
+    case LocalSolverKind::Iluk: return "iluk";
+    case LocalSolverKind::FastIlu: return "fastilu";
+  }
+  return "unknown";
+}
+
+const char* to_string(CoarseSpaceKind k) {
+  switch (k) {
+    case CoarseSpaceKind::GDSW: return "gdsw";
+    case CoarseSpaceKind::RGDSW: return "rgdsw";
+  }
+  return "unknown";
+}
+
+template class LocalSolver<double>;
+template class LocalSolver<float>;
+template class SchwarzPreconditioner<double>;
+template class SchwarzPreconditioner<float>;
+template class HalfPrecisionOperator<double, float>;
+
+}  // namespace frosch::dd

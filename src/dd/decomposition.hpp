@@ -1,0 +1,92 @@
+// Domain decomposition bookkeeping: the nonoverlapping dof partition, its
+// l-layer algebraic overlap extension (Section III / Fig. 1), and the
+// neighbor structure used to charge halo communication in the perf model.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "la/csr.hpp"
+
+namespace frosch::dd {
+
+/// Nonoverlapping partition of dofs plus per-part overlapping dof sets.
+struct Decomposition {
+  index_t num_parts = 0;
+  IndexVector owner;  ///< dof -> owning part
+
+  /// Per part: dofs of the OVERLAPPING subdomain Omega'_i (sorted).  The
+  /// first owned_count[i] positions hold... no ordering guarantee beyond
+  /// sorted; membership of owned dofs is guaranteed.
+  std::vector<IndexVector> overlap_dofs;
+
+  /// Per part: number of dofs it owns (size of the nonoverlapping part).
+  IndexVector owned_count;
+
+  /// Per part: neighbouring parts (parts sharing a matrix-graph edge).
+  std::vector<IndexVector> neighbors;
+};
+
+/// Expands the nonoverlapping partition `owner` into overlapping subdomains
+/// by `overlap` layers of matrix-graph adjacency (algebraic overlap, the
+/// paper uses overlap = 1).
+template <class Scalar>
+Decomposition build_decomposition(const la::CsrMatrix<Scalar>& A,
+                                  const IndexVector& owner, index_t num_parts,
+                                  index_t overlap) {
+  FROSCH_CHECK(A.num_rows() == static_cast<index_t>(owner.size()),
+               "build_decomposition: owner size mismatch");
+  FROSCH_CHECK(overlap >= 0, "build_decomposition: negative overlap");
+  const index_t n = A.num_rows();
+  Decomposition d;
+  d.num_parts = num_parts;
+  d.owner = owner;
+  d.overlap_dofs.assign(static_cast<size_t>(num_parts), {});
+  d.owned_count.assign(static_cast<size_t>(num_parts), 0);
+  d.neighbors.assign(static_cast<size_t>(num_parts), {});
+
+  for (index_t i = 0; i < n; ++i) {
+    FROSCH_CHECK(owner[i] >= 0 && owner[i] < num_parts,
+                 "build_decomposition: bad owner label");
+    d.overlap_dofs[owner[i]].push_back(i);
+    d.owned_count[owner[i]]++;
+  }
+  // Layer-by-layer expansion per part.
+  std::vector<index_t> mark(static_cast<size_t>(n), -1);
+  for (index_t p = 0; p < num_parts; ++p) {
+    auto& dofs = d.overlap_dofs[p];
+    for (index_t v : dofs) mark[v] = p;
+    size_t frontier_begin = 0;
+    for (index_t layer = 0; layer < overlap; ++layer) {
+      const size_t frontier_end = dofs.size();
+      for (size_t q = frontier_begin; q < frontier_end; ++q) {
+        const index_t v = dofs[q];
+        for (index_t k = A.row_begin(v); k < A.row_end(v); ++k) {
+          const index_t w = A.col(k);
+          if (mark[w] != p) {
+            mark[w] = p;
+            dofs.push_back(w);
+          }
+        }
+      }
+      frontier_begin = frontier_end;
+    }
+    std::sort(dofs.begin(), dofs.end());
+  }
+  // Neighbor parts: any graph edge crossing the nonoverlapping partition.
+  std::vector<std::vector<char>> nb(static_cast<size_t>(num_parts),
+                                    std::vector<char>(num_parts, 0));
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t k = A.row_begin(i); k < A.row_end(i); ++k) {
+      const index_t j = A.col(k);
+      if (owner[i] != owner[j]) nb[owner[i]][owner[j]] = 1;
+    }
+  }
+  for (index_t p = 0; p < num_parts; ++p)
+    for (index_t q = 0; q < num_parts; ++q)
+      if (nb[p][q] || nb[q][p])
+        if (p != q) d.neighbors[p].push_back(q);
+  return d;
+}
+
+}  // namespace frosch::dd

@@ -1,0 +1,45 @@
+// HalfPrecisionOperator (Section V-A2): wraps an operator built in half the
+// working precision (float when the Krylov solver runs in double) behind the
+// working-precision LinearOperator interface.  Applying it type-casts the
+// input down, applies the low-precision operator, and casts the result back
+// -- exactly the Trilinos utility the paper added for the single-precision
+// FROSch study (Tables VI/VII).
+#pragma once
+
+#include "krylov/operator.hpp"
+
+namespace frosch::dd {
+
+/// Working precision `Scalar`, internal precision `Half`.
+template <class Scalar, class Half>
+class HalfPrecisionOperator final : public krylov::LinearOperator<Scalar> {
+ public:
+  explicit HalfPrecisionOperator(const krylov::LinearOperator<Half>& inner)
+      : inner_(inner) {}
+
+  index_t rows() const override { return inner_.rows(); }
+  index_t cols() const override { return inner_.cols(); }
+
+  void apply(const std::vector<Scalar>& x, std::vector<Scalar>& y,
+             OpProfile* prof) const override {
+    xh_.resize(x.size());
+    for (size_t i = 0; i < x.size(); ++i) xh_[i] = static_cast<Half>(x[i]);
+    inner_.apply(xh_, yh_, prof);
+    y.resize(yh_.size());
+    for (size_t i = 0; i < yh_.size(); ++i) y[i] = static_cast<Scalar>(yh_[i]);
+    if (prof) {
+      // Type-casting overhead: stream both vectors twice.
+      prof->bytes += static_cast<double>(x.size()) *
+                     (sizeof(Scalar) + sizeof(Half)) * 2.0;
+      prof->launches += 2;
+      prof->critical_path += 2;
+      prof->work_items += 2.0 * static_cast<double>(x.size());
+    }
+  }
+
+ private:
+  const krylov::LinearOperator<Half>& inner_;
+  mutable std::vector<Half> xh_, yh_;
+};
+
+}  // namespace frosch::dd

@@ -1,0 +1,151 @@
+// Algebraic interface identification and classification into connected
+// components (the GDSW "interface entities": vertices, edges, faces) --
+// Section III steps 1-2 of the paper.
+//
+// A dof is on the interface Gamma when its matrix-graph neighbourhood spans
+// more than one part of the nonoverlapping partition.  Interface dofs are
+// grouped into EQUIVALENCE CLASSES by their adjacent-part set and each class
+// is split into graph-connected components; components are classified by
+// part-set cardinality (2 -> face, 3..4 -> edge, >4 -> vertex on interior
+// crosspoints of a 3D box partition; domain-boundary entities merge into
+// their neighbouring class, the standard behaviour of algebraic GDSW).
+//
+// For the REDUCED coarse space (rGDSW, Dohrmann-Widlund "Option 1"), only
+// vertex entities carry coarse functions; every other interface dof
+// distributes its null-space value uniformly over the vertex entities whose
+// adjacent-part set contains its own -- which yields an interface partition
+// of unity by construction (tested in tests/test_dd.cpp).
+#pragma once
+
+#include <map>
+
+#include "dd/decomposition.hpp"
+#include "graph/graph.hpp"
+
+namespace frosch::dd {
+
+enum class EntityKind { Vertex, Edge, Face };
+
+const char* to_string(EntityKind k);
+
+/// One interface entity (connected component of an equivalence class).
+struct InterfaceEntity {
+  IndexVector dofs;        ///< global dof ids (sorted)
+  IndexVector parts;       ///< adjacent-part set (sorted)
+  EntityKind kind = EntityKind::Face;
+};
+
+struct InterfacePartition {
+  IndexVector interface_dofs;          ///< sorted global dofs of Gamma
+  IndexVector interior_dofs;           ///< sorted complement
+  IndexVector entity_of_dof;           ///< dof -> entity id or -1
+  std::vector<InterfaceEntity> entities;
+
+  index_t num_vertices = 0;  ///< count of vertex entities
+
+  /// rGDSW support: for each interface dof, the vertex entities it
+  /// contributes to, with uniform weights 1/|set| (partition of unity).
+  std::vector<IndexVector> vertex_support;  ///< per interface-dof position
+};
+
+/// Builds the interface partition from the matrix graph and the
+/// nonoverlapping partition.
+template <class Scalar>
+InterfacePartition build_interface(const la::CsrMatrix<Scalar>& A,
+                                   const Decomposition& d) {
+  const index_t n = A.num_rows();
+  InterfacePartition ip;
+
+  // Adjacent-part sets per dof (own part + parts of graph neighbours).
+  std::vector<IndexVector> adj_parts(static_cast<size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    IndexVector s{d.owner[i]};
+    for (index_t k = A.row_begin(i); k < A.row_end(i); ++k) {
+      const index_t p = d.owner[A.col(k)];
+      s.push_back(p);
+    }
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    adj_parts[i] = std::move(s);
+    if (adj_parts[i].size() > 1)
+      ip.interface_dofs.push_back(i);
+    else
+      ip.interior_dofs.push_back(i);
+  }
+
+  // Equivalence classes by part set.
+  std::map<IndexVector, IndexVector> classes;  // part set -> dof list
+  for (index_t i : ip.interface_dofs) classes[adj_parts[i]].push_back(i);
+
+  // Split classes into connected components of the matrix graph.
+  ip.entity_of_dof.assign(static_cast<size_t>(n), -1);
+  graph::Graph g = graph::build_graph(A);
+  for (auto& [parts, dofs] : classes) {
+    IndexVector comp;
+    const index_t ncomp = graph::subset_components(g, dofs, comp);
+    const index_t base = static_cast<index_t>(ip.entities.size());
+    for (index_t c = 0; c < ncomp; ++c) {
+      InterfaceEntity e;
+      e.parts = parts;
+      const size_t mult = parts.size();
+      e.kind = mult <= 2                ? EntityKind::Face
+               : mult <= 4              ? EntityKind::Edge
+                                        : EntityKind::Vertex;
+      ip.entities.push_back(std::move(e));
+    }
+    for (size_t q = 0; q < dofs.size(); ++q) {
+      const index_t e = base + comp[q];
+      ip.entities[e].dofs.push_back(dofs[q]);
+      ip.entity_of_dof[dofs[q]] = e;
+    }
+  }
+  for (auto& e : ip.entities) std::sort(e.dofs.begin(), e.dofs.end());
+
+  // Promote single-dof edge entities to vertices (a one-node component at a
+  // crosspoint behaves like a vertex regardless of its multiplicity).
+  for (auto& e : ip.entities) {
+    if (e.kind == EntityKind::Edge && e.dofs.size() <= 3) {
+      // <=3 dofs covers one mesh node of a 3-dof/node elasticity problem.
+      e.kind = EntityKind::Vertex;
+    }
+  }
+  for (auto& e : ip.entities)
+    if (e.kind == EntityKind::Vertex) ip.num_vertices++;
+
+  // rGDSW vertex support: dof with part set S contributes to every vertex
+  // entity whose part set is a superset of S.  Vertex entities with
+  // IDENTICAL part sets (several components of one equivalence class, which
+  // irregular graph partitions produce routinely) are merged onto one
+  // canonical representative: keeping both would hand every supported dof
+  // to both with equal weights, duplicating coarse columns and making the
+  // Galerkin matrix singular.
+  IndexVector vertex_ids;
+  {
+    std::map<IndexVector, index_t> canonical;
+    for (size_t e = 0; e < ip.entities.size(); ++e) {
+      if (ip.entities[e].kind != EntityKind::Vertex) continue;
+      auto [it, inserted] =
+          canonical.emplace(ip.entities[e].parts, static_cast<index_t>(e));
+      if (inserted) vertex_ids.push_back(static_cast<index_t>(e));
+    }
+  }
+  ip.vertex_support.assign(ip.interface_dofs.size(), {});
+  for (size_t q = 0; q < ip.interface_dofs.size(); ++q) {
+    const index_t i = ip.interface_dofs[q];
+    const IndexVector& s = adj_parts[i];
+    for (index_t v : vertex_ids) {
+      const IndexVector& vs = ip.entities[v].parts;
+      if (std::includes(vs.begin(), vs.end(), s.begin(), s.end()))
+        ip.vertex_support[q].push_back(v);
+    }
+    if (ip.vertex_support[q].empty()) {
+      // No covering vertex (e.g. a face far from any crosspoint in a 1D-like
+      // partition): keep the dof's own entity as a coarse entity so the
+      // partition of unity stays complete.
+      ip.vertex_support[q].push_back(ip.entity_of_dof[i]);
+    }
+  }
+  return ip;
+}
+
+}  // namespace frosch::dd

@@ -1,0 +1,60 @@
+#include "direct/elimination_tree.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace frosch::direct {
+
+IndexVector tree_postorder(const IndexVector& parent) {
+  const index_t n = static_cast<index_t>(parent.size());
+  // Build first-child / next-sibling links (children in ascending order:
+  // iterate j descending so lists come out ascending).
+  IndexVector head(static_cast<size_t>(n), -1), next(static_cast<size_t>(n), -1);
+  for (index_t j = n - 1; j >= 0; --j) {
+    if (parent[j] == -1) continue;
+    next[j] = head[parent[j]];
+    head[parent[j]] = j;
+  }
+  IndexVector post;
+  post.reserve(static_cast<size_t>(n));
+  IndexVector stack;
+  for (index_t r = 0; r < n; ++r) {
+    if (parent[r] != -1) continue;  // roots only
+    stack.push_back(r);
+    while (!stack.empty()) {
+      const index_t v = stack.back();
+      if (head[v] != -1) {
+        // Descend to first unvisited child.
+        const index_t c = head[v];
+        head[v] = next[c];  // remove child from list
+        stack.push_back(c);
+      } else {
+        post.push_back(v);
+        stack.pop_back();
+      }
+    }
+  }
+  FROSCH_CHECK(static_cast<index_t>(post.size()) == n,
+               "tree_postorder: forest traversal incomplete");
+  return post;
+}
+
+IndexVector tree_levels(const IndexVector& parent, index_t* height) {
+  const index_t n = static_cast<index_t>(parent.size());
+  IndexVector level(static_cast<size_t>(n), 1);
+  // Process in postorder so children precede parents.
+  IndexVector post = tree_postorder(parent);
+  index_t h = n > 0 ? 1 : 0;
+  for (index_t v : post) {
+    const index_t p = parent[v];
+    if (p != -1) {
+      level[p] = std::max(level[p], level[v] + 1);
+      h = std::max(h, level[p]);
+    }
+  }
+  if (height) *height = h;
+  return level;
+}
+
+}  // namespace frosch::direct

@@ -1,0 +1,106 @@
+// Elimination tree and symbolic-Cholesky machinery (CSparse-style):
+// etree with path compression, postorder, row-subtree reach (ereach), the
+// full pattern of L, and etree level sets.
+//
+// The level sets are what the perf model consumes: the Tacho-like
+// multifrontal factorization schedules one batched GPU launch per etree
+// level, so a wide, shallow tree (from nested dissection) exposes
+// parallelism, while a path-shaped tree (natural ordering of a band matrix)
+// serializes the factorization -- the mechanism behind the ND-vs-No ordering
+// effects in the paper's Table IV.
+#pragma once
+
+#include "common/types.hpp"
+#include "la/csr.hpp"
+
+namespace frosch::direct {
+
+/// Computes the elimination tree of a symmetric-pattern matrix.
+/// parent[j] = etree parent of column j, or -1 for roots.
+template <class Scalar>
+IndexVector elimination_tree(const la::CsrMatrix<Scalar>& A) {
+  const index_t n = A.num_rows();
+  IndexVector parent(static_cast<size_t>(n), -1);
+  IndexVector ancestor(static_cast<size_t>(n), -1);
+  for (index_t k = 0; k < n; ++k) {
+    for (index_t p = A.row_begin(k); p < A.row_end(k); ++p) {
+      index_t i = A.col(p);
+      if (i >= k) continue;  // use lower-triangle entries of row k
+      // Walk from i up to the root of its current subtree, compressing.
+      while (i != -1 && i < k) {
+        const index_t next = ancestor[i];
+        ancestor[i] = k;
+        if (next == -1) {
+          parent[i] = k;
+          break;
+        }
+        i = next;
+      }
+    }
+  }
+  return parent;
+}
+
+/// Postorder of a forest given parent pointers.
+IndexVector tree_postorder(const IndexVector& parent);
+
+/// Level (distance from deepest leaf, starting at 1) of every tree node:
+/// level[j] = 1 + max(level of children), leaves = 1.  Returns the levels
+/// and writes the tree height into *height.
+IndexVector tree_levels(const IndexVector& parent, index_t* height);
+
+/// Row-subtree reach: the column pattern of row k of the Cholesky factor L
+/// (excluding the diagonal), in topological (ascending) order.
+/// `marked` is scratch of size n initialized to -1 and restored on exit.
+template <class Scalar>
+void ereach(const la::CsrMatrix<Scalar>& A, index_t k, const IndexVector& parent,
+            IndexVector& out, IndexVector& marked, IndexVector& stack) {
+  out.clear();
+  marked[k] = k;
+  for (index_t p = A.row_begin(k); p < A.row_end(k); ++p) {
+    index_t i = A.col(p);
+    if (i > k) continue;
+    stack.clear();
+    // Climb the etree from i until hitting a marked node.
+    while (marked[i] != k) {
+      stack.push_back(i);
+      marked[i] = k;
+      i = parent[i];
+      FROSCH_ASSERT(i != -1 || stack.empty() || true, "ereach climb");
+      if (i == -1) break;
+    }
+    // stack holds a root-ward path; emit in reverse for ascending order later.
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) out.push_back(*it);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::remove(out.begin(), out.end(), k), out.end());
+}
+
+/// Full symbolic Cholesky: pattern of L (lower triangular with diagonal) in
+/// CSC layout == pattern of L^T rows.  Returns (colptr, rowind) pair packed
+/// into a pattern-only CsrMatrix over "columns" (row i of the result = the
+/// row indices of column i of L, ascending, diagonal first).
+template <class Scalar>
+la::CsrMatrix<char> symbolic_cholesky(const la::CsrMatrix<Scalar>& A,
+                                      const IndexVector& parent) {
+  const index_t n = A.num_rows();
+  // First pass: row patterns via ereach, count column sizes.
+  IndexVector marked(static_cast<size_t>(n), -1), stack, row;
+  std::vector<IndexVector> cols(static_cast<size_t>(n));
+  for (index_t j = 0; j < n; ++j) cols[j].push_back(j);  // diagonal
+  for (index_t k = 0; k < n; ++k) {
+    ereach(A, k, parent, row, marked, stack);
+    for (index_t j : row) cols[j].push_back(k);  // L(k, j) != 0
+  }
+  std::vector<index_t> rowptr(static_cast<size_t>(n) + 1, 0);
+  for (index_t j = 0; j < n; ++j)
+    rowptr[j + 1] = rowptr[j] + static_cast<index_t>(cols[j].size());
+  std::vector<index_t> colind(static_cast<size_t>(rowptr[n]));
+  std::vector<char> vals(static_cast<size_t>(rowptr[n]), 1);
+  for (index_t j = 0; j < n; ++j)
+    std::copy(cols[j].begin(), cols[j].end(), colind.begin() + rowptr[j]);
+  return la::CsrMatrix<char>(n, n, std::move(rowptr), std::move(colind),
+                             std::move(vals));
+}
+
+}  // namespace frosch::direct

@@ -1,0 +1,84 @@
+// Shared triangular-factorization result type.
+//
+// Every factorization backend -- the SuperLU-like partial-pivoting LU, the
+// Tacho-like multifrontal Cholesky, and the incomplete factorizations in
+// src/ilu -- produces this struct, and every triangular-solve engine in
+// src/trisolve consumes it.  This is the seam that lets the paper's solver-
+// option matrix (Table I) mix factorizations and triangular-solve algorithms
+// freely (e.g. SuperLU factors + Kokkos-Kernels supernodal SpTRSV).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "la/csr.hpp"
+
+namespace frosch::direct {
+
+/// A (possibly approximate) factorization  P*A ~= L*U  in CSR storage.
+///
+/// Solve semantics:  x = U^{-1} ( L^{-1} (P b) ), where (P b)[i] =
+/// b[row_perm_old2new^{-1}(i)]; i.e. row_perm_old2new maps an ORIGINAL row
+/// index to its PIVOTED position.  An empty row_perm_old2new means identity
+/// (no pivoting: Cholesky, ILU).
+template <class Scalar>
+struct Factorization {
+  la::CsrMatrix<Scalar> L;        ///< lower triangular, diagonal stored
+  la::CsrMatrix<Scalar> U;        ///< upper triangular, diagonal stored
+  bool unit_diag_L = false;       ///< if true, L's diagonal is implicit 1
+  IndexVector row_perm_old2new;   ///< pivot permutation; empty == identity
+
+  /// Supernode boundaries over the columns of L: supernode s spans columns
+  /// [sn_ptr[s], sn_ptr[s+1]).  Always at least the trivial partition.
+  IndexVector sn_ptr;
+
+  index_t n() const { return L.num_rows(); }
+  count_t factor_nnz() const { return L.num_entries() + U.num_entries(); }
+
+  /// Applies the pivot permutation: out[perm[i]] = in[i].
+  void apply_row_perm(const std::vector<Scalar>& in,
+                      std::vector<Scalar>& out) const {
+    out.resize(in.size());
+    if (row_perm_old2new.empty()) {
+      out = in;
+      return;
+    }
+    for (size_t i = 0; i < in.size(); ++i) out[row_perm_old2new[i]] = in[i];
+  }
+};
+
+/// Detects "fundamental supernodes" in a lower-triangular CSR factor:
+/// maximal runs of consecutive columns j, j+1 where column j+1's structure
+/// equals column j's minus the diagonal entry (so the block is dense
+/// trapezoidal).  Works on the column pattern, i.e. on transpose(L)'s rows;
+/// callers pass L^T (== U for symmetric factors).
+template <class Scalar>
+IndexVector detect_supernodes(const la::CsrMatrix<Scalar>& Lt) {
+  const index_t n = Lt.num_rows();
+  IndexVector sn_ptr{0};
+  index_t j = 0;
+  while (j < n) {
+    index_t end = j + 1;
+    while (end < n) {
+      // Column `end` must have the structure of column `end-1` minus its
+      // first (diagonal) entry.
+      const index_t b1 = Lt.row_begin(end - 1), e1 = Lt.row_end(end - 1);
+      const index_t b2 = Lt.row_begin(end), e2 = Lt.row_end(end);
+      if ((e1 - b1) != (e2 - b2) + 1) break;
+      bool same = true;
+      for (index_t k = 0; k < e2 - b2; ++k) {
+        if (Lt.col(b1 + 1 + k) != Lt.col(b2 + k)) {
+          same = false;
+          break;
+        }
+      }
+      if (!same) break;
+      ++end;
+    }
+    sn_ptr.push_back(end);
+    j = end;
+  }
+  return sn_ptr;
+}
+
+}  // namespace frosch::direct

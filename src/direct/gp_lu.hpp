@@ -1,0 +1,183 @@
+// Gilbert--Peierls left-looking sparse LU with partial pivoting: the
+// SuperLU-ancestor algorithm standing in for SuperLU in this study
+// (see DESIGN.md substitution table).
+//
+// Key behavioural property reproduced from the paper (Section VIII-A):
+// partial pivoting makes the factor structure depend on the numerical
+// values, so NOTHING from the symbolic phase can be reused across numeric
+// factorizations -- symbolic_reusable() == false -- and any downstream
+// triangular-solve setup (level sets, supernode detection) must be redone
+// after every numeric factorization.  That is the mechanism behind the large
+// SuperLU setup times on GPUs in Fig. 4 / Table III.
+#pragma once
+
+#include "common/op_profile.hpp"
+#include "direct/factorization.hpp"
+#include "la/ops.hpp"
+
+namespace frosch::direct {
+
+template <class Scalar>
+class GilbertPeierlsLu {
+ public:
+  /// Symbolic phase: for partial-pivoting LU there is no reusable analysis;
+  /// we only cache the dimension.  (Kept for interface symmetry with the
+  /// three-phase Trilinos solver structure.)
+  void symbolic(const la::CsrMatrix<Scalar>& A) {
+    FROSCH_CHECK(A.num_rows() == A.num_cols(), "GP-LU: square matrices only");
+    n_ = A.num_rows();
+  }
+
+  /// Numeric phase: factors P A = L U column by column.  Each column solves
+  /// the sparse triangular system L x = A(:,j) via depth-first reach on the
+  /// partially built L, then pivots on the largest unpivoted entry.
+  void numeric(const la::CsrMatrix<Scalar>& A, OpProfile* prof = nullptr) {
+    FROSCH_CHECK(A.num_rows() == n_ && A.num_cols() == n_,
+                 "GP-LU: numeric called with different dimensions");
+    const index_t n = n_;
+    // Column access: CSR of A^T is CSC of A.
+    const la::CsrMatrix<Scalar> At = la::transpose(A);
+
+    // Dynamic factor storage in CSC, row indices in PIVOTED space for U and
+    // ORIGINAL space for L until the end.
+    std::vector<IndexVector> Lrows(n), Urows(n);
+    std::vector<std::vector<Scalar>> Lvals(n), Uvals(n);
+    IndexVector pinv(static_cast<size_t>(n), -1);  // original row -> pivot pos
+
+    std::vector<Scalar> x(static_cast<size_t>(n), Scalar(0));
+    std::vector<char> visited(static_cast<size_t>(n), 0);
+    IndexVector reach, dfs_stack, dfs_pos;
+    double flops = 0.0;
+
+    for (index_t j = 0; j < n; ++j) {
+      // ---- sparse triangular solve x = L \ A(:,j) --------------------
+      // Depth-first search from the pattern of A(:,j) over the graph of L
+      // (edges: pivoted column k -> original rows of L(:,k)).
+      reach.clear();
+      for (index_t p = At.row_begin(j); p < At.row_end(j); ++p) {
+        const index_t r = At.col(p);  // original row index with A(r, j) != 0
+        if (visited[r]) continue;
+        // Iterative DFS.
+        dfs_stack.assign(1, r);
+        dfs_pos.assign(1, 0);
+        visited[r] = 1;
+        while (!dfs_stack.empty()) {
+          const index_t node = dfs_stack.back();
+          const index_t k = pinv[node];  // pivoted column this row eliminates
+          bool descended = false;
+          if (k >= 0) {
+            auto& lr = Lrows[k];
+            for (index_t& q = dfs_pos.back(); q < (index_t)lr.size(); ) {
+              const index_t child = lr[q];
+              ++q;
+              if (!visited[child]) {
+                visited[child] = 1;
+                dfs_stack.push_back(child);
+                dfs_pos.push_back(0);
+                descended = true;
+                break;
+              }
+            }
+          }
+          if (!descended) {
+            reach.push_back(node);
+            dfs_stack.pop_back();
+            dfs_pos.pop_back();
+          }
+        }
+      }
+      // reach is in reverse topological order w.r.t. dependencies.
+      for (index_t r : reach) {
+        visited[r] = 0;
+        x[r] = Scalar(0);
+      }
+      for (index_t p = At.row_begin(j); p < At.row_end(j); ++p)
+        x[At.col(p)] = At.val(p);
+      // Process reach from the END (topological order): eliminate with
+      // already-pivoted columns.
+      for (auto it = reach.rbegin(); it != reach.rend(); ++it) {
+        const index_t r = *it;
+        const index_t k = pinv[r];
+        if (k < 0) continue;  // not yet pivoted: stays as L candidate
+        const Scalar xk = x[r];
+        if (xk == Scalar(0)) continue;
+        auto& lr = Lrows[k];
+        auto& lv = Lvals[k];
+        for (size_t q = 0; q < lr.size(); ++q) x[lr[q]] -= lv[q] * xk;
+        flops += 2.0 * static_cast<double>(lr.size());
+      }
+      // ---- partial pivot ---------------------------------------------
+      index_t piv = -1;
+      double best = -1.0;
+      for (index_t r : reach) {
+        if (pinv[r] >= 0) continue;
+        const double mag = std::abs(static_cast<double>(x[r]));
+        if (mag > best) {
+          best = mag;
+          piv = r;
+        }
+      }
+      FROSCH_CHECK(piv >= 0 && best > 0.0,
+                   "GP-LU: structurally or numerically singular at column " << j);
+      pinv[piv] = j;
+      const Scalar d = x[piv];
+      // ---- split into U (pivoted rows) and L (unpivoted, scaled) ------
+      for (index_t r : reach) {
+        if (x[r] == Scalar(0) && r != piv) continue;
+        if (pinv[r] >= 0 && r != piv) {
+          Urows[j].push_back(pinv[r]);
+          Uvals[j].push_back(x[r]);
+        } else if (r != piv) {
+          Lrows[j].push_back(r);
+          Lvals[j].push_back(x[r] / d);
+          flops += 1.0;
+        }
+      }
+      Urows[j].push_back(j);  // U diagonal = pivot
+      Uvals[j].push_back(d);
+    }
+
+    // ---- pack factors into CSR with pivoted row indices ----------------
+    // L: unit lower triangular; stored row-wise with explicit unit diagonal.
+    la::TripletBuilder<Scalar> lb(n, n), ub(n, n);
+    for (index_t j = 0; j < n; ++j) {
+      lb.add(j, j, Scalar(1));
+      for (size_t q = 0; q < Lrows[j].size(); ++q)
+        lb.add(pinv[Lrows[j][q]], j, Lvals[j][q]);
+      for (size_t q = 0; q < Urows[j].size(); ++q)
+        ub.add(Urows[j][q], j, Uvals[j][q]);
+    }
+    fact_.L = lb.build();
+    fact_.U = ub.build();
+    fact_.unit_diag_L = true;
+    fact_.row_perm_old2new.assign(pinv.begin(), pinv.end());
+    fact_.sn_ptr = detect_supernodes(la::transpose(fact_.L));
+
+    if (prof) {
+      prof->flops += flops;
+      // Left-looking elimination re-reads the partial L factor once per
+      // column reached by the DFS: the traffic is proportional to the
+      // update flops (index + value per multiply-add), with none of the
+      // supernodal blocking that would amortize it.
+      prof->bytes += 6.0 * flops +
+                     2.0 * (fact_.L.storage_bytes() + fact_.U.storage_bytes());
+      // Left-looking column loop is inherently sequential: the critical path
+      // is the full column count, launched one column-kernel at a time.
+      prof->launches += n;
+      prof->critical_path += n;
+      prof->work_items += static_cast<double>(n);
+    }
+  }
+
+  /// Structure depends on pivoting, hence on values: nothing is reusable.
+  static constexpr bool symbolic_reusable() { return false; }
+
+  const Factorization<Scalar>& factorization() const { return fact_; }
+  Factorization<Scalar>& factorization() { return fact_; }
+
+ private:
+  index_t n_ = 0;
+  Factorization<Scalar> fact_;
+};
+
+}  // namespace frosch::direct

@@ -1,0 +1,158 @@
+// Multifrontal sparse Cholesky: the Tacho stand-in (see DESIGN.md).
+//
+// Structure mirrors what matters for the paper's GPU study:
+//   * the SYMBOLIC phase (elimination tree, factor pattern, postorder,
+//     level-set schedule of fronts) depends only on the sparsity pattern and
+//     is fully REUSABLE across numeric factorizations -- Tacho's decisive
+//     advantage over SuperLU in Fig. 4 / Table III;
+//   * the NUMERIC phase processes dense frontal matrices in elimination-tree
+//     postorder with extend-add of children's update (Schur) matrices, and a
+//     GPU implementation launches one batched kernel per etree LEVEL -- so
+//     its profile records `launches = tree height` with per-level widths,
+//     which is exactly why nested-dissection ordering (wide shallow tree)
+//     helps on GPUs.
+#pragma once
+
+#include "common/op_profile.hpp"
+#include "direct/elimination_tree.hpp"
+#include "direct/factorization.hpp"
+#include "la/dense.hpp"
+#include "la/ops.hpp"
+
+namespace frosch::direct {
+
+template <class Scalar>
+class MultifrontalCholesky {
+ public:
+  /// Pattern-only analysis; reusable for any matrix with this pattern.
+  void symbolic(const la::CsrMatrix<Scalar>& A, OpProfile* prof = nullptr) {
+    FROSCH_CHECK(A.num_rows() == A.num_cols(),
+                 "MultifrontalCholesky: square matrices only");
+    n_ = A.num_rows();
+    parent_ = elimination_tree(A);
+    post_ = tree_postorder(parent_);
+    levels_ = tree_levels(parent_, &tree_height_);
+    Lpattern_ = symbolic_cholesky(A, parent_);
+    if (prof) {
+      prof->bytes += A.storage_bytes() +
+                     static_cast<double>(Lpattern_.num_entries()) * sizeof(index_t);
+      prof->launches += 1;  // symbolic analysis is a host-side pass
+      prof->critical_path += 1;
+      prof->work_items += static_cast<double>(n_);
+    }
+  }
+
+  bool has_symbolic() const { return n_ > 0; }
+  static constexpr bool symbolic_reusable() { return true; }
+  index_t tree_height() const { return tree_height_; }
+  const IndexVector& etree_parent() const { return parent_; }
+
+  /// Numeric factorization A = L L^T using the cached symbolic data.
+  void numeric(const la::CsrMatrix<Scalar>& A, OpProfile* prof = nullptr) {
+    FROSCH_CHECK(has_symbolic(), "MultifrontalCholesky: symbolic() first");
+    FROSCH_CHECK(A.num_rows() == n_, "MultifrontalCholesky: dimension changed");
+    const index_t n = n_;
+
+    // Children lists for extend-add.
+    std::vector<IndexVector> children(static_cast<size_t>(n));
+    for (index_t j = 0; j < n; ++j)
+      if (parent_[j] != -1) children[parent_[j]].push_back(j);
+
+    // Update (Schur) matrices pending consumption by parents.  Lower
+    // triangle only, indexed by the front's row list.
+    struct Update {
+      IndexVector rows;
+      la::DenseMatrix<Scalar> mat;
+    };
+    std::vector<Update> pending(static_cast<size_t>(n));
+
+    std::vector<Scalar> Lx(static_cast<size_t>(Lpattern_.num_entries()),
+                           Scalar(0));
+    IndexVector pos(static_cast<size_t>(n), -1);  // global row -> front row
+    double flops = 0.0, bytes = 0.0, front_area = 0.0;
+
+    for (index_t idx = 0; idx < n; ++idx) {
+      const index_t j = post_[idx];
+      // Front rows = pattern of column j of L (diagonal first, ascending).
+      const index_t fb = Lpattern_.row_begin(j), fe = Lpattern_.row_end(j);
+      const index_t s = fe - fb;
+      for (index_t k = 0; k < s; ++k) pos[Lpattern_.col(fb + k)] = k;
+
+      la::DenseMatrix<Scalar> F(s, s);
+      // Assemble original entries of column j (lower part, via symmetric row).
+      for (index_t p = A.row_begin(j); p < A.row_end(j); ++p) {
+        const index_t i = A.col(p);
+        if (i < j) continue;  // lower triangle of column j means rows >= j
+        FROSCH_ASSERT(pos[i] >= 0, "multifrontal: entry outside front");
+        F(pos[i], 0) += A.val(p);
+      }
+      // Extend-add children updates.
+      for (index_t c : children[j]) {
+        Update& u = pending[c];
+        const index_t us = static_cast<index_t>(u.rows.size());
+        for (index_t cc = 0; cc < us; ++cc) {
+          const index_t gc = pos[u.rows[cc]];
+          FROSCH_ASSERT(gc >= 0, "multifrontal: child row outside parent front");
+          for (index_t rr = cc; rr < us; ++rr) {
+            F(pos[u.rows[rr]], gc) += u.mat(rr, cc);
+          }
+        }
+        u.rows.clear();
+        u.mat = la::DenseMatrix<Scalar>();  // release child storage
+      }
+      // Partial factorization of the first pivot; Schur complement in the
+      // trailing (s-1)x(s-1) lower triangle.
+      la::partial_cholesky(F, 1);
+      flops += 2.0 * double(s) * double(s);
+      bytes += double(s) * double(s) * sizeof(Scalar);
+      front_area += double(s) * double(s);
+      // Store column j of L.
+      for (index_t k = 0; k < s; ++k) Lx[fb + k] = F(k, 0);
+      // Hand the update matrix to the parent.
+      if (parent_[j] != -1 && s > 1) {
+        Update& u = pending[j];
+        u.rows.assign(Lpattern_.colind().begin() + fb + 1,
+                      Lpattern_.colind().begin() + fe);
+        u.mat = la::DenseMatrix<Scalar>(s - 1, s - 1);
+        for (index_t cc = 1; cc < s; ++cc)
+          for (index_t rr = cc; rr < s; ++rr)
+            u.mat(rr - 1, cc - 1) = F(rr, cc);
+      }
+      for (index_t k = 0; k < s; ++k) pos[Lpattern_.col(fb + k)] = -1;
+    }
+
+    // Pack:  Lpattern_ rows are CSC columns of L -> that IS the CSR of L^T
+    // (upper factor U); transpose for the CSR of L.
+    la::CsrMatrix<Scalar> Lt(
+        n, n, Lpattern_.rowptr(), Lpattern_.colind(), std::move(Lx));
+    fact_.U = Lt;
+    fact_.L = la::transpose(Lt);
+    fact_.unit_diag_L = false;
+    fact_.row_perm_old2new.clear();
+    fact_.sn_ptr = detect_supernodes(fact_.U);
+
+    if (prof) {
+      prof->flops += flops;
+      prof->bytes += bytes + 2.0 * fact_.L.storage_bytes();
+      // Level-set schedule: one batched launch of all fronts in a level;
+      // within a launch, team kernels parallelize over the dense front
+      // entries (Tacho's team-level BLAS), so the exposed width is the
+      // total front area, not the front count.
+      prof->launches += tree_height_;
+      prof->critical_path += tree_height_;
+      prof->work_items += front_area;
+    }
+  }
+
+  const Factorization<Scalar>& factorization() const { return fact_; }
+  Factorization<Scalar>& factorization() { return fact_; }
+
+ private:
+  index_t n_ = 0;
+  index_t tree_height_ = 0;
+  IndexVector parent_, post_, levels_;
+  la::CsrMatrix<char> Lpattern_;
+  Factorization<Scalar> fact_;
+};
+
+}  // namespace frosch::direct

@@ -1,0 +1,14 @@
+// Explicit instantiations of the factorization backends for the two scalar
+// precisions used across the study (double working precision, float for the
+// HalfPrecisionOperator path).
+#include "direct/gp_lu.hpp"
+#include "direct/multifrontal.hpp"
+
+namespace frosch::direct {
+
+template class GilbertPeierlsLu<double>;
+template class GilbertPeierlsLu<float>;
+template class MultifrontalCholesky<double>;
+template class MultifrontalCholesky<float>;
+
+}  // namespace frosch::direct

@@ -1,0 +1,205 @@
+#include "fem/assembly.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "la/ops.hpp"
+
+namespace frosch::fem {
+namespace {
+
+/// Trilinear shape-function derivatives at a quadrature point (xi, eta, zeta)
+/// on the reference cube [-1,1]^3, local node order x-fastest.
+void shape_derivs(double xi, double eta, double zeta, double dN[8][3]) {
+  const double sx[2] = {-1.0, 1.0};
+  int a = 0;
+  for (int dz = 0; dz <= 1; ++dz)
+    for (int dy = 0; dy <= 1; ++dy)
+      for (int dx = 0; dx <= 1; ++dx) {
+        const double gx = sx[dx], gy = sx[dy], gz = sx[dz];
+        dN[a][0] = 0.125 * gx * (1 + gy * eta) * (1 + gz * zeta);
+        dN[a][1] = 0.125 * (1 + gx * xi) * gy * (1 + gz * zeta);
+        dN[a][2] = 0.125 * (1 + gx * xi) * (1 + gy * eta) * gz;
+        ++a;
+      }
+}
+
+constexpr double kGauss = 0.57735026918962576;  // 1/sqrt(3)
+
+/// 8x8 element stiffness of the Laplacian on a brick hx x hy x hz.
+void laplace_element(double hx, double hy, double hz, double Ke[8][8]) {
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j) Ke[i][j] = 0.0;
+  const double jac[3] = {2.0 / hx, 2.0 / hy, 2.0 / hz};  // d xi / d x
+  const double detJ = (hx / 2) * (hy / 2) * (hz / 2);
+  double dN[8][3];
+  for (int qz = 0; qz < 2; ++qz)
+    for (int qy = 0; qy < 2; ++qy)
+      for (int qx = 0; qx < 2; ++qx) {
+        shape_derivs((qx ? kGauss : -kGauss), (qy ? kGauss : -kGauss),
+                     (qz ? kGauss : -kGauss), dN);
+        for (int i = 0; i < 8; ++i)
+          for (int j = 0; j < 8; ++j) {
+            double s = 0.0;
+            for (int d = 0; d < 3; ++d)
+              s += (dN[i][d] * jac[d]) * (dN[j][d] * jac[d]);
+            Ke[i][j] += s * detJ;
+          }
+      }
+}
+
+/// 24x24 element stiffness of isotropic linear elasticity (Voigt form,
+/// B^T D B integrated with 2x2x2 Gauss points).
+void elasticity_element(double hx, double hy, double hz, double E, double nu,
+                        la::DenseMatrix<double>& Ke) {
+  Ke.set_zero();
+  const double lambda = E * nu / ((1 + nu) * (1 - 2 * nu));
+  const double mu = E / (2 * (1 + nu));
+  const double jac[3] = {2.0 / hx, 2.0 / hy, 2.0 / hz};
+  const double detJ = (hx / 2) * (hy / 2) * (hz / 2);
+  double dN[8][3];
+  // Physical-space gradients g[a][d] = dN_a/dx_d.
+  double g[8][3];
+  for (int qz = 0; qz < 2; ++qz)
+    for (int qy = 0; qy < 2; ++qy)
+      for (int qx = 0; qx < 2; ++qx) {
+        shape_derivs((qx ? kGauss : -kGauss), (qy ? kGauss : -kGauss),
+                     (qz ? kGauss : -kGauss), dN);
+        for (int a = 0; a < 8; ++a)
+          for (int d = 0; d < 3; ++d) g[a][d] = dN[a][d] * jac[d];
+        // K(a i, b j) += lambda g_a,i g_b,j + mu (g_a,j g_b,i +
+        //                delta_ij sum_d g_a,d g_b,d), integrated.
+        for (int a = 0; a < 8; ++a) {
+          for (int b = 0; b < 8; ++b) {
+            double gdot = 0.0;
+            for (int d = 0; d < 3; ++d) gdot += g[a][d] * g[b][d];
+            for (int i = 0; i < 3; ++i) {
+              for (int j = 0; j < 3; ++j) {
+                double v = lambda * g[a][i] * g[b][j] + mu * g[a][j] * g[b][i];
+                if (i == j) v += mu * gdot;
+                Ke(3 * a + i, 3 * b + j) += v * detJ;
+              }
+            }
+          }
+        }
+      }
+}
+
+}  // namespace
+
+la::CsrMatrix<double> assemble_laplace(const BrickMesh& mesh) {
+  la::TripletBuilder<double> b(mesh.num_nodes(), mesh.num_nodes());
+  double Ke[8][8];
+  laplace_element(mesh.hx(), mesh.hy(), mesh.hz(), Ke);
+  for (index_t ez = 0; ez < mesh.elems_z(); ++ez)
+    for (index_t ey = 0; ey < mesh.elems_y(); ++ey)
+      for (index_t ex = 0; ex < mesh.elems_x(); ++ex) {
+        const auto nodes = mesh.elem_nodes(ex, ey, ez);
+        for (int i = 0; i < 8; ++i)
+          for (int j = 0; j < 8; ++j) b.add(nodes[i], nodes[j], Ke[i][j]);
+      }
+  return b.build();
+}
+
+la::CsrMatrix<double> assemble_elasticity(const BrickMesh& mesh,
+                                          const ElasticityMaterial& mat) {
+  FROSCH_CHECK(mat.poisson_ratio < 0.5 && mat.poisson_ratio > -1.0,
+               "assemble_elasticity: invalid Poisson ratio");
+  const index_t ndof = 3 * mesh.num_nodes();
+  la::TripletBuilder<double> b(ndof, ndof);
+  la::DenseMatrix<double> Ke(24, 24);
+  elasticity_element(mesh.hx(), mesh.hy(), mesh.hz(), mat.youngs_modulus,
+                     mat.poisson_ratio, Ke);
+  for (index_t ez = 0; ez < mesh.elems_z(); ++ez)
+    for (index_t ey = 0; ey < mesh.elems_y(); ++ey)
+      for (index_t ex = 0; ex < mesh.elems_x(); ++ex) {
+        const auto nodes = mesh.elem_nodes(ex, ey, ez);
+        for (int a = 0; a < 8; ++a)
+          for (int i = 0; i < 3; ++i)
+            for (int bb = 0; bb < 8; ++bb)
+              for (int j = 0; j < 3; ++j)
+                b.add(3 * nodes[a] + i, 3 * nodes[bb] + j,
+                      Ke(3 * a + i, 3 * bb + j));
+      }
+  return b.build();
+}
+
+DirichletSystem apply_dirichlet(const la::CsrMatrix<double>& A,
+                                const IndexVector& fixed_dofs) {
+  const index_t n = A.num_rows();
+  std::vector<char> fixed(static_cast<size_t>(n), 0);
+  for (index_t d : fixed_dofs) {
+    FROSCH_CHECK(d >= 0 && d < n, "apply_dirichlet: dof out of range");
+    fixed[d] = 1;
+  }
+  DirichletSystem sys;
+  sys.full_to_red.assign(static_cast<size_t>(n), -1);
+  for (index_t i = 0; i < n; ++i) {
+    if (!fixed[i]) {
+      sys.full_to_red[i] = static_cast<index_t>(sys.keep.size());
+      sys.keep.push_back(i);
+    }
+  }
+  sys.A = la::extract_submatrix(A, sys.keep, sys.keep);
+  return sys;
+}
+
+la::DenseMatrix<double> laplace_nullspace(const BrickMesh& mesh) {
+  la::DenseMatrix<double> Z(mesh.num_nodes(), 1);
+  for (index_t i = 0; i < mesh.num_nodes(); ++i) Z(i, 0) = 1.0;
+  return Z;
+}
+
+la::DenseMatrix<double> elasticity_nullspace(const BrickMesh& mesh,
+                                             bool translations_only) {
+  const index_t nn = mesh.num_nodes();
+  const index_t k = translations_only ? 3 : 6;
+  la::DenseMatrix<double> Z(3 * nn, k);
+  // Centroid, for rotation modes that are well-scaled.
+  double cx = 0, cy = 0, cz = 0;
+  for (index_t v = 0; v < nn; ++v) {
+    const auto c = mesh.node_coords(v);
+    cx += c[0];
+    cy += c[1];
+    cz += c[2];
+  }
+  cx /= nn;
+  cy /= nn;
+  cz /= nn;
+  for (index_t v = 0; v < nn; ++v) {
+    const auto c = mesh.node_coords(v);
+    const double x = c[0] - cx, y = c[1] - cy, z = c[2] - cz;
+    // Translations.
+    Z(3 * v + 0, 0) = 1.0;
+    Z(3 * v + 1, 1) = 1.0;
+    Z(3 * v + 2, 2) = 1.0;
+    if (!translations_only) {
+      // Linearized rotations about z, y, x.
+      Z(3 * v + 0, 3) = -y;
+      Z(3 * v + 1, 3) = x;
+      Z(3 * v + 0, 4) = z;
+      Z(3 * v + 2, 4) = -x;
+      Z(3 * v + 1, 5) = -z;
+      Z(3 * v + 2, 5) = y;
+    }
+  }
+  return Z;
+}
+
+la::DenseMatrix<double> restrict_nullspace(const la::DenseMatrix<double>& Z,
+                                           const IndexVector& keep) {
+  la::DenseMatrix<double> R(static_cast<index_t>(keep.size()), Z.num_cols());
+  for (size_t i = 0; i < keep.size(); ++i)
+    for (index_t j = 0; j < Z.num_cols(); ++j)
+      R(static_cast<index_t>(i), j) = Z(keep[i], j);
+  return R;
+}
+
+IndexVector clamped_x0_dofs(const BrickMesh& mesh) {
+  IndexVector dofs;
+  for (index_t node : mesh.x0_face_nodes())
+    for (index_t c = 0; c < 3; ++c) dofs.push_back(3 * node + c);
+  return dofs;
+}
+
+}  // namespace frosch::fem

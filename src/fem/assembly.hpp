@@ -1,0 +1,60 @@
+// Q1 finite-element assembly of the paper's model problems:
+//   * 3D Laplace (1 dof/node), null space = constants;
+//   * 3D linear elasticity (3 dof/node, node-major dof = 3*node + comp),
+//     null space = 6 rigid body modes (Section III step 3).
+// Both are assembled as pure-Neumann operators; apply_dirichlet() then
+// eliminates constrained dofs symmetrically, keeping the matrix SPD.
+#pragma once
+
+#include "fem/mesh.hpp"
+#include "la/csr.hpp"
+#include "la/dense.hpp"
+
+namespace frosch::fem {
+
+/// Material parameters for isotropic linear elasticity.
+struct ElasticityMaterial {
+  double youngs_modulus = 210.0;  ///< E
+  double poisson_ratio = 0.3;     ///< nu (must be < 0.5)
+};
+
+/// Assembles the Q1 stiffness matrix of -div(grad u) with natural BCs.
+la::CsrMatrix<double> assemble_laplace(const BrickMesh& mesh);
+
+/// Assembles the Q1 stiffness matrix of linear elasticity with natural BCs
+/// (2x2x2 Gauss quadrature, exact for Q1 on bricks).
+la::CsrMatrix<double> assemble_elasticity(const BrickMesh& mesh,
+                                          const ElasticityMaterial& mat = {});
+
+/// Result of a symmetric Dirichlet elimination: the reduced operator plus
+/// the mapping between reduced and full dof numbering.
+struct DirichletSystem {
+  la::CsrMatrix<double> A;   ///< reduced SPD operator
+  IndexVector keep;          ///< reduced index -> full dof index
+  IndexVector full_to_red;   ///< full dof -> reduced index or -1
+};
+
+/// Removes the listed dofs (rows and columns) from A.
+DirichletSystem apply_dirichlet(const la::CsrMatrix<double>& A,
+                                const IndexVector& fixed_dofs);
+
+/// Dense n x k null-space basis: constants for Laplace (k=1).
+la::DenseMatrix<double> laplace_nullspace(const BrickMesh& mesh);
+
+/// Dense 3n x 6 rigid-body-mode basis for elasticity: three translations and
+/// three linearized rotations about the mesh centroid.  When
+/// `translations_only` is set, returns only the 3 translations -- the
+/// algebraic fallback discussed in Section III (the rotations "cannot simply
+/// be obtained algebraically" [16]).
+la::DenseMatrix<double> elasticity_nullspace(const BrickMesh& mesh,
+                                             bool translations_only = false);
+
+/// Restricts a full-dof null-space basis to the reduced numbering of a
+/// Dirichlet system (rows of kept dofs).
+la::DenseMatrix<double> restrict_nullspace(const la::DenseMatrix<double>& Z,
+                                           const IndexVector& keep);
+
+/// Dof list for clamping all 3 displacement components on the x==0 face.
+IndexVector clamped_x0_dofs(const BrickMesh& mesh);
+
+}  // namespace frosch::fem

@@ -1,0 +1,79 @@
+// Structured 3D hexahedral mesh (trilinear Q1 elements) -- the discretization
+// substrate for the paper's 3D Laplace and linear-elasticity benchmark
+// problems (Section VII).
+#pragma once
+
+#include <array>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace frosch::fem {
+
+/// Axis-aligned brick [0,Lx]x[0,Ly]x[0,Lz] meshed with ex*ey*ez hexahedra;
+/// (ex+1)*(ey+1)*(ez+1) nodes numbered x-fastest.
+class BrickMesh {
+ public:
+  BrickMesh(index_t ex, index_t ey, index_t ez, double lx = 1.0,
+            double ly = 1.0, double lz = 1.0)
+      : ex_(ex), ey_(ey), ez_(ez), lx_(lx), ly_(ly), lz_(lz) {
+    FROSCH_CHECK(ex >= 1 && ey >= 1 && ez >= 1, "BrickMesh: need >=1 element");
+  }
+
+  index_t elems_x() const { return ex_; }
+  index_t elems_y() const { return ey_; }
+  index_t elems_z() const { return ez_; }
+  index_t nodes_x() const { return ex_ + 1; }
+  index_t nodes_y() const { return ey_ + 1; }
+  index_t nodes_z() const { return ez_ + 1; }
+  index_t num_nodes() const { return nodes_x() * nodes_y() * nodes_z(); }
+  index_t num_elems() const { return ex_ * ey_ * ez_; }
+
+  double hx() const { return lx_ / ex_; }
+  double hy() const { return ly_ / ey_; }
+  double hz() const { return lz_ / ez_; }
+
+  index_t node_id(index_t ix, index_t iy, index_t iz) const {
+    FROSCH_ASSERT(ix >= 0 && ix < nodes_x() && iy >= 0 && iy < nodes_y() &&
+                      iz >= 0 && iz < nodes_z(),
+                  "BrickMesh::node_id out of range");
+    return ix + nodes_x() * (iy + nodes_y() * iz);
+  }
+
+  std::array<index_t, 3> node_ijk(index_t node) const {
+    const index_t nx = nodes_x(), ny = nodes_y();
+    return {node % nx, (node / nx) % ny, node / (nx * ny)};
+  }
+
+  std::array<double, 3> node_coords(index_t node) const {
+    const auto ijk = node_ijk(node);
+    return {ijk[0] * hx(), ijk[1] * hy(), ijk[2] * hz()};
+  }
+
+  /// The 8 nodes of element (ex, ey, ez) in the standard Q1 local order
+  /// (x fastest, then y, then z).
+  std::array<index_t, 8> elem_nodes(index_t iex, index_t iey, index_t iez) const {
+    std::array<index_t, 8> n;
+    int c = 0;
+    for (index_t dz = 0; dz <= 1; ++dz)
+      for (index_t dy = 0; dy <= 1; ++dy)
+        for (index_t dx = 0; dx <= 1; ++dx)
+          n[c++] = node_id(iex + dx, iey + dy, iez + dz);
+    return n;
+  }
+
+  /// Nodes on the x == 0 face (the clamped face of the elasticity benchmark).
+  IndexVector x0_face_nodes() const {
+    IndexVector out;
+    for (index_t iz = 0; iz < nodes_z(); ++iz)
+      for (index_t iy = 0; iy < nodes_y(); ++iy)
+        out.push_back(node_id(0, iy, iz));
+    return out;
+  }
+
+ private:
+  index_t ex_, ey_, ez_;
+  double lx_, ly_, lz_;
+};
+
+}  // namespace frosch::fem

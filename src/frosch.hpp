@@ -1,0 +1,32 @@
+// Umbrella header: the public API of miniFROSch.
+//
+// Typical usage (see examples/quickstart.cpp):
+//
+//   #include "frosch.hpp"
+//
+//   auto A    = ...;                                  // la::CsrMatrix<double>
+//   auto deco = frosch::dd::build_decomposition(A, owner, parts, overlap);
+//   frosch::dd::SchwarzPreconditioner<double> M(cfg, deco);
+//   M.symbolic_setup(A);
+//   M.numeric_setup(A, Z);                            // Z: null-space basis
+//   frosch::krylov::CsrOperator<double> op(A);
+//   auto res = frosch::krylov::gmres<double>(op, &M, b, x);
+//
+// Subsystem headers can also be included individually; this header simply
+// pulls in everything a solver user needs.
+#pragma once
+
+#include "dd/decomposition.hpp"
+#include "dd/half_precision.hpp"
+#include "dd/interface.hpp"
+#include "dd/schwarz.hpp"
+#include "fem/assembly.hpp"
+#include "fem/mesh.hpp"
+#include "graph/partition.hpp"
+#include "krylov/cg.hpp"
+#include "krylov/gmres.hpp"
+#include "la/csr.hpp"
+#include "la/mm_io.hpp"
+#include "la/ops.hpp"
+#include "la/spmv.hpp"
+#include "perf/experiment.hpp"

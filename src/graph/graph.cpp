@@ -1,0 +1,105 @@
+#include "graph/graph.hpp"
+
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace frosch::graph {
+
+IndexVector bfs_levels(const Graph& g, index_t root, const IndexVector& mask,
+                       index_t mask_value, IndexVector& level) {
+  FROSCH_CHECK(root >= 0 && root < g.n, "bfs_levels: bad root");
+  level.assign(static_cast<size_t>(g.n), -1);
+  IndexVector order;
+  order.reserve(64);
+  std::queue<index_t> q;
+  q.push(root);
+  level[root] = 0;
+  while (!q.empty()) {
+    const index_t v = q.front();
+    q.pop();
+    order.push_back(v);
+    for (index_t k = g.xadj[v]; k < g.xadj[v + 1]; ++k) {
+      const index_t w = g.adj[k];
+      if (level[w] >= 0) continue;
+      if (!mask.empty() && mask[w] != mask_value) continue;
+      level[w] = level[v] + 1;
+      q.push(w);
+    }
+  }
+  return order;
+}
+
+index_t pseudo_peripheral(const Graph& g, index_t seed, const IndexVector& mask,
+                          index_t mask_value) {
+  IndexVector level;
+  index_t root = seed;
+  index_t best_ecc = -1;
+  // Iterate BFS from the farthest vertex until eccentricity stops growing.
+  for (int iter = 0; iter < 8; ++iter) {
+    IndexVector order = bfs_levels(g, root, mask, mask_value, level);
+    const index_t far = order.back();
+    const index_t ecc = level[far];
+    if (ecc <= best_ecc) break;
+    best_ecc = ecc;
+    root = far;
+  }
+  return root;
+}
+
+index_t connected_components(const Graph& g, IndexVector& comp) {
+  comp.assign(static_cast<size_t>(g.n), -1);
+  index_t ncomp = 0;
+  IndexVector stack;
+  for (index_t s = 0; s < g.n; ++s) {
+    if (comp[s] >= 0) continue;
+    stack.assign(1, s);
+    comp[s] = ncomp;
+    while (!stack.empty()) {
+      const index_t v = stack.back();
+      stack.pop_back();
+      for (index_t k = g.xadj[v]; k < g.xadj[v + 1]; ++k) {
+        const index_t w = g.adj[k];
+        if (comp[w] < 0) {
+          comp[w] = ncomp;
+          stack.push_back(w);
+        }
+      }
+    }
+    ++ncomp;
+  }
+  return ncomp;
+}
+
+index_t subset_components(const Graph& g, const IndexVector& subset,
+                          IndexVector& comp_of_pos) {
+  // Map vertex id -> position in subset (or -1).
+  IndexVector pos(static_cast<size_t>(g.n), -1);
+  for (size_t p = 0; p < subset.size(); ++p)
+    pos[subset[p]] = static_cast<index_t>(p);
+
+  comp_of_pos.assign(subset.size(), -1);
+  index_t ncomp = 0;
+  IndexVector stack;
+  for (size_t s = 0; s < subset.size(); ++s) {
+    if (comp_of_pos[s] >= 0) continue;
+    stack.assign(1, subset[s]);
+    comp_of_pos[s] = ncomp;
+    while (!stack.empty()) {
+      const index_t v = stack.back();
+      stack.pop_back();
+      for (index_t k = g.xadj[v]; k < g.xadj[v + 1]; ++k) {
+        const index_t w = g.adj[k];
+        const index_t pw = pos[w];
+        if (pw >= 0 && comp_of_pos[pw] < 0) {
+          comp_of_pos[pw] = ncomp;
+          stack.push_back(w);
+        }
+      }
+    }
+    ++ncomp;
+  }
+  return ncomp;
+}
+
+}  // namespace frosch::graph

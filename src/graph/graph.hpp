@@ -1,0 +1,76 @@
+// Undirected adjacency structure extracted from a sparse-matrix pattern,
+// plus the traversal primitives (BFS, connected components,
+// pseudo-peripheral search) the ordering and partitioning algorithms build on.
+//
+// This module is the METIS stand-in announced in DESIGN.md: miniFROSch needs
+// fill-reducing nested-dissection orderings (Section VIII-A) and k-way domain
+// partitions, both built from these primitives.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "la/csr.hpp"
+
+namespace frosch::graph {
+
+/// CSR-like adjacency of an undirected graph (no self loops).
+struct Graph {
+  index_t n = 0;
+  IndexVector xadj;  ///< size n+1
+  IndexVector adj;   ///< size xadj[n]
+
+  index_t degree(index_t v) const { return xadj[v + 1] - xadj[v]; }
+};
+
+/// Builds the symmetrized adjacency of a square matrix pattern, dropping the
+/// diagonal.  Works for structurally nonsymmetric inputs (pattern of A+A^T).
+template <class Scalar>
+Graph build_graph(const la::CsrMatrix<Scalar>& A) {
+  const index_t n = A.num_rows();
+  std::vector<IndexVector> tmp(static_cast<size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t k = A.row_begin(i); k < A.row_end(i); ++k) {
+      const index_t j = A.col(k);
+      if (j == i) continue;
+      tmp[i].push_back(j);
+      tmp[j].push_back(i);
+    }
+  }
+  Graph g;
+  g.n = n;
+  g.xadj.assign(static_cast<size_t>(n) + 1, 0);
+  for (index_t i = 0; i < n; ++i) {
+    auto& row = tmp[i];
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+    g.xadj[i + 1] = g.xadj[i] + static_cast<index_t>(row.size());
+  }
+  g.adj.resize(static_cast<size_t>(g.xadj[n]));
+  for (index_t i = 0; i < n; ++i) {
+    std::copy(tmp[i].begin(), tmp[i].end(), g.adj.begin() + g.xadj[i]);
+  }
+  return g;
+}
+
+/// Breadth-first levels from `root` restricted to vertices with
+/// mask[v] == mask_value.  Returns the visited vertices in BFS order and
+/// writes their level into `level` (untouched elsewhere).
+IndexVector bfs_levels(const Graph& g, index_t root, const IndexVector& mask,
+                       index_t mask_value, IndexVector& level);
+
+/// Finds a pseudo-peripheral vertex of the masked subgraph containing
+/// `seed` (repeated BFS to the farthest level).
+index_t pseudo_peripheral(const Graph& g, index_t seed, const IndexVector& mask,
+                          index_t mask_value);
+
+/// Labels connected components of the whole graph; returns component count.
+index_t connected_components(const Graph& g, IndexVector& comp);
+
+/// Connected components of an arbitrary vertex subset (used to split
+/// interface equivalence classes into geometric entities).  `subset` lists
+/// vertex ids; returns per-subset-position component labels and the count.
+index_t subset_components(const Graph& g, const IndexVector& subset,
+                          IndexVector& comp_of_pos);
+
+}  // namespace frosch::graph

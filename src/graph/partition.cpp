@@ -1,0 +1,145 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace frosch::graph {
+
+std::array<index_t, 3> balanced_factors_3d(index_t np, index_t nx, index_t ny,
+                                           index_t nz) {
+  FROSCH_CHECK(np >= 1, "balanced_factors_3d: np must be positive");
+  std::array<index_t, 3> best{-1, -1, -1};
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (index_t px = 1; px <= np; ++px) {
+    if (np % px != 0) continue;
+    const index_t rest = np / px;
+    for (index_t py = 1; py <= rest; ++py) {
+      if (rest % py != 0) continue;
+      const index_t pz = rest / py;
+      if (px > nx || py > ny || pz > nz) continue;
+      // Score: prefer near-cubic subdomains (minimize surface/volume).
+      const double hx = double(nx) / px, hy = double(ny) / py,
+                   hz = double(nz) / pz;
+      const double score =
+          -(hx * hy + hy * hz + hx * hz) / std::cbrt(hx * hy * hz);
+      if (score > best_score) {
+        best_score = score;
+        best = {px, py, pz};
+      }
+    }
+  }
+  FROSCH_CHECK(best[0] > 0 && best[0] * best[1] * best[2] == np,
+               "balanced_factors_3d: cannot factor np=" << np << " onto grid");
+  return best;
+}
+
+IndexVector box_partition_3d(index_t nx, index_t ny, index_t nz, index_t px,
+                             index_t py, index_t pz) {
+  FROSCH_CHECK(px >= 1 && py >= 1 && pz >= 1 && px <= nx && py <= ny &&
+                   pz <= nz,
+               "box_partition_3d: bad processor grid");
+  const auto owner = [](index_t i, index_t n, index_t p) {
+    // Balanced block distribution: first (n % p) blocks get one extra.
+    const index_t base = n / p, extra = n % p;
+    const index_t cutoff = (base + 1) * extra;
+    return i < cutoff ? i / (base + 1)
+                      : extra + (i - cutoff) / std::max<index_t>(base, 1);
+  };
+  IndexVector part(static_cast<size_t>(nx) * ny * nz);
+  for (index_t iz = 0; iz < nz; ++iz) {
+    for (index_t iy = 0; iy < ny; ++iy) {
+      for (index_t ix = 0; ix < nx; ++ix) {
+        const index_t p =
+            owner(ix, nx, px) + px * (owner(iy, ny, py) + py * owner(iz, nz, pz));
+        part[static_cast<size_t>(ix) + nx * (iy + static_cast<size_t>(ny) * iz)] = p;
+      }
+    }
+  }
+  return part;
+}
+
+namespace {
+
+/// Splits the vertex set `verts` (all with mask == region) into two halves by
+/// BFS level structure, assigning new region labels; returns the halves.
+void bisect(const Graph& g, IndexVector& mask, const IndexVector& verts,
+            index_t region, index_t target_left, IndexVector& left,
+            IndexVector& right) {
+  const index_t root = pseudo_peripheral(g, verts.front(), mask, region);
+  IndexVector level;
+  IndexVector order = bfs_levels(g, root, mask, region, level);
+  left.clear();
+  right.clear();
+  // Grow the left part in BFS order until it holds target_left vertices;
+  // BFS order keeps the part connected.
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (static_cast<index_t>(left.size()) < target_left)
+      left.push_back(order[i]);
+    else
+      right.push_back(order[i]);
+  }
+  // Vertices unreachable in BFS (disconnected region remnants) go wherever
+  // balance needs them.
+  if (order.size() != verts.size()) {
+    std::vector<char> seen(mask.size(), 0);
+    for (index_t v : order) seen[v] = 1;
+    for (index_t v : verts) {
+      if (!seen[v]) {
+        if (static_cast<index_t>(left.size()) < target_left)
+          left.push_back(v);
+        else
+          right.push_back(v);
+      }
+    }
+  }
+}
+
+void kway(const Graph& g, IndexVector& mask, IndexVector& part,
+          const IndexVector& verts, index_t region, index_t k,
+          index_t first_part, index_t& next_region) {
+  if (k == 1) {
+    for (index_t v : verts) part[v] = first_part;
+    return;
+  }
+  const index_t kl = k / 2, kr = k - kl;
+  const index_t target_left = static_cast<index_t>(
+      (static_cast<count_t>(verts.size()) * kl) / k);
+  IndexVector left, right;
+  bisect(g, mask, verts, region, std::max<index_t>(target_left, 1), left,
+         right);
+  FROSCH_CHECK(!left.empty() && !right.empty(),
+               "recursive_bisection: degenerate split");
+  const index_t lr = next_region++, rr = next_region++;
+  for (index_t v : left) mask[v] = lr;
+  for (index_t v : right) mask[v] = rr;
+  kway(g, mask, part, left, lr, kl, first_part, next_region);
+  kway(g, mask, part, right, rr, kr, first_part + kl, next_region);
+}
+
+}  // namespace
+
+IndexVector recursive_bisection(const Graph& g, index_t k) {
+  FROSCH_CHECK(k >= 1 && k <= g.n, "recursive_bisection: bad k");
+  IndexVector part(static_cast<size_t>(g.n), 0);
+  if (k == 1) return part;
+  IndexVector mask(static_cast<size_t>(g.n), 0);
+  IndexVector verts(static_cast<size_t>(g.n));
+  for (index_t v = 0; v < g.n; ++v) verts[v] = v;
+  index_t next_region = 1;
+  kway(g, mask, part, verts, 0, k, 0, next_region);
+  return part;
+}
+
+IndexVector partition_sizes(const IndexVector& part, index_t k) {
+  IndexVector sizes(static_cast<size_t>(k), 0);
+  for (index_t p : part) {
+    FROSCH_CHECK(p >= 0 && p < k, "partition_sizes: label out of range");
+    sizes[p]++;
+  }
+  return sizes;
+}
+
+}  // namespace frosch::graph

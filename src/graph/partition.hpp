@@ -1,0 +1,34 @@
+// Domain partitioners: structured box decomposition for the regular hex
+// meshes used in the paper's 3D elasticity study, and a general recursive
+// graph-growing bisection for unstructured inputs.
+//
+// The partition assigns each mesh NODE (not dof) to exactly one of np
+// nonoverlapping subdomains Omega_1..Omega_np (Fig. 1b in the paper); the dd/
+// module lifts this to dofs, extends it with overlap, and classifies the
+// interface.
+#pragma once
+
+#include <array>
+
+#include "graph/graph.hpp"
+
+namespace frosch::graph {
+
+/// Factorizes np into (px, py, pz) as close to cubic as possible given grid
+/// extents; used to map "ranks per node x nodes" onto a structured grid.
+std::array<index_t, 3> balanced_factors_3d(index_t np, index_t nx, index_t ny,
+                                           index_t nz);
+
+/// Structured partition of an nx x ny x nz vertex grid into px*py*pz boxes.
+/// Returns part[v] in [0, px*py*pz) for v = ix + nx*(iy + ny*iz).
+IndexVector box_partition_3d(index_t nx, index_t ny, index_t nz, index_t px,
+                             index_t py, index_t pz);
+
+/// General k-way partition by recursive BFS (graph-growing) bisection.
+/// Guarantees every part is nonempty when k <= n.
+IndexVector recursive_bisection(const Graph& g, index_t k);
+
+/// Part sizes histogram helper.
+IndexVector partition_sizes(const IndexVector& part, index_t k);
+
+}  // namespace frosch::graph

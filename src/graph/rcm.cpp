@@ -1,0 +1,44 @@
+#include "graph/rcm.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace frosch::graph {
+
+IndexVector rcm_ordering(const Graph& g) {
+  IndexVector perm;
+  perm.reserve(static_cast<size_t>(g.n));
+  std::vector<char> visited(static_cast<size_t>(g.n), 0);
+  IndexVector mask;  // empty mask: whole graph
+
+  for (index_t s = 0; s < g.n; ++s) {
+    if (visited[s]) continue;
+    const index_t root = pseudo_peripheral(g, s, mask, 0);
+    // Cuthill-McKee BFS with neighbors sorted by degree.
+    std::queue<index_t> q;
+    q.push(root);
+    visited[root] = 1;
+    IndexVector nbrs;
+    while (!q.empty()) {
+      const index_t v = q.front();
+      q.pop();
+      perm.push_back(v);
+      nbrs.clear();
+      for (index_t k = g.xadj[v]; k < g.xadj[v + 1]; ++k) {
+        const index_t w = g.adj[k];
+        if (!visited[w]) {
+          visited[w] = 1;
+          nbrs.push_back(w);
+        }
+      }
+      std::sort(nbrs.begin(), nbrs.end(), [&](index_t a, index_t b) {
+        return g.degree(a) < g.degree(b);
+      });
+      for (index_t w : nbrs) q.push(w);
+    }
+  }
+  std::reverse(perm.begin(), perm.end());
+  return perm;
+}
+
+}  // namespace frosch::graph

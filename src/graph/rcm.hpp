@@ -1,0 +1,13 @@
+// Reverse Cuthill--McKee bandwidth-reducing ordering.  Used as the "no
+// reordering"-adjacent baseline in the ILU study and as a fallback ordering
+// for solvers on graphs where nested dissection offers no benefit.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace frosch::graph {
+
+/// Returns a permutation p (new -> old) reducing the matrix bandwidth.
+IndexVector rcm_ordering(const Graph& g);
+
+}  // namespace frosch::graph

@@ -1,0 +1,14 @@
+// FastSpTRSV alias: the iterative (Jacobi-sweep) sparse triangular solve the
+// paper pairs with FastILU (default five sweeps).  The implementation lives
+// in trisolve/engines.hpp as JacobiSweepsEngine; this header provides the
+// paper-facing name.
+#pragma once
+
+#include "trisolve/engines.hpp"
+
+namespace frosch::ilu {
+
+template <class Scalar>
+using FastSpTRSV = trisolve::JacobiSweepsEngine<Scalar>;
+
+}  // namespace frosch::ilu

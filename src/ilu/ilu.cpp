@@ -1,0 +1,14 @@
+// Explicit instantiations of the incomplete-factorization backends.
+// FastSpTRSV -- the paper's iterative triangular solve companion to FastILU
+// -- is implemented as trisolve::JacobiSweepsEngine and aliased here.
+#include "ilu/fastilu.hpp"
+#include "ilu/iluk.hpp"
+
+namespace frosch::ilu {
+
+template class IlukFactorization<double>;
+template class IlukFactorization<float>;
+template class FastIlu<double>;
+template class FastIlu<float>;
+
+}  // namespace frosch::ilu

@@ -1,0 +1,71 @@
+// Preconditioned conjugate gradients, provided for SPD systems alongside
+// GMRES (the Belos package the paper builds on ships both).  Used by tests
+// to cross-check the GDSW preconditioner's SPD application.
+#pragma once
+
+#include "krylov/gmres.hpp"
+
+namespace frosch::krylov {
+
+struct CgOptions {
+  index_t max_iters = 2000;
+  double tol = 1e-7;  ///< relative residual reduction
+};
+
+template <class Scalar>
+SolveResult cg(const LinearOperator<Scalar>& A,
+               const LinearOperator<Scalar>* prec,
+               const std::vector<Scalar>& b, std::vector<Scalar>& x,
+               const CgOptions& opts = {}) {
+  FROSCH_CHECK(A.rows() == A.cols(), "cg: square operator required");
+  const index_t n = A.rows();
+  x.resize(static_cast<size_t>(n), Scalar(0));
+  SolveResult res;
+  OpProfile* prof = &res.profile;
+
+  std::vector<Scalar> r(static_cast<size_t>(n)), z, p, Ap(static_cast<size_t>(n));
+  A.apply(x, r, prof);
+  for (index_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  const double beta0 = static_cast<double>(la::norm2(r, prof));
+  res.initial_residual = beta0;
+  if (beta0 == 0.0) {
+    res.converged = true;
+    return res;
+  }
+  const double target = opts.tol * beta0;
+
+  if (prec) {
+    prec->apply(r, z, prof);
+  } else {
+    z = r;
+  }
+  p = z;
+  Scalar rz = la::dot(r, z, prof);
+  for (index_t it = 0; it < opts.max_iters; ++it) {
+    A.apply(p, Ap, prof);
+    const Scalar pAp = la::dot(p, Ap, prof);
+    FROSCH_CHECK(pAp > Scalar(0), "cg: operator not SPD (p^T A p <= 0)");
+    const Scalar alpha = rz / pAp;
+    la::axpy(alpha, p, x, prof);
+    la::axpy(-alpha, Ap, r, prof);
+    ++res.iterations;
+    const double rn = static_cast<double>(la::norm2(r, prof));
+    res.final_residual = rn;
+    if (rn <= target) {
+      res.converged = true;
+      return res;
+    }
+    if (prec) {
+      prec->apply(r, z, prof);
+    } else {
+      z = r;
+    }
+    const Scalar rz_new = la::dot(r, z, prof);
+    const Scalar betak = rz_new / rz;
+    rz = rz_new;
+    for (index_t i = 0; i < n; ++i) p[i] = z[i] + betak * p[i];
+  }
+  return res;
+}
+
+}  // namespace frosch::krylov

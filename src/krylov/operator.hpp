@@ -1,0 +1,52 @@
+// Abstract linear operator (the Belos/Tpetra Operator analogue): anything
+// that can be applied to a vector -- a sparse matrix, a Schwarz
+// preconditioner, or the HalfPrecisionOperator wrapper -- implements this.
+#pragma once
+
+#include <vector>
+
+#include "common/op_profile.hpp"
+#include "la/spmv.hpp"
+
+namespace frosch::krylov {
+
+template <class Scalar>
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+  virtual index_t rows() const = 0;
+  virtual index_t cols() const = 0;
+  /// y = Op(x).  `prof` accumulates the operation profile of the
+  /// application (may be nullptr).
+  virtual void apply(const std::vector<Scalar>& x, std::vector<Scalar>& y,
+                     OpProfile* prof) const = 0;
+};
+
+/// CSR matrix as an operator; the halo exchange of a distributed SpMV is
+/// charged as neighbor messages on the profile.
+template <class Scalar>
+class CsrOperator final : public LinearOperator<Scalar> {
+ public:
+  explicit CsrOperator(const la::CsrMatrix<Scalar>& A, count_t halo_msgs = 0,
+                       double halo_bytes = 0.0)
+      : A_(A), halo_msgs_(halo_msgs), halo_bytes_(halo_bytes) {}
+
+  index_t rows() const override { return A_.num_rows(); }
+  index_t cols() const override { return A_.num_cols(); }
+
+  void apply(const std::vector<Scalar>& x, std::vector<Scalar>& y,
+             OpProfile* prof) const override {
+    la::spmv(A_, x, y, Scalar(1), Scalar(0), prof);
+    if (prof) {
+      prof->neighbor_msgs += halo_msgs_;
+      prof->msg_bytes += halo_bytes_;
+    }
+  }
+
+ private:
+  const la::CsrMatrix<Scalar>& A_;
+  count_t halo_msgs_;
+  double halo_bytes_;
+};
+
+}  // namespace frosch::krylov

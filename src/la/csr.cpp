@@ -1,0 +1,16 @@
+// Anchor TU for the header-templated CSR types; provides explicit
+// instantiations for the two precisions used by the solver stack so template
+// code is compiled (and its warnings surfaced) when the library builds.
+#include "la/csr.hpp"
+#include "la/ops.hpp"
+#include "la/spmv.hpp"
+#include "la/vector_ops.hpp"
+
+namespace frosch::la {
+
+template class CsrMatrix<double>;
+template class CsrMatrix<float>;
+template class TripletBuilder<double>;
+template class TripletBuilder<float>;
+
+}  // namespace frosch::la

@@ -1,0 +1,201 @@
+// Compressed-sparse-row matrix: the storage format used by every subsystem
+// (the Tpetra/CrsMatrix analogue in this code base).
+//
+// Invariants maintained by all constructors and factory functions:
+//   * rowptr has n_rows+1 entries, rowptr[0]==0, non-decreasing;
+//   * column indices within each row are sorted strictly ascending;
+//   * colind/values have rowptr[n_rows] entries.
+// Algorithms may rely on sorted rows (e.g. binary-search entry lookup,
+// merge-based symbolic ILU).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace frosch::la {
+
+template <class Scalar>
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Creates an n_rows x n_cols matrix with a given structure.  Arrays are
+  /// moved in; rows are sorted if needed.
+  CsrMatrix(index_t n_rows, index_t n_cols, std::vector<index_t> rowptr,
+            std::vector<index_t> colind, std::vector<Scalar> values)
+      : n_rows_(n_rows),
+        n_cols_(n_cols),
+        rowptr_(std::move(rowptr)),
+        colind_(std::move(colind)),
+        values_(std::move(values)) {
+    FROSCH_CHECK(rowptr_.size() == static_cast<size_t>(n_rows_) + 1,
+                 "CsrMatrix: rowptr size mismatch");
+    FROSCH_CHECK(colind_.size() == values_.size(),
+                 "CsrMatrix: colind/values size mismatch");
+    FROSCH_CHECK(rowptr_.front() == 0 &&
+                     rowptr_.back() == static_cast<index_t>(colind_.size()),
+                 "CsrMatrix: rowptr endpoints invalid");
+    sort_rows();
+  }
+
+  index_t num_rows() const { return n_rows_; }
+  index_t num_cols() const { return n_cols_; }
+  count_t num_entries() const { return static_cast<count_t>(colind_.size()); }
+
+  const std::vector<index_t>& rowptr() const { return rowptr_; }
+  const std::vector<index_t>& colind() const { return colind_; }
+  const std::vector<Scalar>& values() const { return values_; }
+  std::vector<Scalar>& values() { return values_; }
+
+  index_t row_begin(index_t i) const { return rowptr_[i]; }
+  index_t row_end(index_t i) const { return rowptr_[i + 1]; }
+  index_t row_nnz(index_t i) const { return rowptr_[i + 1] - rowptr_[i]; }
+  index_t col(index_t k) const { return colind_[k]; }
+  Scalar val(index_t k) const { return values_[k]; }
+  Scalar& val(index_t k) { return values_[k]; }
+
+  /// Returns the stored value at (i, j), or zero if the entry is not in the
+  /// pattern.  O(log row_nnz) via binary search on the sorted row.
+  Scalar at(index_t i, index_t j) const {
+    auto first = colind_.begin() + rowptr_[i];
+    auto last = colind_.begin() + rowptr_[i + 1];
+    auto it = std::lower_bound(first, last, j);
+    if (it == last || *it != j) return Scalar(0);
+    return values_[static_cast<size_t>(it - colind_.begin())];
+  }
+
+  /// Position of entry (i, j) in colind/values, or -1 when absent.
+  index_t find(index_t i, index_t j) const {
+    auto first = colind_.begin() + rowptr_[i];
+    auto last = colind_.begin() + rowptr_[i + 1];
+    auto it = std::lower_bound(first, last, j);
+    if (it == last || *it != j) return -1;
+    return static_cast<index_t>(it - colind_.begin());
+  }
+
+  /// Deep conversion to another scalar type (the HalfPrecisionOperator's
+  /// CrsMatrix-conversion utility from Section V-A2).
+  template <class Scalar2>
+  CsrMatrix<Scalar2> convert() const {
+    std::vector<Scalar2> v(values_.size());
+    std::transform(values_.begin(), values_.end(), v.begin(),
+                   [](Scalar s) { return static_cast<Scalar2>(s); });
+    return CsrMatrix<Scalar2>(n_rows_, n_cols_, rowptr_, colind_, std::move(v));
+  }
+
+  /// Bytes of storage held by this matrix (used by the perf model to cost
+  /// memory traffic of streaming the matrix once).
+  double storage_bytes() const {
+    return static_cast<double>(rowptr_.size()) * sizeof(index_t) +
+           static_cast<double>(colind_.size()) * sizeof(index_t) +
+           static_cast<double>(values_.size()) * sizeof(Scalar);
+  }
+
+ private:
+  void sort_rows() {
+    std::vector<std::pair<index_t, Scalar>> buf;
+    for (index_t i = 0; i < n_rows_; ++i) {
+      const index_t b = rowptr_[i], e = rowptr_[i + 1];
+      if (std::is_sorted(colind_.begin() + b, colind_.begin() + e)) continue;
+      buf.clear();
+      for (index_t k = b; k < e; ++k) buf.emplace_back(colind_[k], values_[k]);
+      std::sort(buf.begin(), buf.end(),
+                [](const auto& a, const auto& c) { return a.first < c.first; });
+      for (index_t k = b; k < e; ++k) {
+        colind_[k] = buf[k - b].first;
+        values_[k] = buf[k - b].second;
+      }
+    }
+  }
+
+  index_t n_rows_ = 0;
+  index_t n_cols_ = 0;
+  std::vector<index_t> rowptr_{0};
+  std::vector<index_t> colind_;
+  std::vector<Scalar> values_;
+};
+
+/// Coordinate-format staging area for assembling matrices (FEM assembly,
+/// test fixtures).  Duplicate entries are summed on conversion.
+template <class Scalar>
+class TripletBuilder {
+ public:
+  TripletBuilder(index_t n_rows, index_t n_cols)
+      : n_rows_(n_rows), n_cols_(n_cols) {}
+
+  void add(index_t i, index_t j, Scalar v) {
+    FROSCH_ASSERT(i >= 0 && i < n_rows_ && j >= 0 && j < n_cols_,
+                  "TripletBuilder::add out of range");
+    rows_.push_back(i);
+    cols_.push_back(j);
+    vals_.push_back(v);
+  }
+
+  index_t num_rows() const { return n_rows_; }
+  index_t num_cols() const { return n_cols_; }
+
+  /// Compresses triplets into CSR, summing duplicates.
+  CsrMatrix<Scalar> build() const {
+    std::vector<index_t> rowptr(static_cast<size_t>(n_rows_) + 1, 0);
+    for (index_t r : rows_) rowptr[static_cast<size_t>(r) + 1]++;
+    for (index_t i = 0; i < n_rows_; ++i) rowptr[i + 1] += rowptr[i];
+
+    std::vector<index_t> colind(vals_.size());
+    std::vector<Scalar> values(vals_.size());
+    std::vector<index_t> next(rowptr.begin(), rowptr.end() - 1);
+    for (size_t k = 0; k < vals_.size(); ++k) {
+      const index_t pos = next[rows_[k]]++;
+      colind[pos] = cols_[k];
+      values[pos] = vals_[k];
+    }
+    // Sort each row and merge duplicates in place.
+    std::vector<index_t> out_rowptr(static_cast<size_t>(n_rows_) + 1, 0);
+    std::vector<index_t> out_col;
+    std::vector<Scalar> out_val;
+    out_col.reserve(vals_.size());
+    out_val.reserve(vals_.size());
+    std::vector<std::pair<index_t, Scalar>> buf;
+    for (index_t i = 0; i < n_rows_; ++i) {
+      buf.clear();
+      for (index_t k = rowptr[i]; k < rowptr[i + 1]; ++k)
+        buf.emplace_back(colind[k], values[k]);
+      std::sort(buf.begin(), buf.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (size_t k = 0; k < buf.size(); ++k) {
+        const bool row_has_output =
+            static_cast<index_t>(out_col.size()) > out_rowptr[i];
+        if (row_has_output && out_col.back() == buf[k].first) {
+          out_val.back() += buf[k].second;
+        } else {
+          out_col.push_back(buf[k].first);
+          out_val.push_back(buf[k].second);
+        }
+      }
+      out_rowptr[i + 1] = static_cast<index_t>(out_col.size());
+    }
+    return CsrMatrix<Scalar>(n_rows_, n_cols_, std::move(out_rowptr),
+                             std::move(out_col), std::move(out_val));
+  }
+
+ private:
+  index_t n_rows_, n_cols_;
+  std::vector<index_t> rows_, cols_;
+  std::vector<Scalar> vals_;
+};
+
+/// Identity matrix of size n.
+template <class Scalar>
+CsrMatrix<Scalar> identity(index_t n) {
+  std::vector<index_t> rowptr(static_cast<size_t>(n) + 1);
+  std::vector<index_t> colind(static_cast<size_t>(n));
+  std::vector<Scalar> values(static_cast<size_t>(n), Scalar(1));
+  for (index_t i = 0; i <= n; ++i) rowptr[i] = i;
+  for (index_t i = 0; i < n; ++i) colind[i] = i;
+  return CsrMatrix<Scalar>(n, n, std::move(rowptr), std::move(colind),
+                           std::move(values));
+}
+
+}  // namespace frosch::la

@@ -1,0 +1,8 @@
+#include "la/dense.hpp"
+
+namespace frosch::la {
+
+template class DenseMatrix<double>;
+template class DenseMatrix<float>;
+
+}  // namespace frosch::la

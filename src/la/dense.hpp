@@ -1,0 +1,162 @@
+// Column-major dense matrix plus the small dense kernels needed by the
+// multifrontal factorization (partial Cholesky of frontal matrices with
+// extend-add) and by GMRES (Hessenberg least-squares via Givens rotations is
+// in krylov/, but the coarse-space code uses gemm here).
+//
+// These play the role of the BLAS/LAPACK "team-level kernels" that Tacho
+// dispatches on GPU fronts (Section V-B1).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/op_profile.hpp"
+#include "common/types.hpp"
+
+namespace frosch::la {
+
+template <class Scalar>
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(index_t rows, index_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), Scalar(0)) {}
+
+  index_t num_rows() const { return rows_; }
+  index_t num_cols() const { return cols_; }
+
+  Scalar& operator()(index_t i, index_t j) {
+    FROSCH_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+                  "DenseMatrix index out of range");
+    return data_[static_cast<size_t>(j) * rows_ + i];
+  }
+  Scalar operator()(index_t i, index_t j) const {
+    FROSCH_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+                  "DenseMatrix index out of range");
+    return data_[static_cast<size_t>(j) * rows_ + i];
+  }
+
+  Scalar* data() { return data_.data(); }
+  const Scalar* data() const { return data_.data(); }
+  Scalar* col(index_t j) { return data_.data() + static_cast<size_t>(j) * rows_; }
+  const Scalar* col(index_t j) const {
+    return data_.data() + static_cast<size_t>(j) * rows_;
+  }
+
+  void set_zero() { std::fill(data_.begin(), data_.end(), Scalar(0)); }
+
+ private:
+  index_t rows_ = 0, cols_ = 0;
+  std::vector<Scalar> data_;
+};
+
+/// C += A * B (no transposition); naive triple loop, column-major friendly.
+template <class Scalar>
+void gemm_accum(const DenseMatrix<Scalar>& A, const DenseMatrix<Scalar>& B,
+                DenseMatrix<Scalar>& C, Scalar alpha = Scalar(1),
+                OpProfile* prof = nullptr) {
+  FROSCH_CHECK(A.num_cols() == B.num_rows() && C.num_rows() == A.num_rows() &&
+                   C.num_cols() == B.num_cols(),
+               "gemm_accum: dimension mismatch");
+  for (index_t j = 0; j < B.num_cols(); ++j) {
+    for (index_t k = 0; k < A.num_cols(); ++k) {
+      const Scalar bkj = alpha * B(k, j);
+      if (bkj == Scalar(0)) continue;
+      for (index_t i = 0; i < A.num_rows(); ++i) C(i, j) += A(i, k) * bkj;
+    }
+  }
+  if (prof) {
+    prof->flops += 2.0 * double(A.num_rows()) * double(A.num_cols()) *
+                   double(B.num_cols());
+    prof->launches += 1;
+    prof->critical_path += 1;
+    prof->work_items += double(A.num_rows()) * double(B.num_cols());
+  }
+}
+
+/// In-place partial Cholesky of the leading k x k block of a symmetric
+/// (k+r) x (k+r) frontal matrix F, updating the trailing r x r block with the
+/// Schur complement.  On return the lower leading block holds L (including
+/// the sqrt diagonal), the off-diagonal block holds L21 = A21 * L11^{-T}, and
+/// the LOWER TRIANGLE of the trailing block holds A22 - L21 * L21^T (the
+/// upper triangle is not referenced or updated, as in LAPACK 'L' routines).
+/// Throws on a non-positive pivot.
+template <class Scalar>
+void partial_cholesky(DenseMatrix<Scalar>& F, index_t k,
+                      OpProfile* prof = nullptr) {
+  const index_t n = F.num_rows();
+  FROSCH_CHECK(F.num_cols() == n && k <= n, "partial_cholesky: bad dims");
+  double flops = 0.0;
+  for (index_t j = 0; j < k; ++j) {
+    Scalar d = F(j, j);
+    FROSCH_CHECK(d > Scalar(0), "partial_cholesky: non-positive pivot at "
+                                    << j << " (" << d << ")");
+    d = std::sqrt(d);
+    F(j, j) = d;
+    for (index_t i = j + 1; i < n; ++i) F(i, j) /= d;
+    for (index_t c = j + 1; c < n; ++c) {
+      const Scalar ljc = F(c, j);
+      if (ljc == Scalar(0)) continue;
+      for (index_t i = c; i < n; ++i) F(i, c) -= F(i, j) * ljc;
+    }
+    flops += 2.0 * double(n - j) * double(n - j);
+  }
+  if (prof) {
+    prof->flops += flops;
+    prof->bytes += double(n) * double(n) * sizeof(Scalar);
+    prof->launches += 3;  // potrf + trsm + syrk as a GPU would batch them
+    prof->critical_path += 3;
+    prof->work_items += double(n) * double(n);
+  }
+}
+
+/// Dense LU with partial pivoting (for the coarse problem fallback and
+/// tests).  Overwrites A with L\U, fills piv with row swaps.
+template <class Scalar>
+void lu_factor(DenseMatrix<Scalar>& A, IndexVector& piv) {
+  const index_t n = A.num_rows();
+  FROSCH_CHECK(A.num_cols() == n, "lu_factor: square only");
+  piv.resize(static_cast<size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    index_t p = j;
+    Scalar best = std::abs(A(j, j));
+    for (index_t i = j + 1; i < n; ++i) {
+      if (std::abs(A(i, j)) > best) {
+        best = std::abs(A(i, j));
+        p = i;
+      }
+    }
+    FROSCH_CHECK(best > Scalar(0), "lu_factor: singular at column " << j);
+    piv[j] = p;
+    if (p != j)
+      for (index_t c = 0; c < n; ++c) std::swap(A(j, c), A(p, c));
+    const Scalar d = A(j, j);
+    for (index_t i = j + 1; i < n; ++i) {
+      const Scalar lij = A(i, j) / d;
+      A(i, j) = lij;
+      for (index_t c = j + 1; c < n; ++c) A(i, c) -= lij * A(j, c);
+    }
+  }
+}
+
+/// Solves A x = b given lu_factor output; b is overwritten with x.
+template <class Scalar>
+void lu_solve(const DenseMatrix<Scalar>& LU, const IndexVector& piv,
+              std::vector<Scalar>& b) {
+  const index_t n = LU.num_rows();
+  for (index_t j = 0; j < n; ++j)
+    if (piv[j] != j) std::swap(b[j], b[piv[j]]);
+  for (index_t j = 0; j < n; ++j) {
+    const Scalar xj = b[j];
+    for (index_t i = j + 1; i < n; ++i) b[i] -= LU(i, j) * xj;
+  }
+  for (index_t j = n - 1; j >= 0; --j) {
+    b[j] /= LU(j, j);
+    const Scalar xj = b[j];
+    for (index_t i = 0; i < j; ++i) b[i] -= LU(i, j) * xj;
+  }
+}
+
+}  // namespace frosch::la

@@ -1,0 +1,51 @@
+#include "la/mm_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace frosch::la {
+
+CsrMatrix<double> read_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  FROSCH_CHECK(in.good(), "read_matrix_market: cannot open " << path);
+  std::string line;
+  FROSCH_CHECK(static_cast<bool>(std::getline(in, line)),
+               "read_matrix_market: empty file");
+  FROSCH_CHECK(line.rfind("%%MatrixMarket", 0) == 0,
+               "read_matrix_market: missing header in " << path);
+  const bool symmetric = line.find("symmetric") != std::string::npos;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream dims(line);
+  index_t m = 0, n = 0;
+  count_t nnz = 0;
+  dims >> m >> n >> nnz;
+  FROSCH_CHECK(m > 0 && n > 0, "read_matrix_market: bad dimensions");
+
+  TripletBuilder<double> builder(m, n);
+  for (count_t k = 0; k < nnz; ++k) {
+    index_t i = 0, j = 0;
+    double v = 0.0;
+    in >> i >> j >> v;
+    FROSCH_CHECK(in.good() || in.eof(), "read_matrix_market: truncated file");
+    builder.add(i - 1, j - 1, v);
+    if (symmetric && i != j) builder.add(j - 1, i - 1, v);
+  }
+  return builder.build();
+}
+
+void write_matrix_market(const std::string& path, const CsrMatrix<double>& A) {
+  std::ofstream out(path);
+  FROSCH_CHECK(out.good(), "write_matrix_market: cannot open " << path);
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << A.num_rows() << " " << A.num_cols() << " " << A.num_entries() << "\n";
+  out.precision(17);
+  for (index_t i = 0; i < A.num_rows(); ++i) {
+    for (index_t k = A.row_begin(i); k < A.row_end(i); ++k) {
+      out << (i + 1) << " " << (A.col(k) + 1) << " " << A.val(k) << "\n";
+    }
+  }
+}
+
+}  // namespace frosch::la

@@ -1,0 +1,19 @@
+// Minimal Matrix Market (coordinate, real, general/symmetric) reader/writer,
+// so users can feed external matrices to the solver and dump assembled
+// operators for inspection.
+#pragma once
+
+#include <string>
+
+#include "la/csr.hpp"
+
+namespace frosch::la {
+
+/// Reads a Matrix Market coordinate file into CSR (double precision).
+/// Symmetric files are expanded to full storage.
+CsrMatrix<double> read_matrix_market(const std::string& path);
+
+/// Writes CSR as a general coordinate Matrix Market file.
+void write_matrix_market(const std::string& path, const CsrMatrix<double>& A);
+
+}  // namespace frosch::la

@@ -1,0 +1,225 @@
+#include "perf/experiment.hpp"
+
+#include "common/timer.hpp"
+
+namespace frosch::perf {
+namespace {
+
+/// Shared scaffolding: assemble, clamp, partition, decompose.
+struct ProblemSetup {
+  la::CsrMatrix<double> A;
+  la::DenseMatrix<double> Z;
+  dd::Decomposition decomp;
+};
+
+ProblemSetup build_problem(const ExperimentSpec& spec) {
+  index_t gex, gey, gez;
+  if (spec.global_ex > 0) {
+    gex = spec.global_ex;
+    gey = spec.global_ey;
+    gez = spec.global_ez;
+  } else {
+    const auto g = weak_scaling_mesh(spec.ranks, spec.elems_per_rank);
+    gex = g[0];
+    gey = g[1];
+    gez = g[2];
+  }
+  const auto [px, py, pz] =
+      graph::balanced_factors_3d(spec.ranks, gex + 1, gey + 1, gez + 1);
+  fem::BrickMesh mesh(gex, gey, gez, double(gex), double(gey), double(gez));
+  ProblemSetup ps;
+  IndexVector owner_nodes = graph::box_partition_3d(
+      mesh.nodes_x(), mesh.nodes_y(), mesh.nodes_z(), px, py, pz);
+  if (spec.elasticity) {
+    auto Afull = fem::assemble_elasticity(mesh);
+    auto sys = fem::apply_dirichlet(Afull, fem::clamped_x0_dofs(mesh));
+    ps.Z = fem::restrict_nullspace(fem::elasticity_nullspace(mesh), sys.keep);
+    IndexVector owner(sys.keep.size());
+    for (size_t q = 0; q < sys.keep.size(); ++q)
+      owner[q] = owner_nodes[sys.keep[q] / 3];
+    ps.A = std::move(sys.A);
+    ps.decomp = dd::build_decomposition(ps.A, owner, spec.ranks,
+                                        spec.schwarz.overlap);
+  } else {
+    auto Afull = fem::assemble_laplace(mesh);
+    IndexVector fixed;
+    for (index_t nd : mesh.x0_face_nodes()) fixed.push_back(nd);
+    auto sys = fem::apply_dirichlet(Afull, fixed);
+    ps.Z = fem::restrict_nullspace(fem::laplace_nullspace(mesh), sys.keep);
+    IndexVector owner(sys.keep.size());
+    for (size_t q = 0; q < sys.keep.size(); ++q)
+      owner[q] = owner_nodes[sys.keep[q]];
+    ps.A = std::move(sys.A);
+    ps.decomp = dd::build_decomposition(ps.A, owner, spec.ranks,
+                                        spec.schwarz.overlap);
+  }
+  return ps;
+}
+
+template <class Scalar>
+ExperimentResult run_typed(const ExperimentSpec& spec_in, ProblemSetup& ps) {
+  ExperimentSpec spec = spec_in;
+  if (spec.elasticity) {
+    // Vector-valued problem: compress the fill-reducing ordering by node.
+    const int b = 3;
+    spec.schwarz.subdomain.dof_block_size = b;
+    spec.schwarz.extension.dof_block_size = b;
+  }
+  ExperimentResult res;
+  res.n = ps.A.num_rows();
+  res.ranks = spec.ranks;
+
+  la::CsrMatrix<Scalar> A = [&] {
+    if constexpr (std::is_same_v<Scalar, double>) {
+      return ps.A;
+    } else {
+      return ps.A.template convert<Scalar>();
+    }
+  }();
+
+  dd::SchwarzPreconditioner<Scalar> prec(spec.schwarz, ps.decomp);
+  Timer t_setup;
+  prec.symbolic_setup(A);
+  prec.numeric_setup(A, ps.Z);
+  res.wall_setup_s = t_setup.seconds();
+
+  krylov::CsrOperator<double> op(ps.A);
+  std::vector<double> b(static_cast<size_t>(ps.A.num_rows()), 1.0), x;
+  Timer t_solve;
+  krylov::SolveResult sr;
+  if constexpr (std::is_same_v<Scalar, double>) {
+    sr = krylov::gmres<double>(op, &prec, b, x, spec.gmres);
+  } else {
+    dd::HalfPrecisionOperator<double, Scalar> half(prec);
+    sr = krylov::gmres<double>(op, &half, b, x, spec.gmres);
+  }
+  res.wall_solve_s = t_solve.seconds();
+  res.converged = sr.converged;
+  res.iterations = sr.iterations;
+  res.schwarz = prec.profiles();
+  // The GMRES-side profile records everything done under the solver,
+  // INCLUDING the preconditioner applications (gmres passes its profile
+  // into prec->apply).  Subtract the Schwarz-side work -- it is charged
+  // per rank from res.schwarz -- leaving the pure Krylov share (SpMV,
+  // orthogonalization, vector updates, reductions).
+  res.krylov = sr.profile;
+  for (const auto& rp : res.schwarz.ranks) res.krylov -= rp.solve;
+  res.krylov -= res.schwarz.coarse.solve;
+  return res;
+}
+
+}  // namespace
+
+std::array<index_t, 3> weak_scaling_mesh(index_t ranks,
+                                         index_t elems_per_rank) {
+  const auto f = graph::balanced_factors_3d(ranks, 1 << 20, 1 << 20, 1 << 20);
+  return {f[0] * elems_per_rank, f[1] * elems_per_rank,
+          f[2] * elems_per_rank};
+}
+
+ExperimentResult run_experiment(const ExperimentSpec& spec) {
+  ProblemSetup ps = build_problem(spec);
+  if (spec.single_precision) return run_typed<float>(spec, ps);
+  return run_typed<double>(spec, ps);
+}
+
+ModeledTimes model_times(const ExperimentResult& r, const SummitModel& model,
+                         Execution exec, int ranks_per_gpu,
+                         bool factor_on_cpu) {
+  const bool fp32 = false;  // Krylov working precision is double; the fp32
+                            // preconditioner effect enters via its profiles'
+                            // byte counts (half the traffic), recorded live.
+  const int P = static_cast<int>(r.ranks);
+  ModeledTimes t;
+
+  // ---- numeric setup ---------------------------------------------------
+  // Factorization: on CPU when factor_on_cpu (SuperLU), else on device.
+  t.setup += model.local_time(r.schwarz.rank_factor,
+                              factor_on_cpu ? Execution::CpuCores : exec,
+                              ranks_per_gpu, fp32);
+  // Triangular-solve setup.  The paper's asymmetry (Section VIII-A):
+  //  * CPU runs with SuperLU use its INTERNAL solver -- no separate setup;
+  //  * GPU runs with SuperLU rebuild the supernodal SpTRSV schedule on the
+  //    host after EVERY numeric factorization (pivoting changes the factor
+  //    structure), then stage it across PCIe;
+  //  * Tacho's setup is symbolic-reusable and priced on the exec device.
+  if (factor_on_cpu) {
+    if (exec == Execution::Gpu) {
+      t.setup += model.local_time(r.schwarz.rank_trisolve_setup, exec,
+                                  ranks_per_gpu, fp32, /*host_staged=*/true);
+    }
+  } else {
+    t.setup += model.local_time(r.schwarz.rank_trisolve_setup, exec,
+                                ranks_per_gpu, fp32);
+  }
+  // Interior extensions: on the execution device.
+  t.setup += model.local_time(r.schwarz.rank_extension, exec, ranks_per_gpu,
+                              fp32);
+  // Overlap-matrix assembly: host-staged in GPU runs.
+  t.setup += model.local_time(r.schwarz.rank_comm, exec, ranks_per_gpu, fp32,
+                              /*host_staged=*/true);
+  // Coarse RAP + coarse factorization: distributed over the ranks (FROSch
+  // builds and factors the coarse problem on a process subset; at the
+  // paper's scales -- up to 672 ranks -- it is subdominant, and the paper
+  // notes it only becomes the bottleneck beyond that).  Host-staged in GPU
+  // runs (the Fig. 4 "black bar").
+  const OpProfile coarse_num_share =
+      split_across_ranks(r.schwarz.coarse.numeric, P);
+  t.setup += model.local_time({coarse_num_share}, exec, ranks_per_gpu, fp32,
+                              /*host_staged=*/true);
+  t.setup += model.network_time(network_part(r.schwarz.coarse.numeric), P);
+
+  // ---- solve -----------------------------------------------------------
+  // Per-rank: local subdomain solves plus this rank's share of the global
+  // Krylov work (SpMV, orthogonalization vector kernels).  The two
+  // components are priced SEPARATELY (each kernel family executes on its
+  // own launches; merging the profiles would blend their widths and distort
+  // the efficiency model), then added before taking the max over ranks.
+  std::vector<OpProfile> schwarz_ranks;
+  schwarz_ranks.reserve(r.schwarz.ranks.size());
+  for (const auto& rp : r.schwarz.ranks) schwarz_ranks.push_back(rp.solve);
+  const OpProfile krylov_share = split_across_ranks(r.krylov, P);
+  t.solve += model.local_time(schwarz_ranks, exec, ranks_per_gpu, fp32);
+  t.solve += model.local_time({krylov_share}, exec, ranks_per_gpu, fp32);
+  // Coarse solves: distributed like the coarse construction.
+  t.solve += model.local_time({split_across_ranks(r.schwarz.coarse.solve, P)},
+                              exec, ranks_per_gpu, fp32);
+  // Global reductions: GMRES dots + coarse gathers.
+  OpProfile net = network_part(r.krylov);
+  net += network_part(r.schwarz.coarse.solve);
+  t.solve += model.network_time(net, P);
+  return t;
+}
+
+std::vector<std::pair<std::string, double>> model_setup_breakdown(
+    const ExperimentResult& r, const SummitModel& model, Execution exec,
+    int ranks_per_gpu, bool factor_on_cpu) {
+  std::vector<std::pair<std::string, double>> out;
+  out.emplace_back(
+      "local-factorization",
+      model.local_time(r.schwarz.rank_factor,
+                       factor_on_cpu ? Execution::CpuCores : exec,
+                       ranks_per_gpu));
+  out.emplace_back(
+      "sptrsv-setup",
+      factor_on_cpu
+          ? (exec == Execution::Gpu
+                 ? model.local_time(r.schwarz.rank_trisolve_setup, exec,
+                                    ranks_per_gpu, false, /*host_staged=*/true)
+                 : 0.0)
+          : model.local_time(r.schwarz.rank_trisolve_setup, exec,
+                             ranks_per_gpu));
+  out.emplace_back("coarse-basis-extension",
+                   model.local_time(r.schwarz.rank_extension, exec,
+                                    ranks_per_gpu));
+  out.emplace_back(
+      "overlap+rap (host)",
+      model.local_time(r.schwarz.rank_comm, exec, ranks_per_gpu, false,
+                       /*host_staged=*/true) +
+          model.local_time({split_across_ranks(r.schwarz.coarse.numeric,
+                                               static_cast<int>(r.ranks))},
+                           exec, ranks_per_gpu, false, /*host_staged=*/true));
+  return out;
+}
+
+}  // namespace frosch::perf

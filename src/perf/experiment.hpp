@@ -1,0 +1,79 @@
+// End-to-end experiment driver shared by the benchmark harnesses and the
+// examples: builds the paper's 3D elasticity (or Laplace) benchmark problem
+// at a configurable scale, runs the real GDSW-preconditioned GMRES solve,
+// and replays the recorded operation profiles through the Summit machine
+// model to produce the CPU-run and GPU/MPS-run timings of Tables II-VII.
+//
+// Scale note (see DESIGN.md): `elems_per_rank` controls the subdomain size
+// H/h.  The paper's runs use ~8.9K dofs/rank (375K dofs over 42 ranks); the
+// default here is smaller so the whole suite runs in seconds on one core,
+// and the benches pass --scale to enlarge.  Iteration counts are REAL in
+// either case; modeled times extrapolate mechanistically from the profiles.
+#pragma once
+
+#include <array>
+
+#include "dd/half_precision.hpp"
+#include "dd/schwarz.hpp"
+#include "fem/assembly.hpp"
+#include "graph/partition.hpp"
+#include "krylov/gmres.hpp"
+#include "perf/summit.hpp"
+
+namespace frosch::perf {
+
+struct ExperimentSpec {
+  index_t ranks = 42;          ///< total MPI ranks == subdomains
+  index_t elems_per_rank = 3;  ///< subdomain edge length in elements
+
+  /// Optional fixed global mesh (elements per axis).  When set (nonzero),
+  /// the SAME mesh is partitioned into `ranks` subdomains regardless of
+  /// rank count -- how the paper's np/gpu rows re-decompose one problem
+  /// (Section VI, Fig. 3) and how strong scaling fixes the matrix.
+  index_t global_ex = 0, global_ey = 0, global_ez = 0;
+
+  bool elasticity = true;      ///< 3D elasticity vs Laplace
+  bool single_precision = false;  ///< whole preconditioner in float
+  dd::SchwarzConfig schwarz;
+  krylov::GmresOptions gmres;  ///< defaults: single-reduce, 30, 1e-7
+};
+
+/// Elements-per-axis of the weak-scaling mesh for `ranks` CPU ranks at
+/// subdomain size `elems_per_rank` (used to fix the global mesh across the
+/// rows of Tables II/III).
+std::array<index_t, 3> weak_scaling_mesh(index_t ranks, index_t elems_per_rank);
+
+struct ExperimentResult {
+  index_t n = 0;              ///< global dof count
+  index_t ranks = 0;
+  bool converged = false;
+  index_t iterations = 0;
+  dd::SchwarzProfiles schwarz;   ///< setup + apply profiles (per rank)
+  OpProfile krylov;              ///< GMRES-side work, recorded globally
+  double wall_setup_s = 0.0;     ///< actual host wall-clock (transparency)
+  double wall_solve_s = 0.0;
+};
+
+/// Runs the full pipeline (assemble, decompose, setup, solve).
+ExperimentResult run_experiment(const ExperimentSpec& spec);
+
+/// Modeled phase times for one execution mode.
+struct ModeledTimes {
+  double setup = 0.0;
+  double solve = 0.0;
+  double total() const { return setup + solve; }
+};
+
+/// Replays an experiment's profiles through the Summit model.
+/// `ranks_per_gpu` is ignored for Execution::CpuCores.  `factor_on_cpu`
+/// prices the local factorization on the host even in GPU runs (SuperLU).
+ModeledTimes model_times(const ExperimentResult& r, const SummitModel& model,
+                         Execution exec, int ranks_per_gpu,
+                         bool factor_on_cpu = false);
+
+/// Modeled numeric-setup breakdown (Fig. 4): bar name -> seconds.
+std::vector<std::pair<std::string, double>> model_setup_breakdown(
+    const ExperimentResult& r, const SummitModel& model, Execution exec,
+    int ranks_per_gpu, bool factor_on_cpu = false);
+
+}  // namespace frosch::perf

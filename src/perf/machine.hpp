@@ -1,0 +1,91 @@
+// Analytical machine models for one Summit node (42 IBM Power9 cores +
+// 6 NVIDIA V100 GPUs) and its interconnect -- the hardware substitution
+// described in DESIGN.md.
+//
+// The models consume OpProfiles recorded by the REAL kernels: timing trends
+// emerge mechanistically from measured operation structure (flops, memory
+// traffic, kernel-launch counts, exposed parallel width), not from fitted
+// curves.  The parameter values are public V100/Power9 figures:
+//   V100: ~7 TF/s FP64 (14 TF/s FP32), ~900 GB/s HBM2, O(10us) launch+sync;
+//   Power9 node: ~340 GB/s aggregate DRAM bandwidth over 42 cores, ~12 GF/s
+//   sustained per core on sparse kernels' mixed workloads;
+//   EDR InfiniBand: ~1.5us hop latency, 12.5 GB/s per direction.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/op_profile.hpp"
+
+namespace frosch::perf {
+
+/// One V100 GPU, optionally time-shared by k MPS processes.
+struct GpuModel {
+  double flops_per_s = 7.0e12;    ///< FP64 peak
+  double flops_per_s_fp32 = 14.0e12;
+  double mem_bw = 900e9;          ///< HBM2 bandwidth
+  double launch_latency = 8e-6;   ///< kernel launch + dependency sync
+  double half_sat_width = 2.0e4;  ///< work items at which efficiency = 1/2
+  double mps_overhead = 1.05;     ///< MPS time-slicing overhead factor
+  double pcie_bw = 12e9;          ///< host <-> device staging bandwidth
+
+  /// Time to execute `p` when the GPU is shared by `mps_share` processes.
+  /// Each process sees 1/k of throughput; a launch of mean width w achieves
+  /// efficiency w / (w + half_sat/k) on its share (narrow kernels cannot
+  /// fill even a slice of the device -- the level-set SpTRSV problem).
+  double time(const OpProfile& p, int mps_share = 1,
+              bool fp32 = false) const {
+    if (p.launches == 0 && p.flops == 0.0 && p.bytes == 0.0) return 0.0;
+    const double k = std::max(1, mps_share);
+    const double w = std::max(p.mean_width(), 1.0);
+    const double eff = w / (w + half_sat_width / k);
+    const double f = (fp32 ? flops_per_s_fp32 : flops_per_s) / k;
+    const double b = mem_bw / k;
+    const double exec = std::max(p.flops / f, p.bytes / b) / std::max(eff, 1e-3);
+    const double launch = static_cast<double>(p.launches) * launch_latency;
+    return (exec + launch) * (k > 1 ? mps_overhead : 1.0);
+  }
+
+};
+
+/// One Power9 core with its fair share of node memory bandwidth.
+struct CpuCoreModel {
+  double flops_per_s = 12e9;      ///< sustained per-core on sparse kernels
+  double mem_bw = 8e9;            ///< ~340 GB/s node / 42 cores
+  double loop_overhead = 2e-7;    ///< per parallel region entry
+
+  double time(const OpProfile& p, bool fp32 = false) const {
+    const double f = fp32 ? 2.0 * flops_per_s : flops_per_s;
+    const double b = mem_bw;  // bandwidth bound is precision-neutral per byte
+    return std::max(p.flops / f, p.bytes / b) +
+           static_cast<double>(p.launches) * loop_overhead;
+  }
+};
+
+/// Time for work that stays on the host in a GPU run but whose operands live
+/// in (or must reach) device memory: host compute plus PCIe staging.  Models
+/// the "black bar" of Fig. 4 (sparse-sparse product for the coarse matrix,
+/// halo assembly) being SLOWER in GPU runs than in CPU runs.
+inline double host_staged_time(const GpuModel& gpu, const CpuCoreModel& cpu,
+                               const OpProfile& p, bool fp32 = false) {
+  return cpu.time(p, fp32) + p.bytes / gpu.pcie_bw;
+}
+
+/// MPI collectives and halo exchange (EDR InfiniBand, binomial trees).
+struct NetworkModel {
+  double allreduce_alpha = 1.5e-5;  ///< base all-reduce latency
+  double p2p_alpha = 1.5e-6;        ///< point-to-point latency
+  double beta = 1.0 / 12.5e9;       ///< seconds per byte
+
+  double collective_time(const OpProfile& p, int total_ranks) const {
+    if (total_ranks <= 1) return 0.0;
+    const double lg = std::log2(static_cast<double>(total_ranks));
+    const double reduc = static_cast<double>(p.reductions) *
+                         (allreduce_alpha * lg);
+    const double halo = static_cast<double>(p.neighbor_msgs) * p2p_alpha +
+                        p.msg_bytes * beta;
+    return reduc + halo;
+  }
+};
+
+}  // namespace frosch::perf

@@ -1,0 +1,41 @@
+#include "perf/summit.hpp"
+
+namespace frosch::perf {
+
+SummitConfig scaled_summit(double work_ratio, double width_ratio) {
+  SummitConfig cfg;
+  const double r = std::max(work_ratio, 1.0);
+  const double w = std::max(width_ratio, 1.0);
+  cfg.gpu.launch_latency /= r;
+  cfg.gpu.half_sat_width /= w;
+  cfg.cpu.loop_overhead /= r;
+  // Miniature working sets (a few hundred dofs per rank) are L2/L3
+  // resident on a Power9 core, so the effective per-core bandwidth is the
+  // cache's, not the core's DRAM share.
+  cfg.cpu.mem_bw = 20e9;
+  cfg.net.allreduce_alpha /= r;
+  cfg.net.p2p_alpha /= r;
+  return cfg;
+}
+
+OpProfile split_across_ranks(const OpProfile& global, int num_ranks) {
+  OpProfile p = global;
+  const double r = std::max(1, num_ranks);
+  p.flops /= r;
+  p.bytes /= r;
+  p.work_items /= r;
+  p.reductions = 0;
+  p.neighbor_msgs = 0;
+  p.msg_bytes = 0.0;
+  return p;
+}
+
+OpProfile network_part(const OpProfile& p) {
+  OpProfile n;
+  n.reductions = p.reductions;
+  n.neighbor_msgs = p.neighbor_msgs;
+  n.msg_bytes = p.msg_bytes;
+  return n;
+}
+
+}  // namespace frosch::perf

@@ -1,0 +1,131 @@
+// Whole-run Summit timing model: combines the per-rank operation profiles
+// recorded by the Schwarz preconditioner and Krylov solver with the machine
+// models of machine.hpp to produce the CPU-run and GPU-run (with MPS) phase
+// times reported in Tables II-VII and Figs. 4-5.
+//
+// Execution conventions (mirroring Section VII):
+//   * CPU runs: one MPI rank per Power9 core (42/node, or 6/node for the
+//     strong-scaling comparison of Fig. 5);
+//   * GPU runs: np/gpu MPI ranks per V100 via MPS (1..7), 6 GPUs per node;
+//   * bulk-synchronous phases: node time = max over ranks of local model
+//     time + network time for the recorded collectives;
+//   * the coarse problem runs redundantly on one rank and is added on the
+//     critical path (FROSch's default coarse strategy at these scales).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perf/machine.hpp"
+
+namespace frosch::perf {
+
+enum class Execution {
+  CpuCores,  ///< one rank per CPU core
+  Gpu,       ///< ranks mapped onto GPUs with MPS (ranks_per_gpu)
+};
+
+struct SummitConfig {
+  int cores_per_node = 42;
+  int gpus_per_node = 6;
+  GpuModel gpu;
+  CpuCoreModel cpu;
+  NetworkModel net;
+};
+
+/// Scaled-node calibration for miniature reproductions.
+///
+/// The paper's runs put ~8.9K dofs on every rank; this repository's default
+/// benchmark scale puts a few hundred (so the suite runs in minutes on one
+/// core).  Shrinking the problem ~25x per rank moves every kernel into a
+/// latency-dominated regime that Summit's full-scale runs never see and
+/// would invert every CPU/GPU trend.  This calibration divides the fixed
+/// LATENCY constants (kernel launch, collective alpha, loop overhead) by
+/// `work_ratio` -- the per-rank work reduction vs the paper -- so the
+/// latency-to-throughput balance at the reproduction's operating point
+/// matches the paper's.  `width_ratio` is the per-rank parallel-width
+/// reduction (dofs per rank), which controls the GPU saturation constant.
+/// Throughput terms (GB/s, flop/s) are untouched: they scale with the
+/// recorded profiles automatically.  See DESIGN.md ("Substitutions") and
+/// EXPERIMENTS.md for the discussion.
+SummitConfig scaled_summit(double work_ratio, double width_ratio);
+
+/// Default miniature calibration matching the benches' --scale 4 default:
+/// ~215 dofs/rank vs the paper's ~8.9K is a per-rank width reduction of
+/// ~42x; with this ratio the modeled GPU efficiencies at the miniature
+/// operating point match the paper-scale ones (supernodal SpTRSV ~0.06 of
+/// peak, SpMV ~0.76 at np/gpu=7).  The superlinear local-solve exponent
+/// gives an effective ~60x on the latency-sensitive terms.
+inline SummitConfig miniature_summit() { return scaled_summit(60.0, 45.0); }
+
+/// Timing of one bulk-synchronous phase from per-rank profiles.
+class SummitModel {
+ public:
+  explicit SummitModel(const SummitConfig& cfg = {}) : cfg_(cfg) {}
+
+  const SummitConfig& config() const { return cfg_; }
+
+  /// Local (rank-parallel) part: max over ranks of the single-rank model,
+  /// including that rank's own halo traffic.  `ranks_per_gpu` applies only
+  /// to Execution::Gpu.  `host_staged` prices the profile on the host with
+  /// PCIe staging even in GPU runs (see machine.hpp).
+  double local_time(const std::vector<OpProfile>& rank_profiles,
+                    Execution exec, int ranks_per_gpu, bool fp32 = false,
+                    bool host_staged = false) const {
+    double worst = 0.0;
+    for (const auto& p : rank_profiles) {
+      double t;
+      if (exec == Execution::Gpu) {
+        t = host_staged ? host_staged_time(cfg_.gpu, cfg_.cpu, p, fp32)
+                        : cfg_.gpu.time(p, ranks_per_gpu, fp32);
+      } else {
+        t = cfg_.cpu.time(p, fp32);
+      }
+      t += static_cast<double>(p.neighbor_msgs) * cfg_.net.p2p_alpha +
+           p.msg_bytes * cfg_.net.beta;
+      worst = std::max(worst, t);
+    }
+    return worst;
+  }
+
+  /// Network part: global reductions charged from the aggregate profile
+  /// (halo traffic is charged per rank inside local_time).
+  double network_time(const OpProfile& aggregate, int total_ranks) const {
+    if (total_ranks <= 1) return 0.0;
+    return static_cast<double>(aggregate.reductions) *
+           cfg_.net.allreduce_alpha *
+           std::log2(static_cast<double>(total_ranks));
+  }
+
+  /// Serial extra work (e.g. the coarse factorization/solve on rank 0).
+  double serial_time(const OpProfile& p, Execution exec, int ranks_per_gpu,
+                     bool fp32 = false) const {
+    return exec == Execution::Gpu ? cfg_.gpu.time(p, ranks_per_gpu, fp32)
+                                  : cfg_.cpu.time(p, fp32);
+  }
+
+  /// Full phase: max-over-ranks local + serial coarse + network.
+  double phase_time(const std::vector<OpProfile>& rank_profiles,
+                    const OpProfile& coarse, const OpProfile& aggregate_net,
+                    Execution exec, int ranks_per_gpu, int total_ranks,
+                    bool fp32 = false) const {
+    return local_time(rank_profiles, exec, ranks_per_gpu, fp32) +
+           serial_time(coarse, exec, ranks_per_gpu, fp32) +
+           network_time(aggregate_net, total_ranks);
+  }
+
+ private:
+  SummitConfig cfg_;
+};
+
+/// Splits a globally recorded profile (e.g. the GMRES orthogonalization and
+/// SpMV work, which our sequential harness records once for the whole
+/// matrix) into the per-rank share of a P-rank run: compute and traffic are
+/// divided evenly, launch counts stay per-rank, and the collective fields
+/// are zeroed (they are charged once via network_time).
+OpProfile split_across_ranks(const OpProfile& global, int num_ranks);
+
+/// Extracts the collective/halo-only view of a profile.
+OpProfile network_part(const OpProfile& p);
+
+}  // namespace frosch::perf

@@ -1,0 +1,42 @@
+#include "trisolve/engine.hpp"
+
+#include "trisolve/engines.hpp"
+
+namespace frosch::trisolve {
+
+const char* to_string(TrisolveKind k) {
+  switch (k) {
+    case TrisolveKind::Substitution: return "substitution";
+    case TrisolveKind::LevelSet: return "level-set";
+    case TrisolveKind::SupernodalLevelSet: return "supernodal";
+    case TrisolveKind::PartitionedInverse: return "partitioned-inverse";
+    case TrisolveKind::JacobiSweeps: return "jacobi-sweeps";
+  }
+  return "unknown";
+}
+
+template <class Scalar>
+std::unique_ptr<TriangularEngine<Scalar>> make_trisolve(
+    TrisolveKind kind, const TrisolveOptions& opts) {
+  switch (kind) {
+    case TrisolveKind::Substitution:
+      return std::make_unique<SubstitutionEngine<Scalar>>();
+    case TrisolveKind::LevelSet:
+      return std::make_unique<LevelSetEngine<Scalar>>();
+    case TrisolveKind::SupernodalLevelSet:
+      return std::make_unique<SupernodalEngine<Scalar>>();
+    case TrisolveKind::PartitionedInverse:
+      return std::make_unique<PartitionedInverseEngine<Scalar>>();
+    case TrisolveKind::JacobiSweeps:
+      return std::make_unique<JacobiSweepsEngine<Scalar>>(opts.jacobi_sweeps);
+  }
+  FROSCH_CHECK(false, "make_trisolve: unknown kind");
+  return nullptr;
+}
+
+template std::unique_ptr<TriangularEngine<double>> make_trisolve<double>(
+    TrisolveKind, const TrisolveOptions&);
+template std::unique_ptr<TriangularEngine<float>> make_trisolve<float>(
+    TrisolveKind, const TrisolveOptions&);
+
+}  // namespace frosch::trisolve

@@ -1,0 +1,70 @@
+// Triangular-solve engines.
+//
+// Applying M^{-1} after a (complete or incomplete) factorization means two
+// sparse triangular solves per subdomain per Krylov iteration -- the paper's
+// dominant solve-phase kernel and the hardest one to run fast on a GPU.
+// This module implements the paper's four algorithmic options (Table I):
+//
+//   Substitution          row-by-row forward/backward solve (CPU baseline)
+//   LevelSet              element-based level-set scheduling [Anderson-Saad]
+//   SupernodalLevelSet    level sets over supernodal blocks [Yamazaki et al.,
+//                         the Kokkos-Kernels solver used with SuperLU factors]
+//   PartitionedInverse    factorized inverse: solve == sequence of SpMVs
+//                         [Alvarado-Pothen-Schreiber]
+//   JacobiSweeps          iterative approximate solve (FastSpTRSV, Chow-Patel
+//                         flavour; APPROXIMATE -- changes Krylov counts)
+//
+// All engines except JacobiSweeps are numerically equivalent (Section VIII-A
+// states the same); they differ only in their operation profiles, which is
+// what the Summit machine model prices.
+#pragma once
+
+#include <memory>
+
+#include "common/op_profile.hpp"
+#include "direct/factorization.hpp"
+
+namespace frosch::trisolve {
+
+enum class TrisolveKind {
+  Substitution,
+  LevelSet,
+  SupernodalLevelSet,
+  PartitionedInverse,
+  JacobiSweeps,
+};
+
+const char* to_string(TrisolveKind k);
+
+using direct::Factorization;
+
+/// Options shared by all engines.
+struct TrisolveOptions {
+  int jacobi_sweeps = 5;  ///< FastSpTRSV sweep count (paper default: five)
+};
+
+/// A fully set-up solver for  x = U^{-1} L^{-1} P b  given a Factorization.
+template <class Scalar>
+class TriangularEngine {
+ public:
+  virtual ~TriangularEngine() = default;
+
+  /// Builds scheduling data (level sets, supernode levels, inverse factors).
+  /// Must be re-run after every numeric factorization whose structure may
+  /// have changed (always, for partial-pivoting LU).  `prof` receives the
+  /// setup cost -- the quantity behind the SuperLU setup bars in Fig. 4.
+  virtual void setup(const Factorization<Scalar>& f, OpProfile* prof) = 0;
+
+  /// Solves with both factors, applying the pivot permutation first.
+  virtual void solve(const std::vector<Scalar>& b, std::vector<Scalar>& x,
+                     OpProfile* prof) const = 0;
+
+  virtual TrisolveKind kind() const = 0;
+};
+
+/// Factory covering every TrisolveKind.
+template <class Scalar>
+std::unique_ptr<TriangularEngine<Scalar>> make_trisolve(
+    TrisolveKind kind, const TrisolveOptions& opts = {});
+
+}  // namespace frosch::trisolve

@@ -1,0 +1,337 @@
+// Concrete TriangularEngine implementations.  See engine.hpp for the
+// algorithm catalogue and attribution.
+#pragma once
+
+#include "la/spmv.hpp"
+#include "trisolve/engine.hpp"
+#include "trisolve/substitution.hpp"
+
+namespace frosch::trisolve {
+
+/// CPU baseline: sequential substitution.  One "launch" per factor; critical
+/// path = n rows (fully serial).
+template <class Scalar>
+class SubstitutionEngine final : public TriangularEngine<Scalar> {
+ public:
+  void setup(const Factorization<Scalar>& f, OpProfile* prof) override {
+    fact_ = &f;
+    if (prof) {
+      prof->bytes += f.L.storage_bytes() + f.U.storage_bytes();
+      prof->launches += 1;
+      prof->critical_path += 1;
+      prof->work_items += static_cast<double>(f.n());
+    }
+  }
+
+  void solve(const std::vector<Scalar>& b, std::vector<Scalar>& x,
+             OpProfile* prof) const override {
+    fact_->apply_row_perm(b, x);
+    forward_solve(fact_->L, fact_->unit_diag_L, x);
+    backward_solve(fact_->U, x);
+    if (prof) {
+      prof->flops += 2.0 * static_cast<double>(fact_->factor_nnz());
+      prof->bytes += fact_->L.storage_bytes() + fact_->U.storage_bytes();
+      prof->launches += 2;
+      prof->critical_path += 2 * fact_->n();  // inherently serial
+      prof->work_items += 2.0;                // one task per sweep
+    }
+  }
+
+  TrisolveKind kind() const override { return TrisolveKind::Substitution; }
+
+ private:
+  const Factorization<Scalar>* fact_ = nullptr;
+};
+
+/// Element-based level-set scheduling [Anderson & Saad 1989]: rows grouped
+/// into dependency levels; one GPU kernel launch per level.
+template <class Scalar>
+class LevelSetEngine final : public TriangularEngine<Scalar> {
+ public:
+  void setup(const Factorization<Scalar>& f, OpProfile* prof) override {
+    fact_ = &f;
+    llevel_ = lower_levels(f.L, &lower_nlevels_);
+    ulevel_ = upper_levels(f.U, &upper_nlevels_);
+    if (prof) {
+      // Setup streams both factors to compute levels and build the schedule.
+      prof->bytes += 2.0 * (f.L.storage_bytes() + f.U.storage_bytes());
+      prof->launches += 2;
+      prof->critical_path += 2;
+      prof->work_items += 2.0 * static_cast<double>(f.n());
+    }
+  }
+
+  void solve(const std::vector<Scalar>& b, std::vector<Scalar>& x,
+             OpProfile* prof) const override {
+    fact_->apply_row_perm(b, x);
+    forward_solve(fact_->L, fact_->unit_diag_L, x);
+    backward_solve(fact_->U, x);
+    record_levelset_sweep(fact_->L, lower_nlevels_, prof);
+    record_levelset_sweep(fact_->U, upper_nlevels_, prof);
+  }
+
+  TrisolveKind kind() const override { return TrisolveKind::LevelSet; }
+
+  index_t lower_nlevels() const { return lower_nlevels_; }
+  index_t upper_nlevels() const { return upper_nlevels_; }
+
+ private:
+  const Factorization<Scalar>* fact_ = nullptr;
+  IndexVector llevel_, ulevel_;
+  index_t lower_nlevels_ = 0, upper_nlevels_ = 0;
+};
+
+/// Supernodal level-set solver [Yamazaki, Rajamanickam, Ellingwood 2020]:
+/// level sets over supernodal column blocks instead of single rows.  Fewer,
+/// fatter levels => fewer kernel launches and team-parallel dense work per
+/// block, which is why the paper pairs it with SuperLU factors on GPUs.
+template <class Scalar>
+class SupernodalEngine final : public TriangularEngine<Scalar> {
+ public:
+  void setup(const Factorization<Scalar>& f, OpProfile* prof) override {
+    fact_ = &f;
+    // Supernode of each column.
+    const index_t nsn = static_cast<index_t>(f.sn_ptr.size()) - 1;
+    IndexVector sn_of(static_cast<size_t>(f.n()));
+    for (index_t s = 0; s < nsn; ++s)
+      for (index_t j = f.sn_ptr[s]; j < f.sn_ptr[s + 1]; ++j) sn_of[j] = s;
+
+    // Supernode dependency levels, derived from row levels collapsed onto
+    // blocks: level(s) = 1 + max(level(s') over supernodes s' < s that s's
+    // rows reference).
+    lower_nlevels_ = block_levels(f.L, sn_of, nsn, /*lower=*/true);
+    upper_nlevels_ = block_levels(f.U, sn_of, nsn, /*lower=*/false);
+    if (prof) {
+      // Supernode detection, block-structure conversion (CSC -> supernodal
+      // block storage), and two level schedules: several irregular host
+      // passes over both factors [Yamazaki et al. 2020], all of which must
+      // be redone whenever the factor structure changes.
+      prof->bytes += 6.0 * (f.L.storage_bytes() + f.U.storage_bytes());
+      prof->launches += 8;
+      prof->critical_path += 8;
+      prof->work_items += 2.0 * static_cast<double>(f.n() + nsn);
+    }
+  }
+
+  void solve(const std::vector<Scalar>& b, std::vector<Scalar>& x,
+             OpProfile* prof) const override {
+    fact_->apply_row_perm(b, x);
+    forward_solve(fact_->L, fact_->unit_diag_L, x);
+    backward_solve(fact_->U, x);
+    if (prof) {
+      prof->flops += 2.0 * static_cast<double>(fact_->factor_nnz());
+      prof->bytes += fact_->L.storage_bytes() + fact_->U.storage_bytes();
+      prof->launches += lower_nlevels_ + upper_nlevels_;
+      prof->critical_path += lower_nlevels_ + upper_nlevels_;
+      // Within a supernode level, team kernels parallelize over the block
+      // entries (dense triangular solve + gemv), so the exposed width is
+      // the factor nnz spread over the levels -- the structural advantage
+      // over the row-parallel element-wise schedule.
+      prof->work_items += static_cast<double>(fact_->factor_nnz());
+    }
+  }
+
+  TrisolveKind kind() const override {
+    return TrisolveKind::SupernodalLevelSet;
+  }
+
+  index_t lower_nlevels() const { return lower_nlevels_; }
+  index_t upper_nlevels() const { return upper_nlevels_; }
+
+ private:
+  static index_t block_levels(const la::CsrMatrix<Scalar>& T,
+                              const IndexVector& sn_of, index_t nsn,
+                              bool lower) {
+    IndexVector level(static_cast<size_t>(nsn), 1);
+    index_t maxl = nsn > 0 ? 1 : 0;
+    const index_t n = T.num_rows();
+    auto relax = [&](index_t i) {
+      const index_t s = sn_of[i];
+      index_t lv = level[s];
+      for (index_t k = T.row_begin(i); k < T.row_end(i); ++k) {
+        const index_t sj = sn_of[T.col(k)];
+        if (sj != s) lv = std::max(lv, level[sj] + 1);
+      }
+      level[s] = lv;
+      maxl = std::max(maxl, lv);
+    };
+    if (lower) {
+      for (index_t i = 0; i < n; ++i) relax(i);
+    } else {
+      for (index_t i = n - 1; i >= 0; --i) relax(i);
+    }
+    return maxl;
+  }
+
+  const Factorization<Scalar>* fact_ = nullptr;
+  index_t lower_nlevels_ = 0, upper_nlevels_ = 0;
+};
+
+/// Partitioned-inverse solver [Alvarado, Pothen, Schreiber 1993]: rewrites
+/// each triangular solve as a product of inverse level factors,
+///   Lhat^{-1} = (I - N_L) ... (I - N_2),   L = Lhat * D,
+/// so the solve becomes a sequence of full-width SpMVs -- maximal
+/// parallelism per launch at the cost of extra matrix storage/traffic.
+template <class Scalar>
+class PartitionedInverseEngine final : public TriangularEngine<Scalar> {
+ public:
+  void setup(const Factorization<Scalar>& f, OpProfile* prof) override {
+    fact_ = &f;
+    build_factors(f.L, f.unit_diag_L, /*lower=*/true, lower_factors_, ldiag_);
+    build_factors(f.U, /*unit_diag=*/false, /*lower=*/false, upper_factors_,
+                  udiag_);
+    if (prof) {
+      double fb = 0.0;
+      for (auto& m : lower_factors_) fb += m.storage_bytes();
+      for (auto& m : upper_factors_) fb += m.storage_bytes();
+      prof->bytes += f.L.storage_bytes() + f.U.storage_bytes() + fb;
+      prof->launches += 2 + static_cast<count_t>(lower_factors_.size() +
+                                                 upper_factors_.size());
+      prof->critical_path += 2;
+      prof->work_items += 2.0 * static_cast<double>(f.n());
+    }
+  }
+
+  void solve(const std::vector<Scalar>& b, std::vector<Scalar>& x,
+             OpProfile* prof) const override {
+    fact_->apply_row_perm(b, x);
+    std::vector<Scalar> tmp(x.size());
+    // y = Lhat^{-1} (P b); x = D_L^{-1} y.
+    for (const auto& P : lower_factors_) {
+      la::spmv(P, x.data(), tmp.data(), Scalar(1), Scalar(0), prof);
+      std::swap(tmp, x);
+    }
+    for (size_t i = 0; i < x.size(); ++i) x[i] /= ldiag_[i];
+    // Same for U.
+    for (const auto& P : upper_factors_) {
+      la::spmv(P, x.data(), tmp.data(), Scalar(1), Scalar(0), prof);
+      std::swap(tmp, x);
+    }
+    for (size_t i = 0; i < x.size(); ++i) x[i] /= udiag_[i];
+    if (prof) {
+      prof->flops += 2.0 * static_cast<double>(x.size());
+      prof->launches += 2;
+      prof->critical_path += 2;
+      prof->work_items += 2.0 * static_cast<double>(x.size());
+    }
+  }
+
+  TrisolveKind kind() const override {
+    return TrisolveKind::PartitionedInverse;
+  }
+
+  size_t num_factors() const {
+    return lower_factors_.size() + upper_factors_.size();
+  }
+
+ private:
+  /// Builds the (I - N_l) factors for levels l >= 2 of a triangular matrix.
+  /// Columns are pre-scaled by the diagonal (That = T * D^{-1}), whose
+  /// entries are returned in `diag` for the final x = D^{-1} y step.
+  void build_factors(const la::CsrMatrix<Scalar>& T, bool unit_diag, bool lower,
+                     std::vector<la::CsrMatrix<Scalar>>& factors,
+                     std::vector<Scalar>& diag) {
+    const index_t n = T.num_rows();
+    index_t nlev = 0;
+    IndexVector level = lower ? lower_levels(T, &nlev) : upper_levels(T, &nlev);
+    diag.assign(static_cast<size_t>(n), Scalar(1));
+    if (!unit_diag) {
+      for (index_t i = 0; i < n; ++i) {
+        const Scalar d = T.at(i, i);
+        FROSCH_CHECK(d != Scalar(0), "partitioned inverse: zero diagonal");
+        diag[i] = d;
+      }
+    }
+    factors.clear();
+    for (index_t l = 2; l <= nlev; ++l) {
+      la::TripletBuilder<Scalar> b(n, n);
+      for (index_t i = 0; i < n; ++i) b.add(i, i, Scalar(1));
+      for (index_t i = 0; i < n; ++i) {
+        if (level[i] != l) continue;
+        for (index_t k = T.row_begin(i); k < T.row_end(i); ++k) {
+          const index_t j = T.col(k);
+          if (j == i) continue;
+          b.add(i, j, -T.val(k) / diag[j]);
+        }
+      }
+      factors.push_back(b.build());
+    }
+  }
+
+  const Factorization<Scalar>* fact_ = nullptr;
+  std::vector<la::CsrMatrix<Scalar>> lower_factors_, upper_factors_;
+  std::vector<Scalar> ldiag_, udiag_;
+};
+
+/// Iterative Jacobi-sweep triangular solve (FastSpTRSV) [Chow & Patel 2015,
+/// Boman et al. 2016]:  x^{m+1} = D^{-1} (b - N x^m).  APPROXIMATE: with the
+/// default five sweeps the outer Krylov method needs more iterations, but
+/// every sweep is one full-width SpMV-like launch -- the trade the paper
+/// measures in Tables IV/V.
+template <class Scalar>
+class JacobiSweepsEngine final : public TriangularEngine<Scalar> {
+ public:
+  explicit JacobiSweepsEngine(int sweeps) : sweeps_(sweeps) {}
+
+  void setup(const Factorization<Scalar>& f, OpProfile* prof) override {
+    fact_ = &f;
+    if (prof) {
+      // No scheduling needed at all: this is the point of the iterative
+      // variant -- setup is a single streaming pass.
+      prof->bytes += f.L.storage_bytes() + f.U.storage_bytes();
+      prof->launches += 1;
+      prof->critical_path += 1;
+      prof->work_items += static_cast<double>(f.n());
+    }
+  }
+
+  void solve(const std::vector<Scalar>& b, std::vector<Scalar>& x,
+             OpProfile* prof) const override {
+    std::vector<Scalar> pb;
+    fact_->apply_row_perm(b, pb);
+    std::vector<Scalar> y(pb.size());
+    sweep_solve(fact_->L, fact_->unit_diag_L, /*lower=*/true, pb, y, prof);
+    x.resize(pb.size());
+    sweep_solve(fact_->U, /*unit_diag=*/false, /*lower=*/false, y, x, prof);
+  }
+
+  TrisolveKind kind() const override { return TrisolveKind::JacobiSweeps; }
+
+ private:
+  void sweep_solve(const la::CsrMatrix<Scalar>& T, bool unit_diag, bool lower,
+                   const std::vector<Scalar>& b, std::vector<Scalar>& x,
+                   OpProfile* prof) const {
+    (void)lower;
+    const index_t n = T.num_rows();
+    std::vector<Scalar> diag(static_cast<size_t>(n), Scalar(1));
+    if (!unit_diag)
+      for (index_t i = 0; i < n; ++i) diag[i] = T.at(i, i);
+    // x^0 = D^{-1} b.
+    x.resize(static_cast<size_t>(n));
+    for (index_t i = 0; i < n; ++i) x[i] = b[i] / diag[i];
+    std::vector<Scalar> xn(static_cast<size_t>(n));
+    for (int s = 0; s < sweeps_; ++s) {
+      for (index_t i = 0; i < n; ++i) {
+        Scalar sum = b[i];
+        for (index_t k = T.row_begin(i); k < T.row_end(i); ++k) {
+          const index_t j = T.col(k);
+          if (j != i) sum -= T.val(k) * x[j];
+        }
+        xn[i] = sum / diag[i];
+      }
+      std::swap(x, xn);
+    }
+    if (prof) {
+      prof->flops += 2.0 * static_cast<double>(T.num_entries()) * sweeps_;
+      prof->bytes += static_cast<double>(sweeps_) * T.storage_bytes();
+      prof->launches += sweeps_;
+      prof->critical_path += sweeps_;
+      prof->work_items += static_cast<double>(sweeps_) * n;
+    }
+  }
+
+  const Factorization<Scalar>* fact_ = nullptr;
+  int sweeps_;
+};
+
+}  // namespace frosch::trisolve

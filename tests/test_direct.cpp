@@ -1,0 +1,315 @@
+// Unit tests for the sparse direct solvers (src/direct): elimination tree,
+// symbolic Cholesky, Gilbert-Peierls LU, multifrontal Cholesky, supernodes.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "direct/elimination_tree.hpp"
+#include "direct/gp_lu.hpp"
+#include "direct/multifrontal.hpp"
+#include "graph/nested_dissection.hpp"
+#include "la/ops.hpp"
+#include "la/spmv.hpp"
+#include "trisolve/substitution.hpp"
+
+namespace frosch::direct {
+namespace {
+
+/// 2D 5-point Laplacian (SPD) on an nx x ny grid.
+la::CsrMatrix<double> laplace2d(index_t nx, index_t ny) {
+  la::TripletBuilder<double> b(nx * ny, nx * ny);
+  auto id = [nx](index_t x, index_t y) { return x + nx * y; };
+  for (index_t y = 0; y < ny; ++y)
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t v = id(x, y);
+      b.add(v, v, 4.0);
+      if (x > 0) b.add(v, id(x - 1, y), -1.0);
+      if (x + 1 < nx) b.add(v, id(x + 1, y), -1.0);
+      if (y > 0) b.add(v, id(x, y - 1), -1.0);
+      if (y + 1 < ny) b.add(v, id(x, y + 1), -1.0);
+    }
+  return b.build();
+}
+
+/// Random diagonally dominant nonsymmetric matrix (always factorable).
+la::CsrMatrix<double> random_nonsym(index_t n, double density, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::bernoulli_distribution keep(density);
+  la::TripletBuilder<double> b(n, n);
+  std::vector<double> rowsum(static_cast<size_t>(n), 0.0);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j)
+      if (i != j && keep(rng)) {
+        const double v = u(rng);
+        b.add(i, j, v);
+        rowsum[i] += std::abs(v);
+      }
+  for (index_t i = 0; i < n; ++i) b.add(i, i, rowsum[i] + 1.0);
+  return b.build();
+}
+
+std::vector<double> random_vector(index_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::vector<double> v(static_cast<size_t>(n));
+  for (auto& x : v) x = u(rng);
+  return v;
+}
+
+template <class Fact>
+std::vector<double> solve_with(const Fact& f, const std::vector<double>& b) {
+  std::vector<double> x;
+  f.apply_row_perm(b, x);
+  trisolve::forward_solve(f.L, f.unit_diag_L, x);
+  trisolve::backward_solve(f.U, x);
+  return x;
+}
+
+TEST(EliminationTree, TridiagonalIsAPath) {
+  la::TripletBuilder<double> b(5, 5);
+  for (index_t i = 0; i < 5; ++i) {
+    b.add(i, i, 2.0);
+    if (i > 0) b.add(i, i - 1, -1.0);
+    if (i + 1 < 5) b.add(i, i + 1, -1.0);
+  }
+  auto parent = elimination_tree(b.build());
+  for (index_t i = 0; i + 1 < 5; ++i) EXPECT_EQ(parent[i], i + 1);
+  EXPECT_EQ(parent[4], -1);
+}
+
+TEST(EliminationTree, PostorderVisitsChildrenFirst) {
+  auto A = laplace2d(6, 6);
+  auto parent = elimination_tree(A);
+  auto post = tree_postorder(parent);
+  IndexVector seen(post.size(), 0);
+  std::vector<char> done(post.size(), 0);
+  for (index_t v : post) {
+    if (parent[v] != -1) EXPECT_FALSE(done[parent[v]]) << "parent before child";
+    done[v] = 1;
+  }
+}
+
+TEST(EliminationTree, LevelsBoundedByHeight) {
+  auto A = laplace2d(8, 8);
+  auto parent = elimination_tree(A);
+  index_t h = 0;
+  auto level = tree_levels(parent, &h);
+  for (index_t v = 0; v < 64; ++v) {
+    EXPECT_GE(level[v], 1);
+    EXPECT_LE(level[v], h);
+    if (parent[v] != -1) EXPECT_GT(level[parent[v]], level[v]);
+  }
+}
+
+TEST(EliminationTree, NdOrderingShrinksTreeHeight) {
+  // The GPU-relevant property: nested dissection makes the etree shallower
+  // than the natural (banded) ordering, exposing level parallelism.
+  auto A = laplace2d(16, 16);
+  auto parent_nat = elimination_tree(A);
+  index_t h_nat = 0;
+  tree_levels(parent_nat, &h_nat);
+
+  auto g = graph::build_graph(A);
+  auto perm = graph::nested_dissection(g);
+  auto And = la::permute_symmetric(A, perm);
+  auto parent_nd = elimination_tree(And);
+  index_t h_nd = 0;
+  tree_levels(parent_nd, &h_nd);
+  EXPECT_LT(h_nd, h_nat);
+}
+
+TEST(SymbolicCholesky, PatternContainsMatrixLowerTriangle) {
+  auto A = laplace2d(5, 5);
+  auto parent = elimination_tree(A);
+  auto Lpat = symbolic_cholesky(A, parent);
+  // Every lower-triangle entry of A must appear in L's pattern:
+  // column j of L (row j of Lpat) contains row index i for A(i,j)!=0, i>=j.
+  for (index_t i = 0; i < A.num_rows(); ++i) {
+    for (index_t k = A.row_begin(i); k < A.row_end(i); ++k) {
+      const index_t j = A.col(k);
+      if (j > i) continue;
+      EXPECT_GE(Lpat.find(j, i), 0) << "missing L(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(GpLu, SolvesRandomNonsymmetricSystem) {
+  auto A = random_nonsym(60, 0.15, 7);
+  auto xref = random_vector(60, 8);
+  std::vector<double> b;
+  la::spmv(A, xref, b);
+  GilbertPeierlsLu<double> lu;
+  lu.symbolic(A);
+  lu.numeric(A);
+  auto x = solve_with(lu.factorization(), b);
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(x[i], xref[i], 1e-8);
+}
+
+TEST(GpLu, PivotsOnIndefiniteMatrix) {
+  // A matrix that breaks no-pivot LU: zero leading diagonal entry.
+  la::TripletBuilder<double> b(3, 3);
+  b.add(0, 0, 0.0);
+  b.add(0, 1, 2.0);
+  b.add(1, 0, 3.0);
+  b.add(1, 2, 1.0);
+  b.add(2, 1, 1.0);
+  b.add(2, 2, 1.0);
+  auto A = b.build();
+  GilbertPeierlsLu<double> lu;
+  lu.symbolic(A);
+  lu.numeric(A);
+  std::vector<double> rhs{2, 4, 2};
+  auto x = solve_with(lu.factorization(), rhs);
+  std::vector<double> Ax;
+  la::spmv(A, x, Ax);
+  for (index_t i = 0; i < 3; ++i) EXPECT_NEAR(Ax[i], rhs[i], 1e-12);
+}
+
+TEST(GpLu, ThrowsOnSingularMatrix) {
+  la::TripletBuilder<double> b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(1, 0, 2.0);  // column 1 empty => structurally singular
+  auto A = b.build();
+  GilbertPeierlsLu<double> lu;
+  lu.symbolic(A);
+  EXPECT_THROW(lu.numeric(A), Error);
+}
+
+TEST(GpLu, ProfileMarksSequentialCriticalPath) {
+  auto A = random_nonsym(40, 0.2, 3);
+  GilbertPeierlsLu<double> lu;
+  lu.symbolic(A);
+  OpProfile prof;
+  lu.numeric(A, &prof);
+  EXPECT_EQ(prof.critical_path, 40);  // left-looking: one column at a time
+  EXPECT_FALSE(lu.symbolic_reusable());
+}
+
+TEST(Multifrontal, SolvesLaplaceSystem) {
+  auto A = laplace2d(9, 7);
+  auto xref = random_vector(A.num_rows(), 21);
+  std::vector<double> b;
+  la::spmv(A, xref, b);
+  MultifrontalCholesky<double> chol;
+  chol.symbolic(A);
+  chol.numeric(A);
+  auto x = solve_with(chol.factorization(), b);
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(x[i], xref[i], 1e-9);
+}
+
+TEST(Multifrontal, FactorIsCholesky) {
+  // L * L^T must reproduce A.
+  auto A = laplace2d(4, 4);
+  MultifrontalCholesky<double> chol;
+  chol.symbolic(A);
+  chol.numeric(A);
+  const auto& f = chol.factorization();
+  auto LLt = la::spgemm(f.L, f.U);
+  for (index_t i = 0; i < A.num_rows(); ++i)
+    for (index_t j = 0; j < A.num_cols(); ++j)
+      EXPECT_NEAR(LLt.at(i, j), A.at(i, j), 1e-12);
+}
+
+TEST(Multifrontal, SymbolicReusedAcrossNumericCalls) {
+  auto A = laplace2d(6, 6);
+  MultifrontalCholesky<double> chol;
+  chol.symbolic(A);
+  chol.numeric(A);
+  auto x1 = chol.factorization().L.values();
+  // Scale the matrix values (same pattern), refactor without new symbolic.
+  auto A2 = A;
+  for (auto& v : A2.values()) v *= 4.0;
+  chol.numeric(A2);
+  auto x2 = chol.factorization().L.values();
+  ASSERT_EQ(x1.size(), x2.size());
+  for (size_t k = 0; k < x1.size(); ++k) EXPECT_NEAR(x2[k], 2.0 * x1[k], 1e-10);
+  EXPECT_TRUE(chol.symbolic_reusable());
+}
+
+TEST(Multifrontal, ThrowsOnIndefiniteMatrix) {
+  la::TripletBuilder<double> b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 1, 3.0);
+  b.add(1, 0, 3.0);
+  b.add(1, 1, 1.0);  // eigenvalues 4, -2: not SPD
+  auto A = b.build();
+  MultifrontalCholesky<double> chol;
+  chol.symbolic(A);
+  EXPECT_THROW(chol.numeric(A), Error);
+}
+
+TEST(Multifrontal, NumericProfileLaunchesEqualTreeHeight) {
+  // ND ordering gives a shallow etree; the numeric profile must report one
+  // batched launch per etree level (the Tacho-style level-set schedule).
+  auto A = laplace2d(10, 10);
+  auto perm = graph::nested_dissection(graph::build_graph(A));
+  A = la::permute_symmetric(A, perm);
+  MultifrontalCholesky<double> chol;
+  chol.symbolic(A);
+  OpProfile prof;
+  chol.numeric(A, &prof);
+  EXPECT_EQ(prof.launches, chol.tree_height());
+  EXPECT_LT(chol.tree_height(), A.num_rows());  // real level parallelism
+}
+
+TEST(Supernodes, DetectedOnDenseBlockFactor) {
+  // A dense SPD matrix has one supernode spanning all columns.
+  const index_t n = 6;
+  la::TripletBuilder<double> b(n, n);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j) b.add(i, j, (i == j) ? double(n) : 0.5);
+  auto A = b.build();
+  MultifrontalCholesky<double> chol;
+  chol.symbolic(A);
+  chol.numeric(A);
+  const auto& sn = chol.factorization().sn_ptr;
+  ASSERT_EQ(sn.size(), 2u);
+  EXPECT_EQ(sn[0], 0);
+  EXPECT_EQ(sn[1], n);
+}
+
+TEST(Supernodes, TrivialOnDiagonalMatrix) {
+  auto A = la::identity<double>(5);
+  MultifrontalCholesky<double> chol;
+  chol.symbolic(A);
+  chol.numeric(A);
+  EXPECT_EQ(chol.factorization().sn_ptr.size(), 6u);  // every column alone
+}
+
+class DirectSweep : public ::testing::TestWithParam<std::tuple<index_t, bool>> {};
+
+TEST_P(DirectSweep, BothBackendsAgreeOnSpdSystems) {
+  const auto [nx, use_nd] = GetParam();
+  auto A = laplace2d(nx, nx);
+  if (use_nd) {
+    auto perm = graph::nested_dissection(graph::build_graph(A));
+    A = la::permute_symmetric(A, perm);
+  }
+  auto xref = random_vector(A.num_rows(), unsigned(nx));
+  std::vector<double> b;
+  la::spmv(A, xref, b);
+
+  GilbertPeierlsLu<double> lu;
+  lu.symbolic(A);
+  lu.numeric(A);
+  auto xlu = solve_with(lu.factorization(), b);
+
+  MultifrontalCholesky<double> chol;
+  chol.symbolic(A);
+  chol.numeric(A);
+  auto xch = solve_with(chol.factorization(), b);
+
+  for (size_t i = 0; i < xref.size(); ++i) {
+    EXPECT_NEAR(xlu[i], xref[i], 1e-8);
+    EXPECT_NEAR(xch[i], xref[i], 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, DirectSweep,
+    ::testing::Combine(::testing::Values(4, 7, 12, 20),
+                       ::testing::Values(false, true)));
+
+}  // namespace
+}  // namespace frosch::direct

@@ -1,0 +1,214 @@
+// Tests for incomplete factorizations (src/ilu): ILU(k) pattern/numeric,
+// FastILU convergence to the ILU(k) fixed point, FastSpTRSV aliasing.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ilu/fast_sptrsv.hpp"
+#include "ilu/fastilu.hpp"
+#include "ilu/iluk.hpp"
+#include "la/spmv.hpp"
+#include "trisolve/engines.hpp"
+
+namespace frosch::ilu {
+namespace {
+
+la::CsrMatrix<double> laplace2d(index_t nx, index_t ny) {
+  la::TripletBuilder<double> b(nx * ny, nx * ny);
+  auto id = [nx](index_t x, index_t y) { return x + nx * y; };
+  for (index_t y = 0; y < ny; ++y)
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t v = id(x, y);
+      b.add(v, v, 4.0);
+      if (x > 0) b.add(v, id(x - 1, y), -1.0);
+      if (x + 1 < nx) b.add(v, id(x + 1, y), -1.0);
+      if (y > 0) b.add(v, id(x, y - 1), -1.0);
+      if (y + 1 < ny) b.add(v, id(x, y + 1), -1.0);
+    }
+  return b.build();
+}
+
+la::CsrMatrix<double> tridiag(index_t n) {
+  la::TripletBuilder<double> b(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    b.add(i, i, 2.0);
+    if (i > 0) b.add(i, i - 1, -1.0);
+    if (i + 1 < n) b.add(i, i + 1, -1.0);
+  }
+  return b.build();
+}
+
+double factor_error(const direct::Factorization<double>& f,
+                    const la::CsrMatrix<double>& A) {
+  // || (L*U - A) restricted to the pattern of L*U ||_max ... for ILU(0) on a
+  // pattern-closed product we compare on A's pattern.
+  auto LU = la::spgemm(f.L, f.U);
+  double err = 0.0;
+  for (index_t i = 0; i < A.num_rows(); ++i)
+    for (index_t k = A.row_begin(i); k < A.row_end(i); ++k)
+      err = std::max(err,
+                     std::abs(LU.at(i, A.col(k)) - A.val(k)));
+  return err;
+}
+
+TEST(Iluk, Ilu0PatternEqualsMatrixPattern) {
+  auto A = laplace2d(6, 6);
+  auto pat = iluk_symbolic(A, 0);
+  EXPECT_EQ(pat.nnz(), A.num_entries());
+}
+
+TEST(Iluk, PatternGrowsWithLevel) {
+  auto A = laplace2d(8, 8);
+  count_t prev = 0;
+  for (int lev = 0; lev <= 3; ++lev) {
+    auto pat = iluk_symbolic(A, lev);
+    EXPECT_GT(pat.nnz(), prev) << "level " << lev;
+    prev = pat.nnz();
+  }
+}
+
+TEST(Iluk, ExactOnTridiagonal) {
+  // A tridiagonal matrix has no fill: ILU(0) == exact LU.
+  auto A = tridiag(20);
+  IlukFactorization<double> ilu;
+  ilu.symbolic(A, 0);
+  ilu.numeric(A);
+  EXPECT_LT(factor_error(ilu.factorization(), A), 1e-12);
+}
+
+TEST(Iluk, HighLevelApproachesExactFactor) {
+  auto A = laplace2d(6, 6);
+  double prev = 1e30;
+  for (int lev : {0, 1, 2, 5, 12}) {
+    IlukFactorization<double> ilu;
+    ilu.symbolic(A, lev);
+    ilu.numeric(A);
+    const double err = factor_error(ilu.factorization(), A);
+    EXPECT_LE(err, prev * 1.01 + 1e-12) << "level " << lev;
+    prev = err;
+  }
+  EXPECT_LT(prev, 1e-10);  // enough levels: exact factorization
+}
+
+TEST(Iluk, Ilu0ResidualMatchesOnPattern) {
+  // Defining property of ILU(0): (LU)_ij == A_ij on the pattern of A.
+  auto A = laplace2d(7, 5);
+  IlukFactorization<double> ilu;
+  ilu.symbolic(A, 0);
+  ilu.numeric(A);
+  EXPECT_LT(factor_error(ilu.factorization(), A), 1e-12);
+}
+
+TEST(Iluk, MissingStructuralDiagonalIsAdded) {
+  la::TripletBuilder<double> b(3, 3);
+  b.add(0, 0, 1.0);
+  b.add(1, 0, 1.0);
+  b.add(1, 2, 1.0);
+  b.add(2, 1, 1.0);
+  b.add(2, 2, 1.0);  // row 1 has no diagonal entry
+  auto A = b.build();
+  auto pat = iluk_symbolic(A, 0);
+  bool found = false;
+  for (index_t p = pat.rowptr[1]; p < pat.rowptr[2]; ++p)
+    if (pat.colind[p] == 1) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(FastIlu, ConvergesToIlukWithSweeps) {
+  auto A = laplace2d(6, 6);
+  IlukFactorization<double> ref;
+  ref.symbolic(A, 1);
+  ref.numeric(A);
+
+  double prev = 1e30;
+  for (int sweeps : {1, 3, 10, 40}) {
+    FastIlu<double> fast;
+    fast.symbolic(A, 1);
+    fast.numeric(A, sweeps);
+    // Compare factors entrywise on the shared pattern.
+    double err = 0.0;
+    const auto& Lr = ref.factorization().L;
+    const auto& Lf = fast.factorization().L;
+    for (index_t i = 0; i < Lr.num_rows(); ++i)
+      for (index_t k = Lr.row_begin(i); k < Lr.row_end(i); ++k)
+        err = std::max(err, std::abs(Lr.val(k) - Lf.at(i, Lr.col(k))));
+    const auto& Ur = ref.factorization().U;
+    const auto& Uf = fast.factorization().U;
+    for (index_t i = 0; i < Ur.num_rows(); ++i)
+      for (index_t k = Ur.row_begin(i); k < Ur.row_end(i); ++k)
+        err = std::max(err, std::abs(Ur.val(k) - Uf.at(i, Ur.col(k))));
+    EXPECT_LE(err, prev + 1e-13) << "sweeps " << sweeps;
+    prev = err;
+  }
+  EXPECT_LT(prev, 1e-8);  // 40 sweeps: fixed point reached
+}
+
+TEST(FastIlu, DefaultThreeSweepsIsUsableApproximation) {
+  auto A = laplace2d(8, 8);
+  FastIlu<double> fast;
+  fast.symbolic(A, 0);
+  fast.numeric(A);  // default 3 sweeps
+  const double err = factor_error(fast.factorization(), A);
+  EXPECT_GT(err, 1e-12);  // not exact...
+  EXPECT_LT(err, 0.5);    // ...but close to the ILU(0) fixed point
+}
+
+TEST(FastIlu, ProfileShowsSweepParallelism) {
+  auto A = laplace2d(10, 10);
+  OpProfile pfast, pstd;
+  FastIlu<double> fast;
+  fast.symbolic(A, 1);
+  fast.numeric(A, 3, &pfast);
+  IlukFactorization<double> std_ilu;
+  std_ilu.symbolic(A, 1);
+  std_ilu.numeric(A, &pstd);
+  EXPECT_EQ(pfast.launches, 3);            // one launch per sweep
+  EXPECT_GT(pstd.launches, pfast.launches);  // level-scheduled SpILU
+  EXPECT_GT(pfast.mean_width(), pstd.mean_width());
+}
+
+TEST(FastSpTrsv, ErrorShrinksWithSweepCount) {
+  // A tridiagonal factor is a length-n dependency chain: m Jacobi sweeps can
+  // only propagate information m cells, so few sweeps are inexact and ~n
+  // sweeps are exact -- the fundamental trade of the iterative SpTRSV.
+  auto A = tridiag(30);
+  IlukFactorization<double> ilu;
+  ilu.symbolic(A, 0);
+  ilu.numeric(A);  // exact for tridiagonal
+  std::vector<double> xref(30, 1.0), b;
+  la::spmv(A, xref, b);
+
+  double prev = 1e30;
+  for (int sweeps : {5, 15, 40, 80}) {
+    FastSpTRSV<double> fast(sweeps);
+    fast.setup(ilu.factorization(), nullptr);
+    std::vector<double> x;
+    fast.solve(b, x, nullptr);
+    double err = 0.0;
+    for (index_t i = 0; i < 30; ++i) err = std::max(err, std::abs(x[i] - 1.0));
+    EXPECT_LE(err, prev + 1e-12) << "sweeps " << sweeps;
+    prev = err;
+  }
+  EXPECT_LT(prev, 1e-10);
+}
+
+class IlukLevelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IlukLevelSweep, FactorsStayFiniteAndDiagonalsPositive) {
+  const int lev = GetParam();
+  auto A = laplace2d(9, 9);
+  IlukFactorization<double> ilu;
+  ilu.symbolic(A, lev);
+  ilu.numeric(A);
+  const auto& U = ilu.factorization().U;
+  for (index_t i = 0; i < U.num_rows(); ++i) {
+    const double d = U.at(i, i);
+    EXPECT_TRUE(std::isfinite(d));
+    EXPECT_GT(d, 0.0);  // M-matrix: ILU preserves positive pivots
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, IlukLevelSweep, ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace frosch::ilu

@@ -1,0 +1,303 @@
+// Tests for Krylov solvers (src/krylov): GMRES restart/convergence behaviour,
+// equivalence of orthogonalization variants, reduction-count contracts, CG.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "direct/multifrontal.hpp"
+#include "ilu/iluk.hpp"
+#include "krylov/cg.hpp"
+#include "krylov/gmres.hpp"
+#include "la/ops.hpp"
+#include "trisolve/engines.hpp"
+
+namespace frosch::krylov {
+namespace {
+
+la::CsrMatrix<double> laplace2d(index_t nx, index_t ny) {
+  la::TripletBuilder<double> b(nx * ny, nx * ny);
+  auto id = [nx](index_t x, index_t y) { return x + nx * y; };
+  for (index_t y = 0; y < ny; ++y)
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t v = id(x, y);
+      b.add(v, v, 4.0);
+      if (x > 0) b.add(v, id(x - 1, y), -1.0);
+      if (x + 1 < nx) b.add(v, id(x + 1, y), -1.0);
+      if (y > 0) b.add(v, id(x, y - 1), -1.0);
+      if (y + 1 < ny) b.add(v, id(x, y + 1), -1.0);
+    }
+  return b.build();
+}
+
+la::CsrMatrix<double> convection_diffusion2d(index_t nx, index_t ny,
+                                             double wind) {
+  // Upwind discretization: nonsymmetric, GMRES territory.
+  la::TripletBuilder<double> b(nx * ny, nx * ny);
+  auto id = [nx](index_t x, index_t y) { return x + nx * y; };
+  for (index_t y = 0; y < ny; ++y)
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t v = id(x, y);
+      b.add(v, v, 4.0 + wind);
+      if (x > 0) b.add(v, id(x - 1, y), -1.0 - wind);
+      if (x + 1 < nx) b.add(v, id(x + 1, y), -1.0);
+      if (y > 0) b.add(v, id(x, y - 1), -1.0);
+      if (y + 1 < ny) b.add(v, id(x, y + 1), -1.0);
+    }
+  return b.build();
+}
+
+std::vector<double> random_vector(index_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::vector<double> v(static_cast<size_t>(n));
+  for (auto& x : v) x = u(rng);
+  return v;
+}
+
+/// Exact local solve as a preconditioner operator (direct factorization).
+class DirectPrec final : public LinearOperator<double> {
+ public:
+  explicit DirectPrec(const la::CsrMatrix<double>& A) {
+    chol_.symbolic(A);
+    chol_.numeric(A);
+    engine_.setup(chol_.factorization(), nullptr);
+    n_ = A.num_rows();
+  }
+  index_t rows() const override { return n_; }
+  index_t cols() const override { return n_; }
+  void apply(const std::vector<double>& x, std::vector<double>& y,
+             OpProfile* prof) const override {
+    engine_.solve(x, y, prof);
+  }
+
+ private:
+  direct::MultifrontalCholesky<double> chol_;
+  trisolve::SubstitutionEngine<double> engine_;
+  index_t n_ = 0;
+};
+
+TEST(Gmres, SolvesUnpreconditionedLaplace) {
+  auto A = laplace2d(10, 10);
+  CsrOperator<double> op(A);
+  auto xref = random_vector(A.num_rows(), 1);
+  std::vector<double> b;
+  la::spmv(A, xref, b);
+  std::vector<double> x;
+  auto res = gmres<double>(op, nullptr, b, x);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(la::residual_norm(A, x, b), 1e-6 * res.initial_residual);
+}
+
+TEST(Gmres, SolvesNonsymmetricSystem) {
+  auto A = convection_diffusion2d(12, 12, 3.0);
+  CsrOperator<double> op(A);
+  auto b = random_vector(A.num_rows(), 2);
+  std::vector<double> x;
+  auto res = gmres<double>(op, nullptr, b, x);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(la::residual_norm(A, x, b), 1e-6 * res.initial_residual);
+}
+
+TEST(Gmres, ExactPreconditionerConvergesInOneIteration) {
+  auto A = laplace2d(8, 8);
+  CsrOperator<double> op(A);
+  DirectPrec prec(A);
+  auto b = random_vector(A.num_rows(), 3);
+  std::vector<double> x;
+  auto res = gmres<double>(op, &prec, b, x);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.iterations, 2);
+}
+
+TEST(Gmres, RespectsZeroInitialResidual) {
+  auto A = laplace2d(4, 4);
+  CsrOperator<double> op(A);
+  std::vector<double> b(16, 0.0), x;
+  auto res = gmres<double>(op, nullptr, b, x);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 0);
+  for (double v : x) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Gmres, RestartLimitsBasisSize) {
+  // With restart=5 on a problem needing more iterations, the solver must
+  // still converge through multiple cycles.
+  auto A = laplace2d(14, 14);
+  CsrOperator<double> op(A);
+  auto b = random_vector(A.num_rows(), 4);
+  GmresOptions opts;
+  opts.restart = 5;
+  std::vector<double> x;
+  auto res = gmres<double>(op, nullptr, b, x, opts);
+  EXPECT_TRUE(res.converged);
+  EXPECT_GT(res.iterations, 5);
+  EXPECT_LT(la::residual_norm(A, x, b), 1e-6 * res.initial_residual);
+}
+
+class OrthoVariants : public ::testing::TestWithParam<OrthoKind> {};
+
+TEST_P(OrthoVariants, AllVariantsConvergeToSameSolution) {
+  auto A = convection_diffusion2d(10, 10, 2.0);
+  CsrOperator<double> op(A);
+  auto b = random_vector(A.num_rows(), 5);
+  GmresOptions opts;
+  opts.ortho = GetParam();
+  std::vector<double> x;
+  auto res = gmres<double>(op, nullptr, b, x, opts);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(la::residual_norm(A, x, b), 1e-6 * res.initial_residual);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, OrthoVariants,
+                         ::testing::Values(OrthoKind::MGS, OrthoKind::CGS2,
+                                           OrthoKind::SingleReduce));
+
+TEST(Gmres, SingleReduceUsesFewerReductionsThanMgs) {
+  // The defining property of the single-reduce variant [30]: one global
+  // all-reduce per iteration vs j+2 for MGS at Arnoldi step j.
+  auto A = laplace2d(12, 12);
+  CsrOperator<double> op(A);
+  auto b = random_vector(A.num_rows(), 6);
+
+  GmresOptions mgs_opts;
+  mgs_opts.ortho = OrthoKind::MGS;
+  std::vector<double> x1;
+  auto mgs_res = gmres<double>(op, nullptr, b, x1, mgs_opts);
+
+  GmresOptions sr_opts;
+  sr_opts.ortho = OrthoKind::SingleReduce;
+  std::vector<double> x2;
+  auto sr_res = gmres<double>(op, nullptr, b, x2, sr_opts);
+
+  ASSERT_TRUE(mgs_res.converged);
+  ASSERT_TRUE(sr_res.converged);
+  // Similar iteration counts, far fewer reductions.
+  EXPECT_NEAR(double(sr_res.iterations), double(mgs_res.iterations),
+              0.3 * double(mgs_res.iterations) + 3.0);
+  EXPECT_LT(sr_res.profile.reductions, mgs_res.profile.reductions / 2);
+}
+
+TEST(Gmres, ReductionCountScalesWithIterations) {
+  auto A = laplace2d(10, 10);
+  CsrOperator<double> op(A);
+  auto b = random_vector(A.num_rows(), 7);
+  GmresOptions opts;
+  opts.ortho = OrthoKind::SingleReduce;
+  std::vector<double> x;
+  auto res = gmres<double>(op, nullptr, b, x, opts);
+  // One fused reduction per iteration + residual norms (one per restart + 1
+  // initial) + occasional cancellation fallbacks.
+  EXPECT_GE(res.profile.reductions, res.iterations);
+  EXPECT_LE(res.profile.reductions, 2 * res.iterations + 10);
+}
+
+TEST(Gmres, IlukPreconditionerCutsIterations) {
+  auto A = laplace2d(16, 16);
+  CsrOperator<double> op(A);
+  auto b = random_vector(A.num_rows(), 8);
+
+  std::vector<double> x0;
+  auto plain = gmres<double>(op, nullptr, b, x0);
+
+  ilu::IlukFactorization<double> ilu;
+  ilu.symbolic(A, 1);
+  ilu.numeric(A);
+  trisolve::SubstitutionEngine<double> eng;
+  eng.setup(ilu.factorization(), nullptr);
+  struct IluPrec final : LinearOperator<double> {
+    const trisolve::SubstitutionEngine<double>* e;
+    index_t n;
+    index_t rows() const override { return n; }
+    index_t cols() const override { return n; }
+    void apply(const std::vector<double>& x, std::vector<double>& y,
+               OpProfile* prof) const override {
+      e->solve(x, y, prof);
+    }
+  } prec;
+  prec.e = &eng;
+  prec.n = A.num_rows();
+
+  std::vector<double> x1;
+  auto pre = gmres<double>(op, &prec, b, x1);
+  EXPECT_TRUE(plain.converged);
+  EXPECT_TRUE(pre.converged);
+  EXPECT_LT(pre.iterations, plain.iterations);
+}
+
+TEST(Cg, SolvesSpdSystemAndMatchesGmres) {
+  auto A = laplace2d(12, 12);
+  CsrOperator<double> op(A);
+  auto b = random_vector(A.num_rows(), 9);
+  std::vector<double> xcg, xgm;
+  auto rc = cg<double>(op, nullptr, b, xcg);
+  auto rg = gmres<double>(op, nullptr, b, xgm);
+  EXPECT_TRUE(rc.converged);
+  EXPECT_TRUE(rg.converged);
+  for (size_t i = 0; i < xcg.size(); ++i) EXPECT_NEAR(xcg[i], xgm[i], 1e-5);
+}
+
+TEST(Cg, RejectsNonSpdOperator) {
+  la::TripletBuilder<double> bb(2, 2);
+  bb.add(0, 0, 1.0);
+  bb.add(0, 1, 3.0);
+  bb.add(1, 0, 3.0);
+  bb.add(1, 1, 1.0);
+  auto A = bb.build();
+  CsrOperator<double> op(A);
+  std::vector<double> b{1.0, -1.0}, x;
+  EXPECT_THROW(cg<double>(op, nullptr, b, x), Error);
+}
+
+class RestartSweep : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(RestartSweep, ConvergesForAnyRestartLength) {
+  // Table I lists the restart length among the tunable GMRES parameters;
+  // convergence must hold for short and long cycles alike.
+  auto A = convection_diffusion2d(11, 11, 2.0);
+  CsrOperator<double> op(A);
+  auto b = random_vector(A.num_rows(), 11);
+  GmresOptions opts;
+  opts.restart = GetParam();
+  std::vector<double> x;
+  auto res = gmres<double>(op, nullptr, b, x, opts);
+  EXPECT_TRUE(res.converged) << "restart " << GetParam();
+  EXPECT_LT(la::residual_norm(A, x, b), 1e-6 * res.initial_residual);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, RestartSweep,
+                         ::testing::Values(3, 5, 10, 30, 100));
+
+TEST(Gmres, TighterToleranceNeedsMoreIterations) {
+  auto A = laplace2d(12, 12);
+  CsrOperator<double> op(A);
+  auto b = random_vector(A.num_rows(), 12);
+  index_t prev = 0;
+  for (double tol : {1e-3, 1e-7, 1e-11}) {
+    GmresOptions opts;
+    opts.tol = tol;
+    std::vector<double> x;
+    auto res = gmres<double>(op, nullptr, b, x, opts);
+    EXPECT_TRUE(res.converged);
+    EXPECT_GE(res.iterations, prev);
+    prev = res.iterations;
+  }
+}
+
+TEST(Gmres, FloatInstantiationConverges) {
+  la::TripletBuilder<float> bb(4, 4);
+  for (index_t i = 0; i < 4; ++i) {
+    bb.add(i, i, 3.0f);
+    if (i > 0) bb.add(i, i - 1, -1.0f);
+    if (i + 1 < 4) bb.add(i, i + 1, -1.0f);
+  }
+  auto A = bb.build();
+  CsrOperator<float> op(A);
+  std::vector<float> b{1.f, 0.f, 0.f, 1.f}, x;
+  GmresOptions opts;
+  opts.tol = 1e-5;
+  auto res = gmres<float>(op, nullptr, b, x, opts);
+  EXPECT_TRUE(res.converged);
+}
+
+}  // namespace
+}  // namespace frosch::krylov

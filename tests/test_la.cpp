@@ -1,0 +1,381 @@
+// Unit tests for the sparse/dense linear algebra substrate (src/la).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "la/csr.hpp"
+#include "la/dense.hpp"
+#include "la/ops.hpp"
+#include "la/spmv.hpp"
+#include "la/vector_ops.hpp"
+
+namespace frosch::la {
+namespace {
+
+CsrMatrix<double> tridiag(index_t n, double diag = 2.0, double off = -1.0) {
+  TripletBuilder<double> b(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    b.add(i, i, diag);
+    if (i > 0) b.add(i, i - 1, off);
+    if (i + 1 < n) b.add(i, i + 1, off);
+  }
+  return b.build();
+}
+
+CsrMatrix<double> random_sparse(index_t m, index_t n, double density,
+                                unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  std::bernoulli_distribution keep(density);
+  TripletBuilder<double> b(m, n);
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < n; ++j)
+      if (keep(rng)) b.add(i, j, val(rng));
+  return b.build();
+}
+
+DenseMatrix<double> to_dense(const CsrMatrix<double>& A) {
+  DenseMatrix<double> D(A.num_rows(), A.num_cols());
+  for (index_t i = 0; i < A.num_rows(); ++i)
+    for (index_t k = A.row_begin(i); k < A.row_end(i); ++k)
+      D(i, A.col(k)) += A.val(k);
+  return D;
+}
+
+TEST(Csr, TripletBuilderSumsDuplicatesAndSorts) {
+  TripletBuilder<double> b(3, 3);
+  b.add(0, 2, 1.0);
+  b.add(0, 0, 2.0);
+  b.add(0, 2, 3.0);  // duplicate, summed
+  b.add(2, 1, 5.0);
+  auto A = b.build();
+  EXPECT_EQ(A.num_entries(), 3);
+  EXPECT_DOUBLE_EQ(A.at(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(A.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(A.at(2, 1), 5.0);
+  EXPECT_DOUBLE_EQ(A.at(1, 1), 0.0);  // absent entry reads as zero
+  // rows sorted
+  EXPECT_LT(A.col(A.row_begin(0)), A.col(A.row_begin(0) + 1));
+}
+
+TEST(Csr, FindLocatesEntries) {
+  auto A = tridiag(5);
+  EXPECT_GE(A.find(2, 1), 0);
+  EXPECT_GE(A.find(2, 2), 0);
+  EXPECT_EQ(A.find(2, 4), -1);
+}
+
+TEST(Csr, ConvertRoundTripsPattern) {
+  auto A = tridiag(10);
+  auto Af = A.convert<float>();
+  auto Ad = Af.convert<double>();
+  EXPECT_EQ(Ad.num_entries(), A.num_entries());
+  EXPECT_NEAR(Ad.at(3, 4), A.at(3, 4), 1e-7);
+}
+
+TEST(Spmv, MatchesDenseReference) {
+  auto A = random_sparse(17, 13, 0.3, 42);
+  auto D = to_dense(A);
+  std::vector<double> x(13), y, yref(17, 0.0);
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> u(-1, 1);
+  for (auto& v : x) v = u(rng);
+  spmv(A, x, y);
+  for (index_t i = 0; i < 17; ++i)
+    for (index_t j = 0; j < 13; ++j) yref[i] += D(i, j) * x[j];
+  for (index_t i = 0; i < 17; ++i) EXPECT_NEAR(y[i], yref[i], 1e-12);
+}
+
+TEST(Spmv, AlphaBetaSemantics) {
+  auto A = tridiag(4);
+  std::vector<double> x{1, 2, 3, 4}, y{10, 10, 10, 10};
+  spmv(A, x, y, 2.0, 1.0);  // y = 2*A*x + y
+  EXPECT_DOUBLE_EQ(y[0], 2 * (2 * 1 - 2) + 10);
+  EXPECT_DOUBLE_EQ(y[1], 2 * (-1 + 4 - 3) + 10);
+}
+
+TEST(Spmv, TransposeMatchesExplicitTranspose) {
+  auto A = random_sparse(11, 9, 0.4, 3);
+  auto At = transpose(A);
+  std::vector<double> x(11), y1, y2;
+  for (size_t i = 0; i < x.size(); ++i) x[i] = double(i) - 5.0;
+  spmv_transpose(A, x, y1);
+  spmv(At, x, y2);
+  ASSERT_EQ(y1.size(), y2.size());
+  for (size_t i = 0; i < y1.size(); ++i) EXPECT_NEAR(y1[i], y2[i], 1e-12);
+}
+
+TEST(Spmv, ProfileCountsFlopsAndReductions) {
+  auto A = tridiag(100);
+  std::vector<double> x(100, 1.0), y;
+  OpProfile prof;
+  spmv(A, x, y, 1.0, 0.0, &prof);
+  EXPECT_DOUBLE_EQ(prof.flops, 2.0 * A.num_entries());
+  EXPECT_EQ(prof.launches, 1);
+  const double d = dot(x, x, &prof);
+  EXPECT_DOUBLE_EQ(d, 100.0);
+  EXPECT_EQ(prof.reductions, 1);
+}
+
+TEST(Ops, TransposeTwiceIsIdentity) {
+  auto A = random_sparse(8, 12, 0.35, 11);
+  auto Att = transpose(transpose(A));
+  ASSERT_EQ(Att.num_entries(), A.num_entries());
+  for (index_t i = 0; i < A.num_rows(); ++i)
+    for (index_t k = A.row_begin(i); k < A.row_end(i); ++k)
+      EXPECT_DOUBLE_EQ(Att.at(i, A.col(k)), A.val(k));
+}
+
+TEST(Ops, AddMatchesDense) {
+  auto A = random_sparse(6, 6, 0.4, 1);
+  auto B = random_sparse(6, 6, 0.4, 2);
+  auto C = add(A, B, 2.0, -1.0);
+  auto DA = to_dense(A);
+  auto DB = to_dense(B);
+  for (index_t i = 0; i < 6; ++i)
+    for (index_t j = 0; j < 6; ++j)
+      EXPECT_NEAR(C.at(i, j), 2.0 * DA(i, j) - DB(i, j), 1e-12);
+}
+
+TEST(Ops, SpgemmMatchesDense) {
+  auto A = random_sparse(7, 9, 0.4, 5);
+  auto B = random_sparse(9, 5, 0.4, 6);
+  auto C = spgemm(A, B);
+  auto DA = to_dense(A);
+  auto DB = to_dense(B);
+  for (index_t i = 0; i < 7; ++i) {
+    for (index_t j = 0; j < 5; ++j) {
+      double ref = 0;
+      for (index_t k = 0; k < 9; ++k) ref += DA(i, k) * DB(k, j);
+      EXPECT_NEAR(C.at(i, j), ref, 1e-12);
+    }
+  }
+}
+
+TEST(Ops, SpgemmGalerkinTripleProductSymmetry) {
+  // A0 = P^T A P of an SPD matrix stays symmetric.
+  auto A = tridiag(20);
+  auto P = random_sparse(20, 4, 0.3, 9);
+  auto A0 = spgemm(transpose(P), spgemm(A, P));
+  for (index_t i = 0; i < 4; ++i)
+    for (index_t j = 0; j < 4; ++j)
+      EXPECT_NEAR(A0.at(i, j), A0.at(j, i), 1e-12);
+}
+
+TEST(Ops, PermuteSymmetricPreservesValues) {
+  auto A = tridiag(6);
+  IndexVector perm{5, 3, 1, 0, 2, 4};  // new -> old
+  auto B = permute_symmetric(A, perm);
+  for (index_t i = 0; i < 6; ++i)
+    for (index_t j = 0; j < 6; ++j)
+      EXPECT_DOUBLE_EQ(B.at(i, j), A.at(perm[i], perm[j]));
+}
+
+TEST(Ops, ExtractSubmatrixSelectsBlock) {
+  auto A = tridiag(8);
+  IndexVector rows{2, 3, 4}, cols{1, 2, 3, 4, 5};
+  auto S = extract_submatrix(A, rows, cols);
+  EXPECT_EQ(S.num_rows(), 3);
+  EXPECT_EQ(S.num_cols(), 5);
+  for (size_t i = 0; i < rows.size(); ++i)
+    for (size_t j = 0; j < cols.size(); ++j)
+      EXPECT_DOUBLE_EQ(S.at(index_t(i), index_t(j)), A.at(rows[i], cols[j]));
+}
+
+TEST(Ops, ExtractRowsKeepsColumns) {
+  auto A = tridiag(8);
+  IndexVector rows{0, 7};
+  auto S = extract_rows(A, rows);
+  EXPECT_EQ(S.num_rows(), 2);
+  EXPECT_EQ(S.num_cols(), 8);
+  EXPECT_DOUBLE_EQ(S.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(S.at(1, 7), 2.0);
+  EXPECT_DOUBLE_EQ(S.at(1, 6), -1.0);
+}
+
+TEST(VectorOps, AxpyDotNorm) {
+  std::vector<double> x{1, 2, 3}, y{4, 5, 6};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[2], 12.0);
+  EXPECT_DOUBLE_EQ(dot(x, x), 14.0);
+  EXPECT_DOUBLE_EQ(norm2(x), std::sqrt(14.0));
+}
+
+TEST(VectorOps, MultiDotOneReduction) {
+  std::vector<std::vector<double>> vs{{1, 0, 0}, {0, 1, 0}};
+  std::vector<double> w{3, 4, 5}, out;
+  OpProfile prof;
+  multi_dot(vs, w, out, &prof);
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+  EXPECT_DOUBLE_EQ(out[1], 4.0);
+  EXPECT_EQ(prof.reductions, 1);
+}
+
+TEST(Dense, PartialCholeskyFormsSchurComplement) {
+  // F = [A11 A21^T; A21 A22], SPD; after partial_cholesky(F, k) the trailing
+  // block must equal A22 - A21 A11^{-1} A21^T.
+  const index_t n = 5, k = 3;
+  DenseMatrix<double> M(n, n);
+  std::mt19937 rng(13);
+  std::uniform_real_distribution<double> u(-1, 1);
+  DenseMatrix<double> B(n, n);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j) B(i, j) = u(rng);
+  // M = B*B^T + n*I  (SPD)
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      double s = (i == j) ? double(n) : 0.0;
+      for (index_t c = 0; c < n; ++c) s += B(i, c) * B(j, c);
+      M(i, j) = s;
+    }
+  }
+  DenseMatrix<double> F = M;
+  partial_cholesky(F, k);
+  // Reference Schur complement via dense LU solve of A11.
+  DenseMatrix<double> A11(k, k);
+  for (index_t i = 0; i < k; ++i)
+    for (index_t j = 0; j < k; ++j) A11(i, j) = M(i, j);
+  IndexVector piv;
+  lu_factor(A11, piv);
+  for (index_t c = k; c < n; ++c) {
+    std::vector<double> rhs(k);
+    for (index_t i = 0; i < k; ++i) rhs[i] = M(i, c);
+    lu_solve(A11, piv, rhs);
+    for (index_t r = c; r < n; ++r) {  // lower triangle only (LAPACK 'L')
+      double s = M(r, c);
+      for (index_t i = 0; i < k; ++i) s -= M(r, i) * rhs[i];
+      EXPECT_NEAR(F(r, c), s, 1e-10) << "Schur mismatch at " << r << "," << c;
+    }
+  }
+}
+
+TEST(Dense, LuSolvesRandomSystem) {
+  const index_t n = 20;
+  DenseMatrix<double> A(n, n);
+  std::mt19937 rng(99);
+  std::uniform_real_distribution<double> u(-1, 1);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) A(i, j) = u(rng);
+    A(i, i) += 5.0;
+  }
+  std::vector<double> xref(n), b(n, 0.0);
+  for (index_t i = 0; i < n; ++i) xref[i] = u(rng);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j) b[i] += A(i, j) * xref[j];
+  IndexVector piv;
+  lu_factor(A, piv);
+  lu_solve(A, piv, b);
+  for (index_t i = 0; i < n; ++i) EXPECT_NEAR(b[i], xref[i], 1e-9);
+}
+
+TEST(Dense, GemmAccumMatchesReference) {
+  DenseMatrix<double> A(3, 4), B(4, 2), C(3, 2);
+  int v = 1;
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 3; ++i) A(i, j) = v++;
+  for (index_t j = 0; j < 2; ++j)
+    for (index_t i = 0; i < 4; ++i) B(i, j) = v++;
+  gemm_accum(A, B, C);
+  for (index_t i = 0; i < 3; ++i) {
+    for (index_t j = 0; j < 2; ++j) {
+      double ref = 0;
+      for (index_t k = 0; k < 4; ++k) ref += A(i, k) * B(k, j);
+      EXPECT_DOUBLE_EQ(C(i, j), ref);
+    }
+  }
+}
+
+TEST(Identity, IsIdentity) {
+  auto I = identity<double>(4);
+  std::vector<double> x{1, 2, 3, 4}, y;
+  spmv(I, x, y);
+  for (index_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(Ops, SpgemmWithIdentityIsIdentity) {
+  auto A = random_sparse(9, 9, 0.3, 17);
+  auto I = identity<double>(9);
+  auto L = spgemm(I, A);
+  auto R = spgemm(A, I);
+  for (index_t i = 0; i < 9; ++i)
+    for (index_t k = A.row_begin(i); k < A.row_end(i); ++k) {
+      EXPECT_DOUBLE_EQ(L.at(i, A.col(k)), A.val(k));
+      EXPECT_DOUBLE_EQ(R.at(i, A.col(k)), A.val(k));
+    }
+}
+
+TEST(Ops, ExtractEmptySubmatrix) {
+  auto A = tridiag(5);
+  auto S = extract_submatrix(A, {}, {});
+  EXPECT_EQ(S.num_rows(), 0);
+  EXPECT_EQ(S.num_entries(), 0);
+}
+
+TEST(Ops, PermuteIdentityIsNoop) {
+  auto A = tridiag(7);
+  IndexVector id{0, 1, 2, 3, 4, 5, 6};
+  auto B = permute_symmetric(A, id);
+  ASSERT_EQ(B.num_entries(), A.num_entries());
+  for (count_t k = 0; k < A.num_entries(); ++k)
+    EXPECT_DOUBLE_EQ(B.val(index_t(k)), A.val(index_t(k)));
+}
+
+TEST(Ops, ResidualNormOfExactSolutionIsZero) {
+  auto A = tridiag(6);
+  std::vector<double> x{1, 2, 3, 3, 2, 1}, b;
+  spmv(A, x, b);
+  EXPECT_NEAR(residual_norm(A, x, b), 0.0, 1e-14);
+}
+
+TEST(Csr, StorageBytesCountsAllArrays) {
+  auto A = tridiag(10);
+  const double expect = 11.0 * sizeof(index_t) +
+                        double(A.num_entries()) * (sizeof(index_t) + 8);
+  EXPECT_DOUBLE_EQ(A.storage_bytes(), expect);
+  auto Af = A.convert<float>();
+  EXPECT_LT(Af.storage_bytes(), A.storage_bytes());
+}
+
+class PermuteRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PermuteRoundTrip, InversePermutationRestoresMatrix) {
+  auto A = random_sparse(12, 12, 0.3, GetParam());
+  // Make structurally symmetric for permute_symmetric.
+  A = add(A, transpose(A));
+  std::mt19937 rng(GetParam());
+  IndexVector perm(12);
+  for (index_t i = 0; i < 12; ++i) perm[i] = i;
+  std::shuffle(perm.begin(), perm.end(), rng);
+  IndexVector inv(12);
+  for (index_t i = 0; i < 12; ++i) inv[perm[i]] = i;
+  auto B = permute_symmetric(permute_symmetric(A, perm), inv);
+  for (index_t i = 0; i < 12; ++i)
+    for (index_t k = A.row_begin(i); k < A.row_end(i); ++k)
+      EXPECT_DOUBLE_EQ(B.at(i, A.col(k)), A.val(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PermuteRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+class SpgemmSweep : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(SpgemmSweep, AssociativityProperty) {
+  // (A*B)*C == A*(B*C) on random sparse chains.
+  const auto [m, seed, density] = GetParam();
+  auto A = random_sparse(m, m + 2, density, unsigned(seed));
+  auto B = random_sparse(m + 2, m - 1, density, unsigned(seed) + 100);
+  auto C = random_sparse(m - 1, m, density, unsigned(seed) + 200);
+  auto L = spgemm(spgemm(A, B), C);
+  auto R = spgemm(A, spgemm(B, C));
+  for (index_t i = 0; i < L.num_rows(); ++i)
+    for (index_t j = 0; j < L.num_cols(); ++j)
+      EXPECT_NEAR(L.at(i, j), R.at(i, j), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SpgemmSweep,
+    ::testing::Combine(::testing::Values(5, 9, 16), ::testing::Values(1, 2, 3),
+                       ::testing::Values(0.2, 0.5)));
+
+}  // namespace
+}  // namespace frosch::la

@@ -1,0 +1,224 @@
+// Tests for the Summit machine model (src/perf): monotonicity and mechanism
+// properties the modeled timings must satisfy for the paper's trends to be
+// mechanistic rather than accidental.
+#include <gtest/gtest.h>
+
+#include "perf/experiment.hpp"
+#include "perf/machine.hpp"
+#include "perf/summit.hpp"
+
+namespace frosch::perf {
+namespace {
+
+OpProfile wide_kernel(double flops, double width) {
+  OpProfile p;
+  p.flops = flops;
+  p.bytes = flops;  // 1 byte/flop
+  p.launches = 1;
+  p.critical_path = 1;
+  p.work_items = width;
+  return p;
+}
+
+TEST(GpuModel, WideKernelsBeatCpuCore) {
+  GpuModel gpu;
+  CpuCoreModel cpu;
+  auto p = wide_kernel(1e9, 1e6);
+  EXPECT_LT(gpu.time(p), cpu.time(p));
+}
+
+TEST(GpuModel, NarrowKernelsLoseToLaunchLatency) {
+  // A serial chain of narrow launches (level-set trisolve on a path) is
+  // slower on the GPU than on a CPU core -- the paper's SpTRSV pain point.
+  GpuModel gpu;
+  CpuCoreModel cpu;
+  OpProfile p;
+  p.flops = 1e6;
+  p.bytes = 1e6;
+  p.launches = 5000;  // 5000 levels
+  p.critical_path = 5000;
+  p.work_items = 5000.0;  // one row per level
+  EXPECT_GT(gpu.time(p), cpu.time(p));
+}
+
+TEST(GpuModel, MpsShareSlowsASingleProcess) {
+  GpuModel gpu;
+  auto p = wide_kernel(1e9, 1e6);
+  EXPECT_GT(gpu.time(p, 7), gpu.time(p, 1));
+}
+
+TEST(GpuModel, EfficiencyGrowsWithWidth) {
+  GpuModel gpu;
+  auto narrow = wide_kernel(1e8, 100.0);
+  auto wide = wide_kernel(1e8, 1e6);
+  EXPECT_GT(gpu.time(narrow), gpu.time(wide));
+}
+
+TEST(GpuModel, Fp32DoublesThroughput) {
+  GpuModel gpu;
+  OpProfile p;
+  p.flops = 1e12;
+  p.bytes = 1.0;  // flop-bound on purpose
+  p.launches = 1;
+  p.work_items = 1e7;
+  EXPECT_LT(gpu.time(p, 1, true), gpu.time(p, 1, false));
+}
+
+TEST(CpuModel, BandwidthBoundKernel) {
+  CpuCoreModel cpu;
+  OpProfile p;
+  p.flops = 1.0;
+  p.bytes = 8e9;
+  p.launches = 1;
+  EXPECT_NEAR(cpu.time(p), 1.0, 0.05);  // 8 GB at 8 GB/s
+}
+
+TEST(HostStaged, SlowerThanPureHost) {
+  GpuModel gpu;
+  CpuCoreModel cpu;
+  OpProfile p;
+  p.flops = 1e6;
+  p.bytes = 1e8;
+  p.launches = 2;
+  EXPECT_GT(host_staged_time(gpu, cpu, p), cpu.time(p));
+}
+
+TEST(Network, ReductionsScaleWithLogRanks) {
+  SummitModel m;
+  OpProfile p;
+  p.reductions = 100;
+  EXPECT_EQ(m.network_time(p, 1), 0.0);
+  EXPECT_GT(m.network_time(p, 672), m.network_time(p, 42));
+  EXPECT_NEAR(m.network_time(p, 64) / m.network_time(p, 8), 2.0, 1e-9);
+}
+
+TEST(SplitAcrossRanks, DividesWorkKeepsLaunches) {
+  OpProfile g;
+  g.flops = 4200.0;
+  g.bytes = 8400.0;
+  g.launches = 7;
+  g.work_items = 42000.0;
+  g.reductions = 3;
+  auto p = split_across_ranks(g, 42);
+  EXPECT_DOUBLE_EQ(p.flops, 100.0);
+  EXPECT_DOUBLE_EQ(p.bytes, 200.0);
+  EXPECT_EQ(p.launches, 7);
+  EXPECT_DOUBLE_EQ(p.work_items, 1000.0);
+  EXPECT_EQ(p.reductions, 0);  // charged once, globally
+}
+
+TEST(ScaledSummit, ScalesOnlyLatencyConstants) {
+  SummitConfig full;
+  SummitConfig mini = scaled_summit(60.0, 45.0);
+  EXPECT_NEAR(mini.gpu.launch_latency, full.gpu.launch_latency / 60.0, 1e-15);
+  EXPECT_NEAR(mini.gpu.half_sat_width, full.gpu.half_sat_width / 45.0, 1e-9);
+  EXPECT_NEAR(mini.net.allreduce_alpha, full.net.allreduce_alpha / 60.0,
+              1e-15);
+  // Throughput constants untouched (they scale with recorded profiles).
+  EXPECT_DOUBLE_EQ(mini.gpu.flops_per_s, full.gpu.flops_per_s);
+  EXPECT_DOUBLE_EQ(mini.gpu.mem_bw, full.gpu.mem_bw);
+}
+
+TEST(ScaledSummit, RatioOneIsIdentityOnLatencies) {
+  SummitConfig full;
+  SummitConfig same = scaled_summit(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(same.gpu.launch_latency, full.gpu.launch_latency);
+  EXPECT_DOUBLE_EQ(same.gpu.half_sat_width, full.gpu.half_sat_width);
+}
+
+TEST(LocalTime, HostStagedAppliesOnlyInGpuMode) {
+  SummitModel m;
+  OpProfile p;
+  p.flops = 1e6;
+  p.bytes = 1e8;
+  p.launches = 2;
+  const double cpu = m.local_time({p}, Execution::CpuCores, 1, false, true);
+  const double cpu_plain = m.local_time({p}, Execution::CpuCores, 1);
+  EXPECT_DOUBLE_EQ(cpu, cpu_plain);  // host_staged is a no-op on CPU
+  const double gpu_staged = m.local_time({p}, Execution::Gpu, 1, false, true);
+  EXPECT_GT(gpu_staged, cpu_plain);  // PCIe surcharge
+}
+
+TEST(LocalTime, ChargesPerRankHaloTraffic) {
+  SummitModel m;
+  OpProfile quiet, chatty;
+  quiet.flops = chatty.flops = 1e6;
+  quiet.bytes = chatty.bytes = 1e6;
+  quiet.launches = chatty.launches = 1;
+  chatty.neighbor_msgs = 26;       // a 3D interior subdomain's neighbors
+  chatty.msg_bytes = 1e6;
+  EXPECT_GT(m.local_time({chatty}, Execution::CpuCores, 1),
+            m.local_time({quiet}, Execution::CpuCores, 1));
+}
+
+// ---- End-to-end model properties on a real (small) experiment ----------
+
+class ModelEndToEnd : public ::testing::Test {
+ protected:
+  static ExperimentResult& result() {
+    static ExperimentResult r = [] {
+      ExperimentSpec spec;
+      spec.ranks = 8;
+      spec.elems_per_rank = 3;
+      spec.elasticity = true;
+      return run_experiment(spec);
+    }();
+    return r;
+  }
+};
+
+TEST_F(ModelEndToEnd, ExperimentConverges) {
+  EXPECT_TRUE(result().converged);
+  EXPECT_GT(result().iterations, 0);
+  EXPECT_GT(result().n, 0);
+}
+
+TEST_F(ModelEndToEnd, MpsReducesGpuTimes) {
+  // The paper's central claim (Tables II/III): more MPI ranks per GPU (via
+  // MPS) shrink the subdomains and cut both setup and solve times.  Here the
+  // subdomain count is FIXED by the experiment, so we check the model's
+  // share effect jointly with profiles: np/gpu=4 on 2 GPUs must beat
+  // np/gpu=8 on 1 GPU... equivalently GPU time falls as ranks spread over
+  // more GPUs (smaller MPS share).
+  SummitModel m;
+  auto t_shared8 = model_times(result(), m, Execution::Gpu, 8);
+  auto t_shared2 = model_times(result(), m, Execution::Gpu, 2);
+  EXPECT_LT(t_shared2.solve, t_shared8.solve);
+  EXPECT_LT(t_shared2.setup, t_shared8.setup);
+}
+
+TEST_F(ModelEndToEnd, FactorOnCpuSwitchesPricingDevice) {
+  // factor_on_cpu (the SuperLU mode) must (a) price the factorization share
+  // on the CPU model, (b) switch the trisolve setup to the host-staged
+  // rebuild-every-time path, and (c) leave the solve phase untouched.
+  SummitModel m;
+  auto on_gpu = model_times(result(), m, Execution::Gpu, 1, false);
+  auto on_cpu = model_times(result(), m, Execution::Gpu, 1, true);
+  const double fac_gpu =
+      m.local_time(result().schwarz.rank_factor, Execution::Gpu, 1);
+  const double fac_cpu =
+      m.local_time(result().schwarz.rank_factor, Execution::CpuCores, 1);
+  const double tri_gpu =
+      m.local_time(result().schwarz.rank_trisolve_setup, Execution::Gpu, 1);
+  const double tri_staged =
+      m.local_time(result().schwarz.rank_trisolve_setup, Execution::Gpu, 1,
+                   false, /*host_staged=*/true);
+  EXPECT_NEAR(on_cpu.setup - on_gpu.setup,
+              (fac_cpu - fac_gpu) + (tri_staged - tri_gpu), 1e-12);
+  EXPECT_NEAR(on_cpu.solve, on_gpu.solve, 1e-12);
+}
+
+TEST_F(ModelEndToEnd, BreakdownCoversSetupCategories) {
+  SummitModel m;
+  auto bars = model_setup_breakdown(result(), m, Execution::CpuCores, 1);
+  ASSERT_EQ(bars.size(), 4u);
+  double total = 0.0;
+  for (auto& [name, sec] : bars) {
+    EXPECT_GE(sec, 0.0) << name;
+    total += sec;
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+}  // namespace
+}  // namespace frosch::perf
