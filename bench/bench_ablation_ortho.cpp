@@ -4,8 +4,6 @@
 // hundreds of ranks the all-reduce latency difference dominates the
 // orthogonalization arithmetic.  Reports real iteration/reduction counts
 // and the modeled collective time at the paper's rank counts.
-#include <benchmark/benchmark.h>
-
 #include "bench_common.hpp"
 
 using namespace frosch;

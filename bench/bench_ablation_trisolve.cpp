@@ -4,8 +4,6 @@
 // variant.  Reports per-engine operation profiles and modeled CPU/GPU times
 // for one preconditioner application, isolating the design choice the paper
 // discusses in Section V-B2.
-#include <benchmark/benchmark.h>
-
 #include "bench_common.hpp"
 #include "direct/multifrontal.hpp"
 #include "fem/assembly.hpp"

@@ -6,8 +6,6 @@
 // pure solve-phase speedup of ~2x.  This bench sweeps the number of
 // right-hand sides and reports total time (setup + m solves) for CPU and
 // GPU(np/gpu=7), for both direct-solver presets.
-#include <benchmark/benchmark.h>
-
 #include "bench_common.hpp"
 
 using namespace frosch;

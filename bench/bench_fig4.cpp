@@ -8,8 +8,6 @@
 // makes the factor structure value-dependent; Tacho's device factorization
 // shrinks its bar ~2.4x while the host-staged parts (coarse RAP, overlap
 // assembly -- the paper's "black" bar) run slower on the GPU.
-#include <benchmark/benchmark.h>
-
 #include "bench_common.hpp"
 
 using namespace frosch;

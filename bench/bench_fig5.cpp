@@ -6,8 +6,6 @@
 // CPU and GPU (smaller subdomains, superlinear local-solve savings); GPUs
 // help both phases as long as the local matrices stay large enough, and the
 // advantage shrinks as strong scaling makes subdomains tiny.
-#include <benchmark/benchmark.h>
-
 #include <map>
 
 #include "bench_common.hpp"

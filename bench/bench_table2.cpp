@@ -7,7 +7,9 @@
 // subdomains => cheaper superlinear local trisolve); best-GPU vs CPU
 // speedup ~2x; iteration counts depend only on the decomposition, so the
 // np/gpu=7 row matches the CPU row exactly.
+#ifdef FROSCH_HAVE_GBENCH
 #include <benchmark/benchmark.h>
+#endif
 
 #include "bench_common.hpp"
 
@@ -67,6 +69,7 @@ void run_table(DirectPreset preset, const BenchOptions& opt) {
   print_row("speedup (CPU/bestGPU)", spd);
 }
 
+#ifdef FROSCH_HAVE_GBENCH
 void BM_SolveApply(benchmark::State& state) {
   // Micro benchmark: one preconditioner application at the 1-node scale.
   ExperimentSpec spec = weak_spec(1, kCoresPerNode, 2);
@@ -79,6 +82,7 @@ void BM_SolveApply(benchmark::State& state) {
   state.counters["iterations"] = static_cast<double>(ps_res.iterations);
 }
 BENCHMARK(BM_SolveApply)->Unit(benchmark::kMillisecond)->Iterations(1);
+#endif  // FROSCH_HAVE_GBENCH
 
 }  // namespace
 
@@ -87,8 +91,14 @@ int main(int argc, char** argv) {
   run_table(DirectPreset::SuperLU, opt);
   run_table(DirectPreset::Tacho, opt);
   if (opt.run_micro) {
+#ifdef FROSCH_HAVE_GBENCH
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+#else
+    std::fprintf(stderr,
+                 "--micro requested but this binary was built without "
+                 "google-benchmark\n");
+#endif
   }
   return 0;
 }

@@ -7,8 +7,6 @@
 // numeric factorization); MPS improves it up to ~17x.  With Tacho the setup
 // is roughly level with CPU (symbolic reuse + device factorization), MPS
 // improving ~3x.
-#include <benchmark/benchmark.h>
-
 #include "bench_common.hpp"
 
 using namespace frosch;

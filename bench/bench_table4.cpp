@@ -9,8 +9,6 @@
 // and rise with Fast (approximate factors/solves), yet Fast has the fastest
 // GPU time-to-solution because every sweep is one full-width launch;
 // ND raises ILU iteration counts at k=0 but converges with level.
-#include <benchmark/benchmark.h>
-
 #include "bench_common.hpp"
 
 using namespace frosch;

@@ -7,8 +7,6 @@
 // iteration counts stay almost flat in the number of subdomains even with
 // the inexact solver; Fast beats KK on GPU solve time despite more
 // iterations (2.5-3.8x GPU-vs-CPU solve speedup).
-#include <benchmark/benchmark.h>
-
 #include "bench_common.hpp"
 
 using namespace frosch;

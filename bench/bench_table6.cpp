@@ -6,8 +6,6 @@
 // Expected shape (paper): single precision cuts the setup time by ~1.3-1.5x
 // on CPU (half the memory traffic through every bandwidth-bound kernel) and
 // ~1.1-1.4x on GPU.
-#include <benchmark/benchmark.h>
-
 #include "bench_common.hpp"
 
 using namespace frosch;

@@ -6,8 +6,6 @@
 // single-precision preconditioner; solve times barely move (the solve phase
 // is dominated by kernels whose traffic halves but whose launch structure
 // is unchanged, plus the cast overhead) -- speedups ~0.9-1.4x.
-#include <benchmark/benchmark.h>
-
 #include "bench_common.hpp"
 
 using namespace frosch;

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Local mirror of the tier-1 verify and of what CI runs: configure, build
+# everything (libraries, 11 tests suites + mm_io, 11 benches, 5 examples),
+# then run the full CTest suite.
+#
+# Usage:
+#   scripts/check.sh            # Release build into build/
+#   scripts/check.sh --asan     # Debug + ASan/UBSan build into build-asan/
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+CMAKE_ARGS=()
+if [[ "${1:-}" == "--asan" ]]; then
+  BUILD_DIR=build-asan
+  CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE=Debug -DFROSCH_SANITIZE=ON)
+  shift
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"

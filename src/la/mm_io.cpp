@@ -1,19 +1,54 @@
 #include "la/mm_io.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <fstream>
 #include <sstream>
 
 namespace frosch::la {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return char(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
 
 CsrMatrix<double> read_matrix_market(const std::string& path) {
   std::ifstream in(path);
   FROSCH_CHECK(in.good(), "read_matrix_market: cannot open " << path);
   std::string line;
   FROSCH_CHECK(static_cast<bool>(std::getline(in, line)),
-               "read_matrix_market: empty file");
+               "read_matrix_market: empty file " << path);
   FROSCH_CHECK(line.rfind("%%MatrixMarket", 0) == 0,
-               "read_matrix_market: missing header in " << path);
-  const bool symmetric = line.find("symmetric") != std::string::npos;
+               "read_matrix_market: missing %%MatrixMarket banner in " << path);
+
+  // Banner: %%MatrixMarket object format field symmetry
+  std::istringstream banner(line);
+  std::string tag, object, format, field, symmetry;
+  banner >> tag >> object >> format >> field >> symmetry;
+  object = lower(object);
+  format = lower(format);
+  field = lower(field);
+  symmetry = lower(symmetry);
+  FROSCH_CHECK(object == "matrix",
+               "read_matrix_market: unsupported object '" << object << "' in "
+                                                          << path);
+  FROSCH_CHECK(format == "coordinate",
+               "read_matrix_market: only coordinate format is supported, got '"
+                   << format << "' in " << path);
+  const bool pattern = field == "pattern";
+  FROSCH_CHECK(field == "real" || field == "integer" || pattern,
+               "read_matrix_market: unsupported field '" << field << "' in "
+                                                         << path);
+  const bool symmetric = symmetry == "symmetric";
+  FROSCH_CHECK(symmetric || symmetry == "general",
+               "read_matrix_market: unsupported symmetry '"
+                   << symmetry << "' in " << path);
+
   while (std::getline(in, line)) {
     if (!line.empty() && line[0] != '%') break;
   }
@@ -21,14 +56,20 @@ CsrMatrix<double> read_matrix_market(const std::string& path) {
   index_t m = 0, n = 0;
   count_t nnz = 0;
   dims >> m >> n >> nnz;
-  FROSCH_CHECK(m > 0 && n > 0, "read_matrix_market: bad dimensions");
+  FROSCH_CHECK(!dims.fail() && m > 0 && n > 0 && nnz >= 0,
+               "read_matrix_market: bad size line '" << line << "' in "
+                                                     << path);
 
   TripletBuilder<double> builder(m, n);
   for (count_t k = 0; k < nnz; ++k) {
     index_t i = 0, j = 0;
-    double v = 0.0;
-    in >> i >> j >> v;
-    FROSCH_CHECK(in.good() || in.eof(), "read_matrix_market: truncated file");
+    double v = 1.0;
+    in >> i >> j;
+    if (!pattern) in >> v;
+    FROSCH_CHECK(!in.fail(), "read_matrix_market: truncated file " << path);
+    FROSCH_CHECK(i >= 1 && i <= m && j >= 1 && j <= n,
+                 "read_matrix_market: entry (" << i << "," << j
+                                               << ") out of range in " << path);
     builder.add(i - 1, j - 1, v);
     if (symmetric && i != j) builder.add(j - 1, i - 1, v);
   }

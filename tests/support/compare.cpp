@@ -1,0 +1,67 @@
+#include "support/compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/ops.hpp"
+#include "la/vector_ops.hpp"
+#include "support/matrices.hpp"
+
+namespace frosch::test {
+
+void expect_matrices_near(const la::CsrMatrix<double>& A,
+                          const la::CsrMatrix<double>& B, double tol) {
+  ASSERT_EQ(A.num_rows(), B.num_rows());
+  ASSERT_EQ(A.num_cols(), B.num_cols());
+  const auto DA = to_dense(A);
+  const auto DB = to_dense(B);
+  for (index_t i = 0; i < A.num_rows(); ++i)
+    for (index_t j = 0; j < A.num_cols(); ++j)
+      EXPECT_NEAR(DA(i, j), DB(i, j), tol) << "entry (" << i << "," << j << ")";
+}
+
+void expect_matches_dense(const la::CsrMatrix<double>& A,
+                          const la::DenseMatrix<double>& D, double tol) {
+  ASSERT_EQ(A.num_rows(), D.num_rows());
+  ASSERT_EQ(A.num_cols(), D.num_cols());
+  const auto DA = to_dense(A);
+  for (index_t i = 0; i < A.num_rows(); ++i)
+    for (index_t j = 0; j < A.num_cols(); ++j)
+      EXPECT_NEAR(DA(i, j), D(i, j), tol) << "entry (" << i << "," << j << ")";
+}
+
+void expect_vectors_near(const std::vector<double>& a,
+                         const std::vector<double>& b, double tol) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(a[i], b[i], tol) << "element " << i;
+}
+
+void expect_symmetric(const la::CsrMatrix<double>& A, double tol) {
+  ASSERT_EQ(A.num_rows(), A.num_cols());
+  for (index_t i = 0; i < A.num_rows(); ++i)
+    for (index_t k = A.row_begin(i); k < A.row_end(i); ++k)
+      EXPECT_NEAR(A.val(k), A.at(A.col(k), i), tol)
+          << "entry (" << i << "," << A.col(k) << ")";
+}
+
+void expect_residual_below(const la::CsrMatrix<double>& A,
+                           const std::vector<double>& x,
+                           const std::vector<double>& b, double rel_tol) {
+  const double bnorm = la::norm2(b);
+  EXPECT_LE(la::residual_norm(A, x, b), rel_tol * bnorm)
+      << "relative residual above " << rel_tol;
+}
+
+bool is_permutation(const IndexVector& p, index_t n) {
+  if (index_t(p.size()) != n) return false;
+  std::vector<char> seen(size_t(n), 0);
+  for (index_t v : p) {
+    if (v < 0 || v >= n || seen[v]) return false;
+    seen[v] = 1;
+  }
+  return true;
+}
+
+}  // namespace frosch::test

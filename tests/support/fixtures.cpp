@@ -1,0 +1,42 @@
+#include "support/fixtures.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace frosch::test {
+
+std::string data_path(const std::string& name) {
+  return std::string(FROSCH_TEST_DATA_DIR) + "/" + name;
+}
+
+namespace {
+
+std::string scratch_dir() {
+  const char* env = std::getenv("TMPDIR");
+  return env && *env ? env : "/tmp";
+}
+
+}  // namespace
+
+ScratchFile::ScratchFile(const std::string& suffix) {
+  static std::atomic<unsigned> counter{0};
+  path_ = scratch_dir() + "/frosch_test_" + std::to_string(getpid()) + "_" +
+          std::to_string(counter++) + suffix;
+}
+
+ScratchFile::~ScratchFile() { std::remove(path_.c_str()); }
+
+OpProfile wide_kernel_profile(double flops, double width) {
+  OpProfile p;
+  p.flops = flops;
+  p.bytes = flops;  // 1 byte/flop
+  p.launches = 1;
+  p.critical_path = 1;
+  p.work_items = width;
+  return p;
+}
+
+}  // namespace frosch::test

@@ -1,0 +1,34 @@
+// Fixture-file access and scratch-file management for tests that touch the
+// filesystem (MatrixMarket round trips).  Checked-in fixtures live in
+// tests/data/; FROSCH_TEST_DATA_DIR is injected by tests/CMakeLists.txt.
+#pragma once
+
+#include <string>
+
+#include "common/op_profile.hpp"
+
+namespace frosch::test {
+
+/// Absolute path of a checked-in fixture under tests/data/.
+std::string data_path(const std::string& name);
+
+/// A unique temporary file path, removed on destruction.  Each instance gets
+/// its own name so tests stay parallel-safe under `ctest -j`.
+class ScratchFile {
+ public:
+  explicit ScratchFile(const std::string& suffix = ".tmp");
+  ~ScratchFile();
+  ScratchFile(const ScratchFile&) = delete;
+  ScratchFile& operator=(const ScratchFile&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Synthetic kernel profile with the given total flops and parallel width
+/// (1 byte/flop, one launch): the machine-model suites' standard probe.
+OpProfile wide_kernel_profile(double flops, double width);
+
+}  // namespace frosch::test

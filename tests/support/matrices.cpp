@@ -1,0 +1,93 @@
+#include "support/matrices.hpp"
+
+#include <random>
+
+namespace frosch::test {
+
+la::CsrMatrix<double> tridiag(index_t n, double diag, double off) {
+  la::TripletBuilder<double> b(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    b.add(i, i, diag);
+    if (i > 0) b.add(i, i - 1, off);
+    if (i + 1 < n) b.add(i, i + 1, off);
+  }
+  return b.build();
+}
+
+la::CsrMatrix<double> laplace2d(index_t nx, index_t ny) {
+  la::TripletBuilder<double> b(nx * ny, nx * ny);
+  auto id = [nx](index_t x, index_t y) { return x + nx * y; };
+  for (index_t y = 0; y < ny; ++y)
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t v = id(x, y);
+      b.add(v, v, 4.0);
+      if (x > 0) b.add(v, id(x - 1, y), -1.0);
+      if (x + 1 < nx) b.add(v, id(x + 1, y), -1.0);
+      if (y > 0) b.add(v, id(x, y - 1), -1.0);
+      if (y + 1 < ny) b.add(v, id(x, y + 1), -1.0);
+    }
+  return b.build();
+}
+
+la::CsrMatrix<double> convection_diffusion2d(index_t nx, index_t ny,
+                                             double wind) {
+  la::TripletBuilder<double> b(nx * ny, nx * ny);
+  auto id = [nx](index_t x, index_t y) { return x + nx * y; };
+  for (index_t y = 0; y < ny; ++y)
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t v = id(x, y);
+      b.add(v, v, 4.0 + wind);
+      if (x > 0) b.add(v, id(x - 1, y), -1.0 - wind);
+      if (x + 1 < nx) b.add(v, id(x + 1, y), -1.0);
+      if (y > 0) b.add(v, id(x, y - 1), -1.0);
+      if (y + 1 < ny) b.add(v, id(x, y + 1), -1.0);
+    }
+  return b.build();
+}
+
+la::CsrMatrix<double> random_sparse(index_t m, index_t n, double density,
+                                    unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  std::bernoulli_distribution keep(density);
+  la::TripletBuilder<double> b(m, n);
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < n; ++j)
+      if (keep(rng)) b.add(i, j, val(rng));
+  return b.build();
+}
+
+la::CsrMatrix<double> random_nonsym(index_t n, double density, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::bernoulli_distribution keep(density);
+  la::TripletBuilder<double> b(n, n);
+  std::vector<double> rowsum(static_cast<size_t>(n), 0.0);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j)
+      if (i != j && keep(rng)) {
+        const double v = u(rng);
+        b.add(i, j, v);
+        rowsum[i] += std::abs(v);
+      }
+  for (index_t i = 0; i < n; ++i) b.add(i, i, rowsum[i] + 1.0);
+  return b.build();
+}
+
+std::vector<double> random_vector(index_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::vector<double> v(static_cast<size_t>(n));
+  for (auto& x : v) x = u(rng);
+  return v;
+}
+
+la::DenseMatrix<double> to_dense(const la::CsrMatrix<double>& A) {
+  la::DenseMatrix<double> D(A.num_rows(), A.num_cols());
+  for (index_t i = 0; i < A.num_rows(); ++i)
+    for (index_t k = A.row_begin(i); k < A.row_end(i); ++k)
+      D(i, A.col(k)) += A.val(k);
+  return D;
+}
+
+}  // namespace frosch::test

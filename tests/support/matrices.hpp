@@ -1,0 +1,40 @@
+// Shared matrix/vector generators for the test suites.  Everything the
+// suites used to copy-paste (tridiagonal and 5-point Laplacian builders,
+// seeded random sparse matrices, dense reference conversion) lives here so
+// a fixture change propagates to every suite at once.
+#pragma once
+
+#include <vector>
+
+#include "la/csr.hpp"
+#include "la/dense.hpp"
+
+namespace frosch::test {
+
+/// Tridiagonal [off, diag, off] matrix of size n (SPD for diag >= 2|off|).
+la::CsrMatrix<double> tridiag(index_t n, double diag = 2.0, double off = -1.0);
+
+/// 2D 5-point Laplacian (SPD) on an nx x ny grid, natural ordering.
+la::CsrMatrix<double> laplace2d(index_t nx, index_t ny);
+
+/// Upwind convection-diffusion on an nx x ny grid: nonsymmetric, GMRES
+/// territory.  `wind` sets the convection strength.
+la::CsrMatrix<double> convection_diffusion2d(index_t nx, index_t ny,
+                                             double wind);
+
+/// Seeded random m x n matrix with Bernoulli(density) pattern and values
+/// uniform in [-1, 1].  Deterministic per seed.
+la::CsrMatrix<double> random_sparse(index_t m, index_t n, double density,
+                                    unsigned seed);
+
+/// Seeded random diagonally dominant nonsymmetric n x n matrix (always
+/// factorable without pivoting growth problems).
+la::CsrMatrix<double> random_nonsym(index_t n, double density, unsigned seed);
+
+/// Seeded random vector with entries uniform in [-1, 1].
+std::vector<double> random_vector(index_t n, unsigned seed);
+
+/// Dense copy of a sparse matrix: the golden reference for kernel tests.
+la::DenseMatrix<double> to_dense(const la::CsrMatrix<double>& A);
+
+}  // namespace frosch::test

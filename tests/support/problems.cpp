@@ -1,0 +1,81 @@
+#include "support/problems.hpp"
+
+#include "fem/assembly.hpp"
+#include "graph/partition.hpp"
+
+namespace frosch::test {
+
+namespace {
+
+/// Maps each reduced dof to the box of its mesh node (dofs_per_node = 1 for
+/// Laplace, 3 for elasticity).
+IndexVector owner_from_boxes(const fem::BrickMesh& mesh,
+                             const IndexVector& keep, index_t px, index_t py,
+                             index_t pz, index_t dofs_per_node) {
+  auto node_part = graph::box_partition_3d(mesh.nodes_x(), mesh.nodes_y(),
+                                           mesh.nodes_z(), px, py, pz);
+  IndexVector owner(keep.size());
+  for (size_t q = 0; q < keep.size(); ++q)
+    owner[q] = node_part[keep[q] / dofs_per_node];
+  return owner;
+}
+
+}  // namespace
+
+MeshProblem laplace_problem(index_t e, index_t px, index_t py, index_t pz) {
+  fem::BrickMesh mesh(e, e, e);
+  auto Afull = fem::assemble_laplace(mesh);
+  IndexVector fixed;
+  for (index_t nd : mesh.x0_face_nodes()) fixed.push_back(nd);
+  auto sys = fem::apply_dirichlet(Afull, fixed);
+  MeshProblem p;
+  p.A = sys.A;
+  p.Z = fem::restrict_nullspace(fem::laplace_nullspace(mesh), sys.keep);
+  p.num_parts = px * py * pz;
+  p.owner = owner_from_boxes(mesh, sys.keep, px, py, pz, 1);
+  return p;
+}
+
+MeshProblem elasticity_problem(index_t e, index_t px, index_t py, index_t pz) {
+  fem::BrickMesh mesh(e, e, e);
+  auto Afull = fem::assemble_elasticity(mesh);
+  auto sys = fem::apply_dirichlet(Afull, fem::clamped_x0_dofs(mesh));
+  MeshProblem p;
+  p.A = sys.A;
+  p.Z = fem::restrict_nullspace(fem::elasticity_nullspace(mesh), sys.keep);
+  p.num_parts = px * py * pz;
+  p.owner = owner_from_boxes(mesh, sys.keep, px, py, pz, 3);
+  return p;
+}
+
+MeshProblem strip_problem(index_t px) {
+  fem::BrickMesh mesh(4 * px, 4, 4, double(px), 1.0, 1.0);
+  auto Afull = fem::assemble_laplace(mesh);
+  IndexVector fixed;
+  for (index_t nd : mesh.x0_face_nodes()) fixed.push_back(nd);
+  auto sys = fem::apply_dirichlet(Afull, fixed);
+  MeshProblem p;
+  p.A = sys.A;
+  p.Z = fem::restrict_nullspace(fem::laplace_nullspace(mesh), sys.keep);
+  p.num_parts = px;
+  p.owner = owner_from_boxes(mesh, sys.keep, px, 1, 1, 1);
+  return p;
+}
+
+AlgebraicProblem algebraic_laplace(index_t e, index_t parts, index_t overlap) {
+  fem::BrickMesh mesh(e, e, e);
+  auto A_full = fem::assemble_laplace(mesh);
+  IndexVector fixed;
+  for (index_t node : mesh.x0_face_nodes()) fixed.push_back(node);
+  auto sys = fem::apply_dirichlet(A_full, fixed);
+  AlgebraicProblem p;
+  p.Z = la::DenseMatrix<double>(sys.A.num_rows(), 1);
+  for (index_t i = 0; i < sys.A.num_rows(); ++i) p.Z(i, 0) = 1.0;
+  auto g = graph::build_graph(sys.A);
+  auto owner = graph::recursive_bisection(g, parts);
+  p.decomp = dd::build_decomposition(sys.A, owner, parts, overlap);
+  p.A = std::move(sys.A);
+  return p;
+}
+
+}  // namespace frosch::test

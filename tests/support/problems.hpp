@@ -1,0 +1,43 @@
+// Preconditioner test problems shared by the dd and integration suites:
+// mesh-based Laplace/elasticity systems with box partitions, the strip
+// decomposition that exposes one-level Schwarz degradation, and the fully
+// algebraic (graph-partitioned) setup.
+#pragma once
+
+#include "dd/decomposition.hpp"
+#include "la/csr.hpp"
+#include "la/dense.hpp"
+
+namespace frosch::test {
+
+/// A reduced (Dirichlet-eliminated) system with its null-space basis and a
+/// subdomain assignment of every dof -- the inputs to build_decomposition.
+struct MeshProblem {
+  la::CsrMatrix<double> A;
+  la::DenseMatrix<double> Z;
+  IndexVector owner;
+  index_t num_parts = 0;
+};
+
+/// Laplace problem on an e^3-element brick, Dirichlet on x=0, box-partitioned
+/// into px*py*pz node subdomains.
+MeshProblem laplace_problem(index_t e, index_t px, index_t py, index_t pz);
+
+/// Elasticity analogue (3 dofs/node), clamped on x=0.
+MeshProblem elasticity_problem(index_t e, index_t px, index_t py, index_t pz);
+
+/// Strip-decomposed Laplace on a bar of px subdomains: the textbook setup
+/// where one-level Schwarz degrades with px and the coarse level saves it.
+MeshProblem strip_problem(index_t px);
+
+/// Fully algebraic problem: k-way graph partition of the matrix, constant
+/// null space, decomposition prebuilt with the given overlap.
+struct AlgebraicProblem {
+  la::CsrMatrix<double> A;
+  la::DenseMatrix<double> Z;
+  dd::Decomposition decomp;
+};
+
+AlgebraicProblem algebraic_laplace(index_t e, index_t parts, index_t overlap);
+
+}  // namespace frosch::test

@@ -14,83 +14,20 @@
 #include "graph/partition.hpp"
 #include "krylov/gmres.hpp"
 #include "la/spmv.hpp"
+#include "support/problems.hpp"
 
 namespace frosch::dd {
 namespace {
 
-struct Problem {
-  la::CsrMatrix<double> A;
-  la::DenseMatrix<double> Z;
-  IndexVector owner;
-  index_t num_parts;
-};
-
-/// Laplace problem on an n^3-element brick, Dirichlet on x=0, box-partitioned
-/// into px*py*pz node subdomains.
-Problem laplace_problem(index_t e, index_t px, index_t py, index_t pz) {
-  fem::BrickMesh mesh(e, e, e);
-  auto Afull = fem::assemble_laplace(mesh);
-  IndexVector fixed;
-  for (index_t nd : mesh.x0_face_nodes()) fixed.push_back(nd);
-  auto sys = fem::apply_dirichlet(Afull, fixed);
-  auto Zfull = fem::laplace_nullspace(mesh);
-  Problem p;
-  p.A = sys.A;
-  p.Z = fem::restrict_nullspace(Zfull, sys.keep);
-  p.num_parts = px * py * pz;
-  // Partition reduced dofs by their node's box.
-  auto node_part =
-      graph::box_partition_3d(mesh.nodes_x(), mesh.nodes_y(), mesh.nodes_z(),
-                              px, py, pz);
-  p.owner.resize(sys.keep.size());
-  for (size_t q = 0; q < sys.keep.size(); ++q)
-    p.owner[q] = node_part[sys.keep[q]];
-  return p;
-}
-
-/// Elasticity analogue (3 dofs/node).
-Problem elasticity_problem(index_t e, index_t px, index_t py, index_t pz) {
-  fem::BrickMesh mesh(e, e, e);
-  auto Afull = fem::assemble_elasticity(mesh);
-  auto sys = fem::apply_dirichlet(Afull, fem::clamped_x0_dofs(mesh));
-  auto Zfull = fem::elasticity_nullspace(mesh);
-  Problem p;
-  p.A = sys.A;
-  p.Z = fem::restrict_nullspace(Zfull, sys.keep);
-  p.num_parts = px * py * pz;
-  auto node_part =
-      graph::box_partition_3d(mesh.nodes_x(), mesh.nodes_y(), mesh.nodes_z(),
-                              px, py, pz);
-  p.owner.resize(sys.keep.size());
-  for (size_t q = 0; q < sys.keep.size(); ++q)
-    p.owner[q] = node_part[sys.keep[q] / 3];
-  return p;
-}
-
-/// Strip-decomposed Laplace on a bar of px subdomains: the textbook setup
-/// where one-level Schwarz degrades with px and the coarse level saves it.
-Problem strip_problem(index_t px) {
-  fem::BrickMesh mesh(4 * px, 4, 4, double(px), 1.0, 1.0);
-  auto Afull = fem::assemble_laplace(mesh);
-  IndexVector fixed;
-  for (index_t nd : mesh.x0_face_nodes()) fixed.push_back(nd);
-  auto sys = fem::apply_dirichlet(Afull, fixed);
-  Problem p;
-  p.A = sys.A;
-  p.Z = fem::restrict_nullspace(fem::laplace_nullspace(mesh), sys.keep);
-  p.num_parts = px;
-  auto node_part = graph::box_partition_3d(mesh.nodes_x(), mesh.nodes_y(),
-                                           mesh.nodes_z(), px, 1, 1);
-  p.owner.resize(sys.keep.size());
-  for (size_t q = 0; q < sys.keep.size(); ++q)
-    p.owner[q] = node_part[sys.keep[q]];
-  return p;
-}
+using test::elasticity_problem;
+using test::laplace_problem;
+using test::MeshProblem;
+using test::strip_problem;
 
 /// Iteration counts are compared with MGS orthogonalization: the
 /// single-reduce variant's implicit residual estimate can cost one marginal
 /// restart cycle, which would pollute count comparisons between configs.
-index_t solve_iterations(const Problem& p, const SchwarzConfig& cfg,
+index_t solve_iterations(const MeshProblem& p, const SchwarzConfig& cfg,
                          bool* converged = nullptr) {
   auto decomp = build_decomposition(p.A, p.owner, p.num_parts, cfg.overlap);
   SchwarzPreconditioner<double> prec(cfg, decomp);
@@ -112,7 +49,9 @@ TEST(Decomposition, OverlapContainsOwnedDofs) {
     std::set<index_t> ov(d.overlap_dofs[part].begin(),
                          d.overlap_dofs[part].end());
     for (index_t i = 0; i < p.A.num_rows(); ++i)
-      if (p.owner[i] == part) EXPECT_TRUE(ov.count(i));
+      if (p.owner[i] == part) {
+        EXPECT_TRUE(ov.count(i));
+      }
   }
 }
 

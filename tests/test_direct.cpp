@@ -2,60 +2,21 @@
 // symbolic Cholesky, Gilbert-Peierls LU, multifrontal Cholesky, supernodes.
 #include <gtest/gtest.h>
 
-#include <random>
-
 #include "direct/elimination_tree.hpp"
 #include "direct/gp_lu.hpp"
 #include "direct/multifrontal.hpp"
 #include "graph/nested_dissection.hpp"
 #include "la/ops.hpp"
 #include "la/spmv.hpp"
+#include "support/matrices.hpp"
 #include "trisolve/substitution.hpp"
 
 namespace frosch::direct {
 namespace {
 
-/// 2D 5-point Laplacian (SPD) on an nx x ny grid.
-la::CsrMatrix<double> laplace2d(index_t nx, index_t ny) {
-  la::TripletBuilder<double> b(nx * ny, nx * ny);
-  auto id = [nx](index_t x, index_t y) { return x + nx * y; };
-  for (index_t y = 0; y < ny; ++y)
-    for (index_t x = 0; x < nx; ++x) {
-      const index_t v = id(x, y);
-      b.add(v, v, 4.0);
-      if (x > 0) b.add(v, id(x - 1, y), -1.0);
-      if (x + 1 < nx) b.add(v, id(x + 1, y), -1.0);
-      if (y > 0) b.add(v, id(x, y - 1), -1.0);
-      if (y + 1 < ny) b.add(v, id(x, y + 1), -1.0);
-    }
-  return b.build();
-}
-
-/// Random diagonally dominant nonsymmetric matrix (always factorable).
-la::CsrMatrix<double> random_nonsym(index_t n, double density, unsigned seed) {
-  std::mt19937 rng(seed);
-  std::uniform_real_distribution<double> u(-1.0, 1.0);
-  std::bernoulli_distribution keep(density);
-  la::TripletBuilder<double> b(n, n);
-  std::vector<double> rowsum(static_cast<size_t>(n), 0.0);
-  for (index_t i = 0; i < n; ++i)
-    for (index_t j = 0; j < n; ++j)
-      if (i != j && keep(rng)) {
-        const double v = u(rng);
-        b.add(i, j, v);
-        rowsum[i] += std::abs(v);
-      }
-  for (index_t i = 0; i < n; ++i) b.add(i, i, rowsum[i] + 1.0);
-  return b.build();
-}
-
-std::vector<double> random_vector(index_t n, unsigned seed) {
-  std::mt19937 rng(seed);
-  std::uniform_real_distribution<double> u(-1.0, 1.0);
-  std::vector<double> v(static_cast<size_t>(n));
-  for (auto& x : v) x = u(rng);
-  return v;
-}
+using test::laplace2d;
+using test::random_nonsym;
+using test::random_vector;
 
 template <class Fact>
 std::vector<double> solve_with(const Fact& f, const std::vector<double>& b) {
@@ -85,7 +46,9 @@ TEST(EliminationTree, PostorderVisitsChildrenFirst) {
   IndexVector seen(post.size(), 0);
   std::vector<char> done(post.size(), 0);
   for (index_t v : post) {
-    if (parent[v] != -1) EXPECT_FALSE(done[parent[v]]) << "parent before child";
+    if (parent[v] != -1) {
+      EXPECT_FALSE(done[parent[v]]) << "parent before child";
+    }
     done[v] = 1;
   }
 }
@@ -98,7 +61,9 @@ TEST(EliminationTree, LevelsBoundedByHeight) {
   for (index_t v = 0; v < 64; ++v) {
     EXPECT_GE(level[v], 1);
     EXPECT_LE(level[v], h);
-    if (parent[v] != -1) EXPECT_GT(level[parent[v]], level[v]);
+    if (parent[v] != -1) {
+      EXPECT_GT(level[parent[v]], level[v]);
+    }
   }
 }
 

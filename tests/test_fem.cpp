@@ -6,6 +6,7 @@
 #include "fem/assembly.hpp"
 #include "la/ops.hpp"
 #include "la/spmv.hpp"
+#include "support/compare.hpp"
 #include "trisolve/substitution.hpp"
 
 namespace frosch::fem {
@@ -40,9 +41,7 @@ TEST(Mesh, CoordsScaleWithExtent) {
 TEST(Laplace, MatrixIsSymmetric) {
   BrickMesh mesh(3, 3, 3);
   auto A = assemble_laplace(mesh);
-  for (index_t i = 0; i < A.num_rows(); ++i)
-    for (index_t k = A.row_begin(i); k < A.row_end(i); ++k)
-      EXPECT_NEAR(A.val(k), A.at(A.col(k), i), 1e-13);
+  test::expect_symmetric(A, 1e-13);
 }
 
 TEST(Laplace, ConstantsInNullSpace) {
@@ -72,9 +71,7 @@ TEST(Laplace, DirichletSystemIsSpd) {
 TEST(Elasticity, MatrixIsSymmetric) {
   BrickMesh mesh(2, 2, 2);
   auto A = assemble_elasticity(mesh);
-  for (index_t i = 0; i < A.num_rows(); ++i)
-    for (index_t k = A.row_begin(i); k < A.row_end(i); ++k)
-      EXPECT_NEAR(A.val(k), A.at(A.col(k), i), 1e-9);
+  test::expect_symmetric(A, 1e-9);
 }
 
 TEST(Elasticity, RigidBodyModesAreNullSpace) {

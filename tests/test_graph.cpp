@@ -10,26 +10,14 @@
 #include "graph/partition.hpp"
 #include "graph/rcm.hpp"
 #include "la/csr.hpp"
+#include "support/compare.hpp"
+#include "support/matrices.hpp"
 
 namespace frosch::graph {
 namespace {
 
-/// 2D 5-point Laplacian pattern on an nx x ny grid.
-la::CsrMatrix<double> grid2d(index_t nx, index_t ny) {
-  la::TripletBuilder<double> b(nx * ny, nx * ny);
-  auto id = [nx](index_t x, index_t y) { return x + nx * y; };
-  for (index_t y = 0; y < ny; ++y) {
-    for (index_t x = 0; x < nx; ++x) {
-      const index_t v = id(x, y);
-      b.add(v, v, 4.0);
-      if (x > 0) b.add(v, id(x - 1, y), -1.0);
-      if (x + 1 < nx) b.add(v, id(x + 1, y), -1.0);
-      if (y > 0) b.add(v, id(x, y - 1), -1.0);
-      if (y + 1 < ny) b.add(v, id(x, y + 1), -1.0);
-    }
-  }
-  return b.build();
-}
+using test::is_permutation;
+using test::laplace2d;
 
 index_t bandwidth(const Graph& g, const IndexVector& perm) {
   IndexVector inv(perm.size());
@@ -39,16 +27,6 @@ index_t bandwidth(const Graph& g, const IndexVector& perm) {
     for (index_t k = g.xadj[v]; k < g.xadj[v + 1]; ++k)
       bw = std::max(bw, index_t(std::abs(inv[v] - inv[g.adj[k]])));
   return bw;
-}
-
-bool is_permutation(const IndexVector& p, index_t n) {
-  if (index_t(p.size()) != n) return false;
-  std::vector<char> seen(size_t(n), 0);
-  for (index_t v : p) {
-    if (v < 0 || v >= n || seen[v]) return false;
-    seen[v] = 1;
-  }
-  return true;
 }
 
 TEST(Graph, BuildSymmetrizesAndDropsDiagonal) {
@@ -108,7 +86,7 @@ TEST(Graph, SubsetComponentsSplitsDisjointRuns) {
 }
 
 TEST(Rcm, ProducesValidPermutationAndReducesBandwidth) {
-  auto A = grid2d(12, 12);
+  auto A = laplace2d(12, 12);
   auto g = build_graph(A);
   auto perm = rcm_ordering(g);
   ASSERT_TRUE(is_permutation(perm, g.n));
@@ -118,7 +96,7 @@ TEST(Rcm, ProducesValidPermutationAndReducesBandwidth) {
 }
 
 TEST(NestedDissection, ValidPermutationOnGrid) {
-  auto g = build_graph(grid2d(15, 15));
+  auto g = build_graph(laplace2d(15, 15));
   auto perm = nested_dissection(g);
   EXPECT_TRUE(is_permutation(perm, g.n));
 }
@@ -184,7 +162,6 @@ TEST(BoxPartition, PartsAreContiguousBoxes) {
   const index_t nx = 6, ny = 6, nz = 6;
   auto part = box_partition_3d(nx, ny, nz, 2, 2, 2);
   // Each part's vertex set must be connected in the grid graph.
-  auto g = build_graph(grid2d(1, 1));  // placeholder; rebuild proper 3D below
   la::TripletBuilder<double> b(nx * ny * nz, nx * ny * nz);
   auto id = [&](index_t x, index_t y, index_t z) {
     return x + nx * (y + ny * z);
@@ -196,7 +173,7 @@ TEST(BoxPartition, PartsAreContiguousBoxes) {
         if (y + 1 < ny) b.add(id(x, y, z), id(x, y + 1, z), 1.0);
         if (z + 1 < nz) b.add(id(x, y, z), id(x, y, z + 1), 1.0);
       }
-  g = build_graph(b.build());
+  auto g = build_graph(b.build());
   for (index_t p = 0; p < 8; ++p) {
     IndexVector verts;
     for (index_t v = 0; v < g.n; ++v)
@@ -210,7 +187,7 @@ class BisectionSweep : public ::testing::TestWithParam<index_t> {};
 
 TEST_P(BisectionSweep, AllPartsNonEmptyAndBalanced) {
   const index_t k = GetParam();
-  auto g = build_graph(grid2d(16, 16));
+  auto g = build_graph(laplace2d(16, 16));
   auto part = recursive_bisection(g, k);
   auto sizes = partition_sizes(part, k);
   const index_t ideal = g.n / k;

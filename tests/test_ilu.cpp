@@ -2,41 +2,18 @@
 // FastILU convergence to the ILU(k) fixed point, FastSpTRSV aliasing.
 #include <gtest/gtest.h>
 
-#include <random>
-
 #include "ilu/fast_sptrsv.hpp"
 #include "ilu/fastilu.hpp"
 #include "ilu/iluk.hpp"
 #include "la/spmv.hpp"
+#include "support/matrices.hpp"
 #include "trisolve/engines.hpp"
 
 namespace frosch::ilu {
 namespace {
 
-la::CsrMatrix<double> laplace2d(index_t nx, index_t ny) {
-  la::TripletBuilder<double> b(nx * ny, nx * ny);
-  auto id = [nx](index_t x, index_t y) { return x + nx * y; };
-  for (index_t y = 0; y < ny; ++y)
-    for (index_t x = 0; x < nx; ++x) {
-      const index_t v = id(x, y);
-      b.add(v, v, 4.0);
-      if (x > 0) b.add(v, id(x - 1, y), -1.0);
-      if (x + 1 < nx) b.add(v, id(x + 1, y), -1.0);
-      if (y > 0) b.add(v, id(x, y - 1), -1.0);
-      if (y + 1 < ny) b.add(v, id(x, y + 1), -1.0);
-    }
-  return b.build();
-}
-
-la::CsrMatrix<double> tridiag(index_t n) {
-  la::TripletBuilder<double> b(n, n);
-  for (index_t i = 0; i < n; ++i) {
-    b.add(i, i, 2.0);
-    if (i > 0) b.add(i, i - 1, -1.0);
-    if (i + 1 < n) b.add(i, i + 1, -1.0);
-  }
-  return b.build();
-}
+using test::laplace2d;
+using test::tridiag;
 
 double factor_error(const direct::Factorization<double>& f,
                     const la::CsrMatrix<double>& A) {

@@ -14,31 +14,14 @@
 #include "krylov/gmres.hpp"
 #include "la/mm_io.hpp"
 #include "perf/experiment.hpp"
+#include "support/fixtures.hpp"
+#include "support/problems.hpp"
 
 namespace frosch {
 namespace {
 
-struct AlgebraicProblem {
-  la::CsrMatrix<double> A;
-  la::DenseMatrix<double> Z;
-  dd::Decomposition decomp;
-};
-
-AlgebraicProblem algebraic_laplace(index_t e, index_t parts, index_t overlap) {
-  fem::BrickMesh mesh(e, e, e);
-  auto A_full = fem::assemble_laplace(mesh);
-  IndexVector fixed;
-  for (index_t node : mesh.x0_face_nodes()) fixed.push_back(node);
-  auto sys = fem::apply_dirichlet(A_full, fixed);
-  AlgebraicProblem p;
-  p.Z = la::DenseMatrix<double>(sys.A.num_rows(), 1);
-  for (index_t i = 0; i < sys.A.num_rows(); ++i) p.Z(i, 0) = 1.0;
-  auto g = graph::build_graph(sys.A);
-  auto owner = graph::recursive_bisection(g, parts);
-  p.decomp = dd::build_decomposition(sys.A, owner, parts, overlap);
-  p.A = std::move(sys.A);
-  return p;
-}
+using test::algebraic_laplace;
+using test::ScratchFile;
 
 TEST(Algebraic, GraphPartitionedGdswConverges) {
   // Fully algebraic mode: unstructured k-way partition from the matrix
@@ -102,30 +85,28 @@ TEST(NullSpace, TranslationsOnlyElasticityStillConverges) {
 
 TEST(MatrixMarket, RoundTripThroughSolver) {
   auto p = algebraic_laplace(5, 4, 1);
-  const std::string path = "/tmp/frosch_test_roundtrip.mtx";
-  la::write_matrix_market(path, p.A);
-  auto B = la::read_matrix_market(path);
+  ScratchFile scratch(".mtx");
+  la::write_matrix_market(scratch.path(), p.A);
+  auto B = la::read_matrix_market(scratch.path());
   ASSERT_EQ(B.num_rows(), p.A.num_rows());
   ASSERT_EQ(B.num_entries(), p.A.num_entries());
   for (index_t i = 0; i < p.A.num_rows(); ++i)
     for (index_t k = p.A.row_begin(i); k < p.A.row_end(i); ++k)
       EXPECT_DOUBLE_EQ(B.at(i, p.A.col(k)), p.A.val(k));
-  std::remove(path.c_str());
 }
 
 TEST(MatrixMarket, ReadsSymmetricStorage) {
-  const std::string path = "/tmp/frosch_test_sym.mtx";
+  ScratchFile scratch(".mtx");
   {
-    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::FILE* f = std::fopen(scratch.path().c_str(), "w");
     std::fprintf(f, "%%%%MatrixMarket matrix coordinate real symmetric\n");
     std::fprintf(f, "3 3 4\n1 1 2.0\n2 1 -1.0\n2 2 2.0\n3 3 1.0\n");
     std::fclose(f);
   }
-  auto A = la::read_matrix_market(path);
+  auto A = la::read_matrix_market(scratch.path());
   EXPECT_DOUBLE_EQ(A.at(0, 1), -1.0);  // mirrored
   EXPECT_DOUBLE_EQ(A.at(1, 0), -1.0);
   EXPECT_EQ(A.num_entries(), 5);  // diagonal not duplicated
-  std::remove(path.c_str());
 }
 
 TEST(Amortization, RepeatedNumericSetupsKeepSolving) {

@@ -2,57 +2,20 @@
 // equivalence of orthogonalization variants, reduction-count contracts, CG.
 #include <gtest/gtest.h>
 
-#include <random>
-
 #include "direct/multifrontal.hpp"
 #include "ilu/iluk.hpp"
 #include "krylov/cg.hpp"
 #include "krylov/gmres.hpp"
 #include "la/ops.hpp"
+#include "support/matrices.hpp"
 #include "trisolve/engines.hpp"
 
 namespace frosch::krylov {
 namespace {
 
-la::CsrMatrix<double> laplace2d(index_t nx, index_t ny) {
-  la::TripletBuilder<double> b(nx * ny, nx * ny);
-  auto id = [nx](index_t x, index_t y) { return x + nx * y; };
-  for (index_t y = 0; y < ny; ++y)
-    for (index_t x = 0; x < nx; ++x) {
-      const index_t v = id(x, y);
-      b.add(v, v, 4.0);
-      if (x > 0) b.add(v, id(x - 1, y), -1.0);
-      if (x + 1 < nx) b.add(v, id(x + 1, y), -1.0);
-      if (y > 0) b.add(v, id(x, y - 1), -1.0);
-      if (y + 1 < ny) b.add(v, id(x, y + 1), -1.0);
-    }
-  return b.build();
-}
-
-la::CsrMatrix<double> convection_diffusion2d(index_t nx, index_t ny,
-                                             double wind) {
-  // Upwind discretization: nonsymmetric, GMRES territory.
-  la::TripletBuilder<double> b(nx * ny, nx * ny);
-  auto id = [nx](index_t x, index_t y) { return x + nx * y; };
-  for (index_t y = 0; y < ny; ++y)
-    for (index_t x = 0; x < nx; ++x) {
-      const index_t v = id(x, y);
-      b.add(v, v, 4.0 + wind);
-      if (x > 0) b.add(v, id(x - 1, y), -1.0 - wind);
-      if (x + 1 < nx) b.add(v, id(x + 1, y), -1.0);
-      if (y > 0) b.add(v, id(x, y - 1), -1.0);
-      if (y + 1 < ny) b.add(v, id(x, y + 1), -1.0);
-    }
-  return b.build();
-}
-
-std::vector<double> random_vector(index_t n, unsigned seed) {
-  std::mt19937 rng(seed);
-  std::uniform_real_distribution<double> u(-1.0, 1.0);
-  std::vector<double> v(static_cast<size_t>(n));
-  for (auto& x : v) x = u(rng);
-  return v;
-}
+using test::convection_diffusion2d;
+using test::laplace2d;
+using test::random_vector;
 
 /// Exact local solve as a preconditioner operator (direct factorization).
 class DirectPrec final : public LinearOperator<double> {

@@ -8,39 +8,14 @@
 #include "la/ops.hpp"
 #include "la/spmv.hpp"
 #include "la/vector_ops.hpp"
+#include "support/matrices.hpp"
 
 namespace frosch::la {
 namespace {
 
-CsrMatrix<double> tridiag(index_t n, double diag = 2.0, double off = -1.0) {
-  TripletBuilder<double> b(n, n);
-  for (index_t i = 0; i < n; ++i) {
-    b.add(i, i, diag);
-    if (i > 0) b.add(i, i - 1, off);
-    if (i + 1 < n) b.add(i, i + 1, off);
-  }
-  return b.build();
-}
-
-CsrMatrix<double> random_sparse(index_t m, index_t n, double density,
-                                unsigned seed) {
-  std::mt19937 rng(seed);
-  std::uniform_real_distribution<double> val(-1.0, 1.0);
-  std::bernoulli_distribution keep(density);
-  TripletBuilder<double> b(m, n);
-  for (index_t i = 0; i < m; ++i)
-    for (index_t j = 0; j < n; ++j)
-      if (keep(rng)) b.add(i, j, val(rng));
-  return b.build();
-}
-
-DenseMatrix<double> to_dense(const CsrMatrix<double>& A) {
-  DenseMatrix<double> D(A.num_rows(), A.num_cols());
-  for (index_t i = 0; i < A.num_rows(); ++i)
-    for (index_t k = A.row_begin(i); k < A.row_end(i); ++k)
-      D(i, A.col(k)) += A.val(k);
-  return D;
-}
+using test::random_sparse;
+using test::to_dense;
+using test::tridiag;
 
 TEST(Csr, TripletBuilderSumsDuplicatesAndSorts) {
   TripletBuilder<double> b(3, 3);

@@ -1,0 +1,145 @@
+// Tests for the MatrixMarket reader/writer (src/la/mm_io): read -> write ->
+// read round trips against the checked-in fixtures in tests/data/ (general,
+// symmetric, and pattern storage) plus the malformed-header error paths.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "la/mm_io.hpp"
+#include "support/compare.hpp"
+#include "support/fixtures.hpp"
+#include "support/matrices.hpp"
+
+namespace frosch::la {
+namespace {
+
+using test::data_path;
+using test::ScratchFile;
+
+/// read(fixture) -> write -> read must reproduce the first read exactly:
+/// the writer emits 17 significant digits, so doubles survive verbatim.
+void expect_round_trip_stable(const CsrMatrix<double>& A) {
+  ScratchFile scratch(".mtx");
+  write_matrix_market(scratch.path(), A);
+  auto B = read_matrix_market(scratch.path());
+  ASSERT_EQ(B.num_rows(), A.num_rows());
+  ASSERT_EQ(B.num_cols(), A.num_cols());
+  ASSERT_EQ(B.num_entries(), A.num_entries());
+  test::expect_matrices_near(A, B, 0.0);
+}
+
+TEST(MmIo, GeneralFixtureReadsExactValues) {
+  auto A = read_matrix_market(data_path("general.mtx"));
+  EXPECT_EQ(A.num_rows(), 3);
+  EXPECT_EQ(A.num_cols(), 4);
+  EXPECT_EQ(A.num_entries(), 6);
+  EXPECT_DOUBLE_EQ(A.at(0, 0), 2.5);
+  EXPECT_DOUBLE_EQ(A.at(0, 2), -1.25);
+  EXPECT_DOUBLE_EQ(A.at(1, 3), 0.5);
+  EXPECT_DOUBLE_EQ(A.at(2, 0), -3.0);
+  EXPECT_DOUBLE_EQ(A.at(1, 0), 0.0);  // absent entry
+}
+
+TEST(MmIo, GeneralRoundTrip) {
+  expect_round_trip_stable(read_matrix_market(data_path("general.mtx")));
+}
+
+TEST(MmIo, SymmetricFixtureExpandsToFullStorage) {
+  auto A = read_matrix_market(data_path("symmetric.mtx"));
+  EXPECT_EQ(A.num_rows(), 4);
+  // 4 diagonal + 3 mirrored off-diagonal pairs.
+  EXPECT_EQ(A.num_entries(), 10);
+  test::expect_symmetric(A, 0.0);
+  test::expect_matrices_near(A, test::tridiag(4), 0.0);
+}
+
+TEST(MmIo, SymmetricRoundTrip) {
+  // The writer emits general storage; values and pattern must survive.
+  expect_round_trip_stable(read_matrix_market(data_path("symmetric.mtx")));
+}
+
+TEST(MmIo, PatternFixtureReadsOnes) {
+  auto A = read_matrix_market(data_path("pattern.mtx"));
+  EXPECT_EQ(A.num_rows(), 3);
+  EXPECT_EQ(A.num_entries(), 5);
+  for (index_t i = 0; i < A.num_rows(); ++i)
+    for (index_t k = A.row_begin(i); k < A.row_end(i); ++k)
+      EXPECT_DOUBLE_EQ(A.val(k), 1.0);
+  EXPECT_DOUBLE_EQ(A.at(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(A.at(0, 1), 0.0);
+}
+
+TEST(MmIo, PatternRoundTrip) {
+  expect_round_trip_stable(read_matrix_market(data_path("pattern.mtx")));
+}
+
+TEST(MmIo, RandomMatrixSurvivesRoundTripExactly) {
+  expect_round_trip_stable(test::random_sparse(13, 9, 0.35, 1234));
+}
+
+TEST(MmIo, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market(data_path("does_not_exist.mtx")), Error);
+}
+
+TEST(MmIo, MissingBannerThrows) {
+  EXPECT_THROW(read_matrix_market(data_path("bad_no_banner.mtx")), Error);
+}
+
+TEST(MmIo, ArrayFormatThrows) {
+  EXPECT_THROW(read_matrix_market(data_path("bad_array_format.mtx")), Error);
+}
+
+TEST(MmIo, ComplexFieldThrows) {
+  EXPECT_THROW(read_matrix_market(data_path("bad_complex_field.mtx")), Error);
+}
+
+TEST(MmIo, TruncatedFileThrows) {
+  EXPECT_THROW(read_matrix_market(data_path("bad_truncated.mtx")), Error);
+}
+
+TEST(MmIo, EmptyFileThrows) {
+  ScratchFile scratch(".mtx");
+  { std::ofstream out(scratch.path()); }
+  EXPECT_THROW(read_matrix_market(scratch.path()), Error);
+}
+
+TEST(MmIo, BadDimensionsThrow) {
+  ScratchFile scratch(".mtx");
+  {
+    std::ofstream out(scratch.path());
+    out << "%%MatrixMarket matrix coordinate real general\n0 0 0\n";
+  }
+  EXPECT_THROW(read_matrix_market(scratch.path()), Error);
+}
+
+TEST(MmIo, MissingNnzOnSizeLineThrows) {
+  // "3 3" without an entry count must not silently read as an empty matrix.
+  ScratchFile scratch(".mtx");
+  {
+    std::ofstream out(scratch.path());
+    out << "%%MatrixMarket matrix coordinate real general\n3 3\n";
+  }
+  EXPECT_THROW(read_matrix_market(scratch.path()), Error);
+}
+
+TEST(MmIo, OutOfRangeEntryThrows) {
+  ScratchFile scratch(".mtx");
+  {
+    std::ofstream out(scratch.path());
+    out << "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+  }
+  EXPECT_THROW(read_matrix_market(scratch.path()), Error);
+}
+
+TEST(MmIo, HermitianSymmetryThrows) {
+  ScratchFile scratch(".mtx");
+  {
+    std::ofstream out(scratch.path());
+    out << "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1.0\n";
+  }
+  EXPECT_THROW(read_matrix_market(scratch.path()), Error);
+}
+
+}  // namespace
+}  // namespace frosch::la

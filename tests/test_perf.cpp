@@ -6,24 +6,17 @@
 #include "perf/experiment.hpp"
 #include "perf/machine.hpp"
 #include "perf/summit.hpp"
+#include "support/fixtures.hpp"
 
 namespace frosch::perf {
 namespace {
 
-OpProfile wide_kernel(double flops, double width) {
-  OpProfile p;
-  p.flops = flops;
-  p.bytes = flops;  // 1 byte/flop
-  p.launches = 1;
-  p.critical_path = 1;
-  p.work_items = width;
-  return p;
-}
+using test::wide_kernel_profile;
 
 TEST(GpuModel, WideKernelsBeatCpuCore) {
   GpuModel gpu;
   CpuCoreModel cpu;
-  auto p = wide_kernel(1e9, 1e6);
+  auto p = wide_kernel_profile(1e9, 1e6);
   EXPECT_LT(gpu.time(p), cpu.time(p));
 }
 
@@ -43,14 +36,14 @@ TEST(GpuModel, NarrowKernelsLoseToLaunchLatency) {
 
 TEST(GpuModel, MpsShareSlowsASingleProcess) {
   GpuModel gpu;
-  auto p = wide_kernel(1e9, 1e6);
+  auto p = wide_kernel_profile(1e9, 1e6);
   EXPECT_GT(gpu.time(p, 7), gpu.time(p, 1));
 }
 
 TEST(GpuModel, EfficiencyGrowsWithWidth) {
   GpuModel gpu;
-  auto narrow = wide_kernel(1e8, 100.0);
-  auto wide = wide_kernel(1e8, 1e6);
+  auto narrow = wide_kernel_profile(1e8, 100.0);
+  auto wide = wide_kernel_profile(1e8, 1e6);
   EXPECT_GT(gpu.time(narrow), gpu.time(wide));
 }
 

@@ -9,33 +9,14 @@
 #include "direct/multifrontal.hpp"
 #include "graph/nested_dissection.hpp"
 #include "la/ops.hpp"
+#include "support/matrices.hpp"
 #include "trisolve/engines.hpp"
 
 namespace frosch::trisolve {
 namespace {
 
-la::CsrMatrix<double> laplace2d(index_t nx, index_t ny) {
-  la::TripletBuilder<double> b(nx * ny, nx * ny);
-  auto id = [nx](index_t x, index_t y) { return x + nx * y; };
-  for (index_t y = 0; y < ny; ++y)
-    for (index_t x = 0; x < nx; ++x) {
-      const index_t v = id(x, y);
-      b.add(v, v, 4.0);
-      if (x > 0) b.add(v, id(x - 1, y), -1.0);
-      if (x + 1 < nx) b.add(v, id(x + 1, y), -1.0);
-      if (y > 0) b.add(v, id(x, y - 1), -1.0);
-      if (y + 1 < ny) b.add(v, id(x, y + 1), -1.0);
-    }
-  return b.build();
-}
-
-std::vector<double> random_vector(index_t n, unsigned seed) {
-  std::mt19937 rng(seed);
-  std::uniform_real_distribution<double> u(-1.0, 1.0);
-  std::vector<double> v(static_cast<size_t>(n));
-  for (auto& x : v) x = u(rng);
-  return v;
-}
+using test::laplace2d;
+using test::random_vector;
 
 class ExactEngines : public ::testing::TestWithParam<TrisolveKind> {};
 
