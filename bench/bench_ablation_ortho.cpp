@@ -13,12 +13,12 @@ int main(int argc, char** argv) {
   auto opt = parse_options(argc, argv);
   SummitModel model(perf::miniature_summit());
 
-  auto spec = weak_spec(1, kCoresPerNode, opt.scale);
+  auto spec = weak_spec(1, kCoresPerNode, opt);
   std::printf("%-16s %8s %12s %18s %18s\n", "ortho", "iters", "reductions",
               "net(ms) @42rk", "net(ms) @672rk");
   for (auto ortho : {krylov::OrthoKind::MGS, krylov::OrthoKind::CGS2,
                      krylov::OrthoKind::SingleReduce}) {
-    spec.gmres.ortho = ortho;
+    spec.solver.krylov.ortho = ortho;
     auto res = perf::run_experiment(spec);
     OpProfile net = perf::network_part(res.krylov);
     std::printf("%-16s %8d %12lld %18.3f %18.3f\n",

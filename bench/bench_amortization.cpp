@@ -17,13 +17,13 @@ int main(int argc, char** argv) {
 
   for (DirectPreset preset : {DirectPreset::SuperLU, DirectPreset::Tacho}) {
     // One weak-scaling node, CPU decomposition vs GPU decomposition.
-    auto cpu_spec = weak_spec(1, kCoresPerNode, opt.scale);
+    auto cpu_spec = weak_spec(1, kCoresPerNode, opt);
     apply_preset(cpu_spec, preset);
     auto cpu_res = perf::run_experiment(cpu_spec);
     auto cpu_t = perf::model_times(cpu_res, model, Execution::CpuCores, 1,
                                    factor_on_cpu(preset));
 
-    auto gpu_spec = weak_spec(1, kGpusPerNode * 7, opt.scale);
+    auto gpu_spec = weak_spec(1, kGpusPerNode * 7, opt);
     apply_preset(gpu_spec, preset);
     auto gpu_res = perf::run_experiment(gpu_spec);
     auto gpu_t = perf::model_times(gpu_res, model, Execution::Gpu, 7,

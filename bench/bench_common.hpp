@@ -1,6 +1,6 @@
 // Shared harness code for the paper-reproduction benchmarks: experiment
 // sweeps over node counts and MPS configurations, paper-style table
-// printing, and command-line scale control.
+// printing, and command-line control.
 //
 // Every bench binary reproduces one table or figure of the paper
 // (see DESIGN.md section 4).  Conventions:
@@ -9,7 +9,12 @@
 //     recorded operation profiles); the host wall-clock of the real run is
 //     also printed for transparency;
 //   * --scale N enlarges the per-rank subdomain (default small so the whole
-//     suite runs in minutes on one core); --nodes M caps the node ladder.
+//     suite runs in minutes on one core); --nodes M caps the node ladder;
+//   * every solver option is reachable by named flag (--ortho=single-reduce
+//     --coarse-space=gdsw ...); the flags flow through a
+//     frosch::ParameterList into the SolverConfig every experiment runs
+//     with, and --help lists the valid enum names straight from the
+//     from_string parsers.
 #pragma once
 
 #include <cstdio>
@@ -32,19 +37,90 @@ struct BenchOptions {
   index_t scale = 4;       ///< elems per CPU-rank subdomain axis
   index_t max_nodes = 4;   ///< node ladder cap (paper: 16)
   bool run_micro = false;  ///< also run google-benchmark micro timers
+  ParameterList solver_params;  ///< named solver flags, applied to every spec
 };
+
+inline bool is_solver_key(const std::string& key) {
+  for (const auto& d : SolverConfig::parameter_docs())
+    if (d.key == key) return true;
+  return false;
+}
+
+inline void print_help(const char* prog) {
+  std::printf("usage: %s [options]\n\nharness options:\n", prog);
+  std::printf("  --scale N            elems per CPU-rank subdomain axis\n");
+  std::printf("  --nodes M            node ladder cap\n");
+  std::printf("  --micro              also run google-benchmark micro timers\n");
+  std::printf("  --help               this message\n");
+  std::printf(
+      "\nsolver options (--key=value or --key value; valid values are\n"
+      "generated from the library's enum parsers):\n");
+  for (const auto& d : SolverConfig::parameter_docs())
+    std::printf("  --%-19s %s [%s]\n", d.key.c_str(), d.doc.c_str(),
+                d.values.c_str());
+}
 
 inline BenchOptions parse_options(int argc, char** argv) {
   BenchOptions o;
   for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--scale") && i + 1 < argc)
-      o.scale = static_cast<index_t>(std::atoi(argv[++i]));
-    else if (!std::strcmp(argv[i], "--nodes") && i + 1 < argc)
-      o.max_nodes = static_cast<index_t>(std::atoi(argv[++i]));
-    else if (!std::strcmp(argv[i], "--micro"))
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help(argv[0]);
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument '%s'\n\n", arg.c_str());
+      print_help(argv[0]);
+      std::exit(1);
+    }
+    // google-benchmark flags (--benchmark_filter=..., used with --micro)
+    // pass through untouched to benchmark::Initialize.
+    if (arg.rfind("--benchmark_", 0) == 0) continue;
+    std::string key = arg.substr(2), value;
+    bool have_value = false;
+    const auto eq = key.find('=');
+    if (eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+      have_value = true;
+    }
+    if (key == "micro" && !have_value) {
       o.run_micro = true;
+      continue;
+    }
+    if (!have_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "option --%s needs a value\n\n", key.c_str());
+        print_help(argv[0]);
+        std::exit(1);
+      }
+      value = argv[++i];
+    }
+    if (key == "scale") {
+      o.scale = static_cast<index_t>(std::atoi(value.c_str()));
+    } else if (key == "nodes") {
+      o.max_nodes = static_cast<index_t>(std::atoi(value.c_str()));
+    } else if (is_solver_key(key)) {
+      o.solver_params.set(key, value);
+    } else {
+      std::fprintf(stderr, "unknown option --%s\n\n", key.c_str());
+      print_help(argv[0]);
+      std::exit(1);
+    }
   }
   return o;
+}
+
+/// Overrides a spec's solver config with the named command-line flags
+/// (enum values are validated through the from_string parsers; a bad name
+/// aborts with the valid list).
+inline void apply_solver_flags(ExperimentSpec& spec, const BenchOptions& o) {
+  try {
+    spec.solver = SolverConfig::from_parameters(o.solver_params, spec.solver);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(1);
+  }
 }
 
 /// Node ladder {1,2,4,...} up to max_nodes.
@@ -65,16 +141,18 @@ constexpr int kGpusPerNode = 6;
 
 /// Builds the weak-scaling spec for `nodes` nodes: the global mesh is fixed
 /// by the 42-ranks-per-node CPU decomposition; `ranks` subdomains partition
-/// it (42/node for CPU rows, 6*np_per_gpu/node for GPU rows).
+/// it (42/node for CPU rows, 6*np_per_gpu/node for GPU rows).  The named
+/// solver flags of `opt` are applied; bench-specific presets layer on top.
 inline ExperimentSpec weak_spec(index_t nodes, index_t ranks_per_node,
-                                index_t scale) {
+                                const BenchOptions& opt) {
   ExperimentSpec spec;
   const index_t cpu_ranks = nodes * kCoresPerNode;
-  const auto mesh = perf::weak_scaling_mesh(cpu_ranks, scale);
+  const auto mesh = perf::weak_scaling_mesh(cpu_ranks, opt.scale);
   spec.global_ex = mesh[0];
   spec.global_ey = mesh[1];
   spec.global_ez = mesh[2];
   spec.ranks = nodes * ranks_per_node;
+  apply_solver_flags(spec, opt);
   return spec;
 }
 
@@ -119,13 +197,13 @@ inline void apply_preset(ExperimentSpec& spec, DirectPreset p) {
   using dd::LocalSolverKind;
   using trisolve::TrisolveKind;
   if (p == DirectPreset::SuperLU) {
-    spec.schwarz.subdomain.kind = LocalSolverKind::SuperLULike;
-    spec.schwarz.subdomain.trisolve = TrisolveKind::SupernodalLevelSet;
+    spec.solver.schwarz.subdomain.kind = LocalSolverKind::SuperLULike;
+    spec.solver.schwarz.subdomain.trisolve = TrisolveKind::SupernodalLevelSet;
   } else {
     // Tacho's internal triangular solve operates on its supernodal fronts;
     // the supernodal level-set engine is the faithful profile.
-    spec.schwarz.subdomain.kind = LocalSolverKind::TachoLike;
-    spec.schwarz.subdomain.trisolve = TrisolveKind::SupernodalLevelSet;
+    spec.solver.schwarz.subdomain.kind = LocalSolverKind::TachoLike;
+    spec.solver.schwarz.subdomain.trisolve = TrisolveKind::SupernodalLevelSet;
   }
 }
 

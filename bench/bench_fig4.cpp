@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   SummitModel model(perf::miniature_summit());
 
   for (DirectPreset preset : {DirectPreset::SuperLU, DirectPreset::Tacho}) {
-    auto spec = weak_spec(1, kCoresPerNode, opt.scale);
+    auto spec = weak_spec(1, kCoresPerNode, opt);
     apply_preset(spec, preset);
     auto res = perf::run_experiment(spec);
 

@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
       spec.global_ey = mesh[1];
       spec.global_ez = mesh[2];
       spec.ranks = ranks;
+      apply_solver_flags(spec, opt);
       apply_preset(spec, DirectPreset::Tacho);
       it = cache.emplace(ranks, perf::run_experiment(spec)).first;
     }

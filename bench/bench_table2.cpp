@@ -34,7 +34,7 @@ void run_table(DirectPreset preset, const BenchOptions& opt) {
   for (size_t ni = 0; ni < nodes.size(); ++ni) {
     const index_t n = nodes[ni];
     // CPU row: 42 ranks/node.
-    auto spec = weak_spec(n, kCoresPerNode, opt.scale);
+    auto spec = weak_spec(n, kCoresPerNode, opt);
     apply_preset(spec, preset);
     auto res = perf::run_experiment(spec);
     auto t = perf::model_times(res, model, Execution::CpuCores, 1,
@@ -46,7 +46,7 @@ void run_table(DirectPreset preset, const BenchOptions& opt) {
     // GPU rows: 6*k ranks/node, same mesh.
     for (size_t ki = 0; ki < mps_sweep().size(); ++ki) {
       const int k = mps_sweep()[ki];
-      auto gspec = weak_spec(n, kGpusPerNode * k, opt.scale);
+      auto gspec = weak_spec(n, kGpusPerNode * k, opt);
       apply_preset(gspec, preset);
       auto gres = perf::run_experiment(gspec);
       auto gt = perf::model_times(gres, model, Execution::Gpu, k,
@@ -72,7 +72,9 @@ void run_table(DirectPreset preset, const BenchOptions& opt) {
 #ifdef FROSCH_HAVE_GBENCH
 void BM_SolveApply(benchmark::State& state) {
   // Micro benchmark: one preconditioner application at the 1-node scale.
-  ExperimentSpec spec = weak_spec(1, kCoresPerNode, 2);
+  BenchOptions micro_opt;
+  micro_opt.scale = 2;
+  ExperimentSpec spec = weak_spec(1, kCoresPerNode, micro_opt);
   auto ps_res = perf::run_experiment(spec);
   benchmark::DoNotOptimize(ps_res.iterations);
   for (auto _ : state) {

@@ -25,7 +25,7 @@ void run_table(DirectPreset preset, const BenchOptions& opt) {
 
   for (size_t ni = 0; ni < nodes.size(); ++ni) {
     const index_t n = nodes[ni];
-    auto spec = weak_spec(n, kCoresPerNode, opt.scale);
+    auto spec = weak_spec(n, kCoresPerNode, opt);
     apply_preset(spec, preset);
     auto res = perf::run_experiment(spec);
     auto t = perf::model_times(res, model, Execution::CpuCores, 1,
@@ -35,7 +35,7 @@ void run_table(DirectPreset preset, const BenchOptions& opt) {
     size_row.push_back(std::to_string(res.n) + " dof");
     for (size_t ki = 0; ki < mps_sweep().size(); ++ki) {
       const int k = mps_sweep()[ki];
-      auto gspec = weak_spec(n, kGpusPerNode * k, opt.scale);
+      auto gspec = weak_spec(n, kGpusPerNode * k, opt);
       apply_preset(gspec, preset);
       auto gres = perf::run_experiment(gspec);
       auto gt = perf::model_times(gres, model, Execution::Gpu, k,

@@ -59,11 +59,11 @@ int main(int argc, char** argv) {
   for (size_t vi = 0; vi < std::size(variants); ++vi) {
     const auto& v = variants[vi];
     for (int lev : levels) {
-      auto spec = weak_spec(1, kCoresPerNode, opt.scale);
-      spec.schwarz.subdomain.kind = v.kind;
-      spec.schwarz.subdomain.trisolve = v.tri;
-      spec.schwarz.subdomain.ordering = v.ord;
-      spec.schwarz.subdomain.ilu_level = lev;
+      auto spec = weak_spec(1, kCoresPerNode, opt);
+      spec.solver.schwarz.subdomain.kind = v.kind;
+      spec.solver.schwarz.subdomain.trisolve = v.tri;
+      spec.solver.schwarz.subdomain.ordering = v.ord;
+      spec.solver.schwarz.subdomain.ilu_level = lev;
       auto res = perf::run_experiment(spec);
       times[vi].push_back(
           perf::model_times(res, model, v.exec, v.npg, false));

@@ -47,11 +47,11 @@ int main(int argc, char** argv) {
       auto spec = weak_spec(n, v.exec == Execution::Gpu
                                    ? index_t(kGpusPerNode * v.npg)
                                    : index_t(kCoresPerNode),
-                            opt.scale);
-      spec.schwarz.subdomain.kind = v.kind;
-      spec.schwarz.subdomain.trisolve = v.tri;
-      spec.schwarz.subdomain.ordering = dd::Ordering::Natural;
-      spec.schwarz.subdomain.ilu_level = 1;
+                            opt);
+      spec.solver.schwarz.subdomain.kind = v.kind;
+      spec.solver.schwarz.subdomain.trisolve = v.tri;
+      spec.solver.schwarz.subdomain.ordering = dd::Ordering::Natural;
+      spec.solver.schwarz.subdomain.ilu_level = 1;
       auto res = perf::run_experiment(spec);
       times[vi].push_back(perf::model_times(res, model, v.exec, v.npg, false));
       iters[vi].push_back(res.converged ? res.iterations : -1);

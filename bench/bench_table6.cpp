@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
     for (size_t ni = 0; ni < nodes.size(); ++ni) {
       for (int fp32 = 0; fp32 <= 1; ++fp32) {
         // CPU run (42 ranks/node).
-        auto spec = weak_spec(nodes[ni], kCoresPerNode, opt.scale);
+        auto spec = weak_spec(nodes[ni], kCoresPerNode, opt);
         apply_preset(spec, preset);
         spec.single_precision = fp32;
         auto res = perf::run_experiment(spec);
@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
         if (fp32 == 0)
           size_row.push_back(std::to_string(res.n) + " dof");
         // GPU run (np/gpu = 7).
-        auto gspec = weak_spec(nodes[ni], kGpusPerNode * 7, opt.scale);
+        auto gspec = weak_spec(nodes[ni], kGpusPerNode * 7, opt);
         apply_preset(gspec, preset);
         gspec.single_precision = fp32;
         auto gres = perf::run_experiment(gspec);

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
     index_t it[2][2][8] = {};
     for (size_t ni = 0; ni < nodes.size(); ++ni) {
       for (int fp32 = 0; fp32 <= 1; ++fp32) {
-        auto spec = weak_spec(nodes[ni], kCoresPerNode, opt.scale);
+        auto spec = weak_spec(nodes[ni], kCoresPerNode, opt);
         apply_preset(spec, preset);
         spec.single_precision = fp32;
         auto res = perf::run_experiment(spec);
@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
         it[0][fp32][ni] = res.iterations;
         if (fp32 == 0)
           size_row.push_back(std::to_string(res.n) + " dof");
-        auto gspec = weak_spec(nodes[ni], kGpusPerNode * 7, opt.scale);
+        auto gspec = weak_spec(nodes[ni], kGpusPerNode * 7, opt);
         apply_preset(gspec, preset);
         gspec.single_precision = fp32;
         auto gres = perf::run_experiment(gspec);

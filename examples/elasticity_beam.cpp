@@ -1,13 +1,11 @@
 // Domain-specific example: a clamped 3D elastic beam under a gravity load
 // -- the problem class the paper's whole evaluation section is built on.
 // Demonstrates: rigid-body-mode null spaces, the GDSW-vs-rGDSW coarse space
-// choice, and the effect of the coarse level on convergence.
+// choice, and the effect of the coarse level on convergence, all through
+// the typed SolverConfig side of the frosch::Solver facade.
 #include <cstdio>
 
-#include "dd/schwarz.hpp"
-#include "fem/assembly.hpp"
-#include "graph/partition.hpp"
-#include "krylov/gmres.hpp"
+#include "frosch.hpp"
 
 using namespace frosch;
 
@@ -16,7 +14,8 @@ namespace {
 struct Setup {
   la::CsrMatrix<double> A;
   la::DenseMatrix<double> Z;
-  dd::Decomposition decomp;
+  IndexVector owner;
+  index_t num_parts = 0;
   std::vector<double> load;
 };
 
@@ -30,11 +29,11 @@ Setup make_beam(index_t px) {
   s.Z = fem::restrict_nullspace(fem::elasticity_nullspace(mesh), sys.keep);
   auto node_part = graph::box_partition_3d(mesh.nodes_x(), mesh.nodes_y(),
                                            mesh.nodes_z(), px, 1, 1);
-  IndexVector owner(sys.keep.size());
+  s.owner.resize(sys.keep.size());
   for (size_t q = 0; q < sys.keep.size(); ++q)
-    owner[q] = node_part[sys.keep[q] / 3];
+    s.owner[q] = node_part[sys.keep[q] / 3];
   s.A = std::move(sys.A);
-  s.decomp = dd::build_decomposition(s.A, owner, px, 1);
+  s.num_parts = px;
   s.load.assign(static_cast<size_t>(s.A.num_rows()), 0.0);
   for (size_t q = 0; q < sys.keep.size(); ++q)
     if (sys.keep[q] % 3 == 2) s.load[q] = -1.0;  // z-component gravity
@@ -43,23 +42,21 @@ Setup make_beam(index_t px) {
 
 index_t solve(const Setup& s, bool two_level, dd::CoarseSpaceKind cs,
               double* tip_deflection) {
-  dd::SchwarzConfig cfg;
-  cfg.two_level = two_level;
-  cfg.coarse_space = cs;
-  cfg.subdomain.dof_block_size = 3;
-  cfg.extension.dof_block_size = 3;
-  dd::SchwarzPreconditioner<double> prec(cfg, s.decomp);
-  prec.symbolic_setup(s.A);
-  prec.numeric_setup(s.A, s.Z);
-  krylov::CsrOperator<double> op(s.A);
+  SolverConfig cfg;
+  cfg.schwarz.two_level = two_level;
+  cfg.schwarz.coarse_space = cs;
+  cfg.schwarz.subdomain.dof_block_size = 3;
+  cfg.schwarz.extension.dof_block_size = 3;
+  Solver solver(cfg);
+  solver.setup(s.A, s.Z, s.owner, s.num_parts);
   std::vector<double> x;
-  auto res = krylov::gmres<double>(op, &prec, s.load, x);
+  auto rep = solver.solve(s.load, x);
   if (tip_deflection) {
     double mn = 0.0;
     for (double v : x) mn = std::min(mn, v);
     *tip_deflection = mn;
   }
-  return res.converged ? res.iterations : -1;
+  return rep.converged ? rep.iterations : -1;
 }
 
 }  // namespace

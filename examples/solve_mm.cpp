@@ -1,7 +1,7 @@
 // Algebraic usage: solve an SPD system from a Matrix Market file with the
-// two-level Schwarz preconditioner, using the GRAPH partitioner (no mesh
-// required) and the algebraic constant null space -- the "fully algebraic"
-// FROSch mode of [Heinlein et al. 2021].
+// two-level Schwarz preconditioner in fully algebraic mode -- no mesh: the
+// facade graph-partitions the matrix itself and the null space is the
+// algebraic constant vector ([Heinlein et al. 2021]).
 //
 //   ./solve_mm matrix.mtx [num_subdomains] [overlap]
 //
@@ -9,11 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "dd/schwarz.hpp"
-#include "fem/assembly.hpp"
-#include "graph/partition.hpp"
-#include "krylov/gmres.hpp"
-#include "la/mm_io.hpp"
+#include "frosch.hpp"
 
 using namespace frosch;
 
@@ -41,29 +37,24 @@ int main(int argc, char** argv) {
               int(A.num_rows()), int(A.num_cols()),
               (long long)A.num_entries());
 
-  // Algebraic k-way partition of the matrix graph.
-  auto g = graph::build_graph(A);
-  auto owner = graph::recursive_bisection(g, parts);
-  auto decomp = dd::build_decomposition(A, owner, parts, overlap);
-
   // Algebraic null space: constants (valid for Laplace-like operators; pass
   // the real null space if you have one -- Section III step 3).
   la::DenseMatrix<double> Z(A.num_rows(), 1);
   for (index_t i = 0; i < A.num_rows(); ++i) Z(i, 0) = 1.0;
 
-  dd::SchwarzConfig cfg;
-  cfg.overlap = overlap;
-  dd::SchwarzPreconditioner<double> prec(cfg, decomp);
-  prec.symbolic_setup(A);
-  prec.numeric_setup(A, Z);
+  // The facade's algebraic setup(A, Z) overload k-way partitions the matrix
+  // graph itself; num-parts and overlap arrive as string parameters.
+  ParameterList params;
+  params.set("num-parts", parts).set("overlap", overlap);
+  Solver solver(params);
+  solver.setup(A, Z);
 
-  krylov::CsrOperator<double> op(A);
   std::vector<double> b(static_cast<size_t>(A.num_rows()), 1.0), x;
-  auto res = krylov::gmres<double>(op, &prec, b, x);
+  auto rep = solver.solve(b, x);
   std::printf("%d subdomains (overlap %d), coarse dim %d: GMRES %s in %d "
               "iterations, residual %.2e -> %.2e\n",
-              int(parts), int(overlap), int(prec.coarse_dim()),
-              res.converged ? "converged" : "FAILED", int(res.iterations),
-              res.initial_residual, res.final_residual);
-  return res.converged ? 0 : 1;
+              int(parts), int(overlap), int(rep.coarse_dim),
+              rep.converged ? "converged" : "FAILED", int(rep.iterations),
+              rep.initial_residual, rep.final_residual);
+  return rep.converged ? 0 : 1;
 }

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Local mirror of the tier-1 verify and of what CI runs: configure, build
-# everything (libraries, 11 tests suites + mm_io, 11 benches, 5 examples),
-# then run the full CTest suite.
+# Local mirror of the tier-1 verify and of what CI runs: header
+# self-containment check, configure, build everything (libraries, 12 test
+# suites, 11 benches, 5 examples), then run the full CTest suite.
 #
 # Usage:
 #   scripts/check.sh            # Release build into build/
@@ -9,6 +9,8 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+scripts/check_headers.sh
 
 BUILD_DIR=build
 CMAKE_ARGS=()

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Header self-containment check: every public header under src/ must
+# compile standalone (all of its includes spelled out, no dependence on
+# whatever the including .cpp happened to pull in first).  Run by
+# scripts/check.sh and by CI.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CXX=${CXX:-c++}
+fail=0
+while IFS= read -r header; do
+  if ! printf '#include "%s"\n' "${header#src/}" |
+      "$CXX" -std=c++17 -fsyntax-only -Wall -Wextra -Isrc -x c++ - \
+        2> /tmp/check_headers_err.$$; then
+    echo "NOT self-contained: $header"
+    cat /tmp/check_headers_err.$$
+    fail=1
+  fi
+done < <(find src -name '*.hpp' | sort)
+rm -f /tmp/check_headers_err.$$
+
+if [[ $fail -eq 0 ]]; then
+  echo "all src/ headers are self-contained"
+fi
+exit $fail

@@ -1,0 +1,41 @@
+// Generic enum <-> string machinery behind the string-driven configuration
+// surface (ParameterList keys, bench flags): every configuration enum
+// declares an EnumTraits specialization next to its to_string, and
+// from_string<E> round-trips any name produced by to_string -- so the
+// valid-name lists printed in --help and in error messages are derived from
+// the parsers instead of being maintained by hand.
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace frosch {
+
+/// Specialized next to each configuration enum's to_string with
+///   static constexpr const char* type_name;  // e.g. "OrthoKind"
+///   static constexpr std::array<E, N> all;   // every enumerator
+template <class E>
+struct EnumTraits;
+
+/// Comma-joined list of every valid name of E, as produced by to_string.
+template <class E>
+std::string enum_names() {
+  std::vector<std::string> names;
+  for (E k : EnumTraits<E>::all)
+    names.push_back(to_string(k));  // found by ADL in the enum's namespace
+  return join(names);
+}
+
+/// Parses `name` as an enumerator of E (exact match against to_string).
+/// Throws frosch::Error listing the valid names on an unknown name.
+template <class E>
+E from_string(const std::string& name) {
+  for (E k : EnumTraits<E>::all)
+    if (name == to_string(k)) return k;
+  throw Error(std::string(EnumTraits<E>::type_name) + ": unknown name '" +
+              name + "' (valid: " + enum_names<E>() + ")");
+}
+
+}  // namespace frosch

@@ -1,0 +1,20 @@
+// Small string helpers shared by the error-message and help-text paths.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace frosch {
+
+/// "a, b, c" -- the list format of every valid-names error message.
+inline std::string join(const std::vector<std::string>& items,
+                        const char* sep = ", ") {
+  std::string s;
+  for (const auto& item : items) {
+    if (!s.empty()) s += sep;
+    s += item;
+  }
+  return s;
+}
+
+}  // namespace frosch

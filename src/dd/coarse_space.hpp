@@ -25,6 +25,21 @@ enum class CoarseSpaceKind {
 
 const char* to_string(CoarseSpaceKind k);
 
+}  // namespace frosch::dd
+
+namespace frosch {
+
+template <>
+struct EnumTraits<dd::CoarseSpaceKind> {
+  static constexpr const char* type_name = "CoarseSpaceKind";
+  static constexpr std::array<dd::CoarseSpaceKind, 2> all = {
+      dd::CoarseSpaceKind::GDSW, dd::CoarseSpaceKind::RGDSW};
+};
+
+}  // namespace frosch
+
+namespace frosch::dd {
+
 /// Profiles of the coarse-space construction, keyed for Fig. 4's breakdown.
 struct CoarseSpaceProfile {
   OpProfile interface_values;  ///< assembling Phi_Gamma

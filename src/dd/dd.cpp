@@ -31,10 +31,19 @@ const char* to_string(CoarseSpaceKind k) {
   return "unknown";
 }
 
+const char* to_string(Ordering k) {
+  switch (k) {
+    case Ordering::Natural: return "natural";
+    case Ordering::NestedDissection: return "nested-dissection";
+  }
+  return "unknown";
+}
+
 template class LocalSolver<double>;
 template class LocalSolver<float>;
 template class SchwarzPreconditioner<double>;
 template class SchwarzPreconditioner<float>;
 template class HalfPrecisionOperator<double, float>;
+template class HalfPrecisionPreconditioner<double, float>;
 
 }  // namespace frosch::dd

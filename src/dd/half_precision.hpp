@@ -6,6 +6,7 @@
 // FROSch study (Tables VI/VII).
 #pragma once
 
+#include "dd/schwarz.hpp"
 #include "krylov/operator.hpp"
 
 namespace frosch::dd {
@@ -40,6 +41,47 @@ class HalfPrecisionOperator final : public krylov::LinearOperator<Scalar> {
  private:
   const krylov::LinearOperator<Half>& inner_;
   mutable std::vector<Half> xh_, yh_;
+};
+
+/// The full half-precision PRECONDITIONER (Tables VI/VII): a Schwarz
+/// preconditioner built and applied entirely in `Half`, presented behind
+/// the working-precision Preconditioner lifecycle.  Setup casts the matrix
+/// down once per phase; apply casts the vectors through
+/// HalfPrecisionOperator.  Created by the facade's registry under the name
+/// "schwarz-float".
+template <class Scalar, class Half>
+class HalfPrecisionPreconditioner final : public Preconditioner<Scalar> {
+ public:
+  HalfPrecisionPreconditioner(const SchwarzConfig& cfg,
+                              const Decomposition& decomp)
+      : inner_(cfg, decomp), cast_(inner_) {}
+
+  index_t rows() const override { return inner_.rows(); }
+  index_t cols() const override { return inner_.cols(); }
+
+  void symbolic_setup(const la::CsrMatrix<Scalar>& A) override {
+    inner_.symbolic_setup(A.template convert<Half>());
+  }
+
+  void numeric_setup(const la::CsrMatrix<Scalar>& A,
+                     const la::DenseMatrix<double>& Z) override {
+    inner_.numeric_setup(A.template convert<Half>(), Z);
+  }
+
+  void apply(const std::vector<Scalar>& x, std::vector<Scalar>& y,
+             OpProfile* prof) const override {
+    cast_.apply(x, y, prof);
+  }
+
+  index_t coarse_dim() const override { return inner_.coarse_dim(); }
+  const SchwarzProfiles* schwarz_profiles() const override {
+    return inner_.schwarz_profiles();
+  }
+  const SchwarzPreconditioner<Half>& inner() const { return inner_; }
+
+ private:
+  SchwarzPreconditioner<Half> inner_;
+  HalfPrecisionOperator<Scalar, Half> cast_;
 };
 
 }  // namespace frosch::dd

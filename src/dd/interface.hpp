@@ -17,8 +17,10 @@
 // of unity by construction (tested in tests/test_dd.cpp).
 #pragma once
 
+#include <array>
 #include <map>
 
+#include "common/enum_parse.hpp"
 #include "dd/decomposition.hpp"
 #include "graph/graph.hpp"
 
@@ -27,6 +29,21 @@ namespace frosch::dd {
 enum class EntityKind { Vertex, Edge, Face };
 
 const char* to_string(EntityKind k);
+
+}  // namespace frosch::dd
+
+namespace frosch {
+
+template <>
+struct EnumTraits<dd::EntityKind> {
+  static constexpr const char* type_name = "EntityKind";
+  static constexpr std::array<dd::EntityKind, 3> all = {
+      dd::EntityKind::Vertex, dd::EntityKind::Edge, dd::EntityKind::Face};
+};
+
+}  // namespace frosch
+
+namespace frosch::dd {
 
 /// One interface entity (connected component of an equivalence class).
 struct InterfaceEntity {

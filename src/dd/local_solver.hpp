@@ -10,9 +10,11 @@
 //   FastIlu     + JacobiSweeps        == "FastILU + FastSpTRSV (Fast)"
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
 
+#include "common/enum_parse.hpp"
 #include "direct/gp_lu.hpp"
 #include "direct/multifrontal.hpp"
 #include "graph/nested_dissection.hpp"
@@ -35,6 +37,31 @@ enum class Ordering {
   Natural,           ///< "No" in Table IV
   NestedDissection,  ///< "ND" in Table IV
 };
+
+const char* to_string(Ordering k);
+
+}  // namespace frosch::dd
+
+namespace frosch {
+
+template <>
+struct EnumTraits<dd::LocalSolverKind> {
+  static constexpr const char* type_name = "LocalSolverKind";
+  static constexpr std::array<dd::LocalSolverKind, 4> all = {
+      dd::LocalSolverKind::SuperLULike, dd::LocalSolverKind::TachoLike,
+      dd::LocalSolverKind::Iluk, dd::LocalSolverKind::FastIlu};
+};
+
+template <>
+struct EnumTraits<dd::Ordering> {
+  static constexpr const char* type_name = "Ordering";
+  static constexpr std::array<dd::Ordering, 2> all = {
+      dd::Ordering::Natural, dd::Ordering::NestedDissection};
+};
+
+}  // namespace frosch
+
+namespace frosch::dd {
 
 struct LocalSolverConfig {
   LocalSolverKind kind = LocalSolverKind::TachoLike;

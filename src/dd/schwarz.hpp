@@ -22,7 +22,7 @@
 #include <memory>
 
 #include "dd/coarse_space.hpp"
-#include "krylov/operator.hpp"
+#include "dd/preconditioner.hpp"
 
 namespace frosch::dd {
 
@@ -66,7 +66,7 @@ struct SchwarzProfiles {
 };
 
 template <class Scalar>
-class SchwarzPreconditioner final : public krylov::LinearOperator<Scalar> {
+class SchwarzPreconditioner final : public Preconditioner<Scalar> {
  public:
   SchwarzPreconditioner(const SchwarzConfig& cfg, const Decomposition& decomp)
       : cfg_(cfg), decomp_(decomp) {}
@@ -75,13 +75,14 @@ class SchwarzPreconditioner final : public krylov::LinearOperator<Scalar> {
   index_t cols() const override { return n_; }
 
   const SchwarzProfiles& profiles() const { return prof_; }
+  const SchwarzProfiles* schwarz_profiles() const override { return &prof_; }
   const SchwarzConfig& config() const { return cfg_; }
-  index_t coarse_dim() const { return prof_.coarse_dim; }
+  index_t coarse_dim() const override { return prof_.coarse_dim; }
   const la::CsrMatrix<Scalar>& coarse_basis() const { return phi_; }
   const la::CsrMatrix<Scalar>& coarse_matrix() const { return A0_; }
 
   /// Phase (a): pattern-only analysis.
-  void symbolic_setup(const la::CsrMatrix<Scalar>& A) {
+  void symbolic_setup(const la::CsrMatrix<Scalar>& A) override {
     n_ = A.num_rows();
     FROSCH_CHECK(static_cast<index_t>(decomp_.owner.size()) == n_,
                  "SchwarzPreconditioner: decomposition/matrix mismatch");
@@ -109,7 +110,7 @@ class SchwarzPreconditioner final : public krylov::LinearOperator<Scalar> {
   /// Phase (b): numeric setup.  `Z` is the global null-space basis (only
   /// used when two_level; pass an empty matrix for one-level).
   void numeric_setup(const la::CsrMatrix<Scalar>& A,
-                     const la::DenseMatrix<double>& Z) {
+                     const la::DenseMatrix<double>& Z) override {
     FROSCH_CHECK(symbolic_done_, "SchwarzPreconditioner: symbolic first");
     auto& bk = prof_.numeric_breakdown;
 

@@ -103,6 +103,7 @@ SolveResult gmres(const LinearOperator<Scalar>& A,
                   const std::vector<Scalar>& b, std::vector<Scalar>& x,
                   const GmresOptions& opts) {
   FROSCH_CHECK(A.rows() == A.cols(), "gmres: square operator required");
+  FROSCH_CHECK(opts.restart > 0, "gmres: restart must be positive");
   const index_t n = A.rows();
   FROSCH_CHECK(static_cast<index_t>(b.size()) == n, "gmres: rhs size mismatch");
   x.resize(static_cast<size_t>(n), Scalar(0));
@@ -124,6 +125,7 @@ SolveResult gmres(const LinearOperator<Scalar>& A,
   for (index_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
   const double beta0 = static_cast<double>(la::norm2(r, prof));
   res.initial_residual = beta0;
+  res.residual_history.push_back(beta0);
   if (beta0 == 0.0) {
     res.converged = true;
     return res;
@@ -152,6 +154,11 @@ SolveResult gmres(const LinearOperator<Scalar>& A,
         // Breakdown: the Krylov space is invariant; solution is exact in it.
         for (index_t i = 0; i <= j + 1; ++i) H(i, j) = i <= j ? h[i] : Scalar(0);
         ++res.iterations;
+        // No Givens update happened; record the pre-step estimate (the true
+        // residual overwrites it at the end of the cycle).
+        res.residual_history.push_back(std::abs(static_cast<double>(g[j])));
+        if (opts.on_iteration)
+          opts.on_iteration(res.iterations, res.residual_history.back());
         ++j;
         cycle_converged = true;
         break;
@@ -179,6 +186,8 @@ SolveResult gmres(const LinearOperator<Scalar>& A,
       ++res.iterations;
 
       const double rnorm = std::abs(static_cast<double>(g[j + 1]));
+      res.residual_history.push_back(rnorm);
+      if (opts.on_iteration) opts.on_iteration(res.iterations, rnorm);
       if (rnorm <= target) {
         ++j;
         cycle_converged = true;
@@ -207,6 +216,9 @@ SolveResult gmres(const LinearOperator<Scalar>& A,
     for (index_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
     beta = static_cast<double>(la::norm2(r, prof));
     res.final_residual = beta;
+    // The cycle's last history entry was an implicit estimate; replace it by
+    // the explicitly computed true residual.
+    res.residual_history.back() = beta;
 #ifdef FROSCH_GMRES_DEBUG
     std::fprintf(stderr, "[gmres] iters=%d beta=%.3e target=%.3e j=%d\n",
                  (int)res.iterations, beta, target, (int)j);

@@ -9,9 +9,11 @@
 // difference between the variants is exactly the effect [30] measures.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <string>
 
+#include "common/enum_parse.hpp"
 #include "krylov/operator.hpp"
 #include "la/dense.hpp"
 #include "la/vector_ops.hpp"
@@ -26,18 +28,28 @@ enum class OrthoKind {
 
 const char* to_string(OrthoKind k);
 
+/// Observes the solve as it progresses: called once per Krylov iteration
+/// with the 1-based iteration number and the current residual estimate.
+using IterationCallback = std::function<void(index_t iteration, double residual)>;
+
 struct GmresOptions {
   index_t restart = 30;         ///< paper setting
   index_t max_iters = 2000;
-  double tol = 1e-7;            ///< relative residual reduction (paper)
+  double tol = 1e-7;            ///< relative to the initial residual (paper)
   OrthoKind ortho = OrthoKind::SingleReduce;
+  IterationCallback on_iteration;  ///< optional per-iteration observer
 };
 
 struct SolveResult {
   bool converged = false;
   index_t iterations = 0;       ///< total Arnoldi steps across restarts
   double initial_residual = 0.0;
-  double final_residual = 0.0;  ///< implicit (Givens) residual estimate
+  double final_residual = 0.0;  ///< true residual at the last restart check
+  /// residual_history[0] is the initial residual; one entry per iteration
+  /// follows (the implicit Givens estimate for GMRES, the recurrence
+  /// residual for CG), with restart/convergence checks replacing the last
+  /// entry of a cycle by the explicitly computed true residual.
+  std::vector<double> residual_history;
   OpProfile profile;            ///< whole-solve operation profile
 };
 
@@ -51,3 +63,15 @@ SolveResult gmres(const LinearOperator<Scalar>& A,
                   const GmresOptions& opts = {});
 
 }  // namespace frosch::krylov
+
+namespace frosch {
+
+template <>
+struct EnumTraits<krylov::OrthoKind> {
+  static constexpr const char* type_name = "OrthoKind";
+  static constexpr std::array<krylov::OrthoKind, 3> all = {
+      krylov::OrthoKind::MGS, krylov::OrthoKind::CGS2,
+      krylov::OrthoKind::SingleReduce};
+};
+
+}  // namespace frosch

@@ -1,0 +1,18 @@
+#include "krylov/solver.hpp"
+
+namespace frosch::krylov {
+
+const char* to_string(KrylovMethod k) {
+  switch (k) {
+    case KrylovMethod::Gmres: return "gmres";
+    case KrylovMethod::Cg: return "cg";
+  }
+  return "unknown";
+}
+
+template class GmresSolver<double>;
+template class GmresSolver<float>;
+template class CgSolver<double>;
+template class CgSolver<float>;
+
+}  // namespace frosch::krylov

@@ -1,0 +1,123 @@
+// Common Krylov-solver interface: one KrylovOptions aggregate covering both
+// methods (selectable by enum or by name through from_string), and an
+// abstract KrylovSolver that the frosch::Solver facade drives -- the Belos
+// SolverManager analogue of the paper's Trilinos stack.
+#pragma once
+
+#include <memory>
+
+#include "krylov/cg.hpp"
+#include "krylov/gmres.hpp"
+
+namespace frosch::krylov {
+
+enum class KrylovMethod {
+  Gmres,  ///< restarted, right-preconditioned (the paper's solver)
+  Cg,     ///< for SPD operator + SPD preconditioner
+};
+
+const char* to_string(KrylovMethod k);
+
+/// Unified options: the union of GmresOptions and CgOptions (GMRES-only
+/// fields are ignored by CG).  Both methods share the tolerance-relative-
+/// to-initial-residual semantics and populate the same SolveResult fields.
+struct KrylovOptions {
+  KrylovMethod method = KrylovMethod::Gmres;
+  index_t restart = 30;         ///< GMRES cycle length (paper setting)
+  index_t max_iters = 2000;
+  double tol = 1e-7;            ///< relative to the initial residual
+  OrthoKind ortho = OrthoKind::SingleReduce;  ///< GMRES orthogonalization
+  IterationCallback on_iteration;  ///< optional per-iteration observer
+
+  GmresOptions gmres_options() const {
+    GmresOptions o;
+    o.restart = restart;
+    o.max_iters = max_iters;
+    o.tol = tol;
+    o.ortho = ortho;
+    o.on_iteration = on_iteration;
+    return o;
+  }
+
+  CgOptions cg_options() const {
+    CgOptions o;
+    o.max_iters = max_iters;
+    o.tol = tol;
+    o.on_iteration = on_iteration;
+    return o;
+  }
+};
+
+/// A configured iterative method: solves A x = b with an optional right
+/// preconditioner (nullptr for none); x serves as initial guess and result.
+template <class Scalar>
+class KrylovSolver {
+ public:
+  virtual ~KrylovSolver() = default;
+  virtual KrylovMethod method() const = 0;
+  virtual const KrylovOptions& options() const = 0;
+  virtual SolveResult solve(const LinearOperator<Scalar>& A,
+                            const LinearOperator<Scalar>* prec,
+                            const std::vector<Scalar>& b,
+                            std::vector<Scalar>& x) const = 0;
+};
+
+template <class Scalar>
+class GmresSolver final : public KrylovSolver<Scalar> {
+ public:
+  explicit GmresSolver(const KrylovOptions& opts = {}) : opts_(opts) {}
+  KrylovMethod method() const override { return KrylovMethod::Gmres; }
+  const KrylovOptions& options() const override { return opts_; }
+  SolveResult solve(const LinearOperator<Scalar>& A,
+                    const LinearOperator<Scalar>* prec,
+                    const std::vector<Scalar>& b,
+                    std::vector<Scalar>& x) const override {
+    return gmres<Scalar>(A, prec, b, x, opts_.gmres_options());
+  }
+
+ private:
+  KrylovOptions opts_;
+};
+
+template <class Scalar>
+class CgSolver final : public KrylovSolver<Scalar> {
+ public:
+  explicit CgSolver(const KrylovOptions& opts = {}) : opts_(opts) {}
+  KrylovMethod method() const override { return KrylovMethod::Cg; }
+  const KrylovOptions& options() const override { return opts_; }
+  SolveResult solve(const LinearOperator<Scalar>& A,
+                    const LinearOperator<Scalar>* prec,
+                    const std::vector<Scalar>& b,
+                    std::vector<Scalar>& x) const override {
+    return cg<Scalar>(A, prec, b, x, opts_.cg_options());
+  }
+
+ private:
+  KrylovOptions opts_;
+};
+
+/// Factory covering every KrylovMethod.
+template <class Scalar>
+std::unique_ptr<KrylovSolver<Scalar>> make_krylov(const KrylovOptions& opts) {
+  switch (opts.method) {
+    case KrylovMethod::Gmres:
+      return std::make_unique<GmresSolver<Scalar>>(opts);
+    case KrylovMethod::Cg:
+      return std::make_unique<CgSolver<Scalar>>(opts);
+  }
+  FROSCH_CHECK(false, "make_krylov: unknown method");
+  return nullptr;
+}
+
+}  // namespace frosch::krylov
+
+namespace frosch {
+
+template <>
+struct EnumTraits<krylov::KrylovMethod> {
+  static constexpr const char* type_name = "KrylovMethod";
+  static constexpr std::array<krylov::KrylovMethod, 2> all = {
+      krylov::KrylovMethod::Gmres, krylov::KrylovMethod::Cg};
+};
+
+}  // namespace frosch

@@ -1,7 +1,5 @@
 #include "perf/experiment.hpp"
 
-#include "common/timer.hpp"
-
 namespace frosch::perf {
 namespace {
 
@@ -39,7 +37,7 @@ ProblemSetup build_problem(const ExperimentSpec& spec) {
       owner[q] = owner_nodes[sys.keep[q] / 3];
     ps.A = std::move(sys.A);
     ps.decomp = dd::build_decomposition(ps.A, owner, spec.ranks,
-                                        spec.schwarz.overlap);
+                                        spec.solver.schwarz.overlap);
   } else {
     auto Afull = fem::assemble_laplace(mesh);
     IndexVector fixed;
@@ -51,61 +49,9 @@ ProblemSetup build_problem(const ExperimentSpec& spec) {
       owner[q] = owner_nodes[sys.keep[q]];
     ps.A = std::move(sys.A);
     ps.decomp = dd::build_decomposition(ps.A, owner, spec.ranks,
-                                        spec.schwarz.overlap);
+                                        spec.solver.schwarz.overlap);
   }
   return ps;
-}
-
-template <class Scalar>
-ExperimentResult run_typed(const ExperimentSpec& spec_in, ProblemSetup& ps) {
-  ExperimentSpec spec = spec_in;
-  if (spec.elasticity) {
-    // Vector-valued problem: compress the fill-reducing ordering by node.
-    const int b = 3;
-    spec.schwarz.subdomain.dof_block_size = b;
-    spec.schwarz.extension.dof_block_size = b;
-  }
-  ExperimentResult res;
-  res.n = ps.A.num_rows();
-  res.ranks = spec.ranks;
-
-  la::CsrMatrix<Scalar> A = [&] {
-    if constexpr (std::is_same_v<Scalar, double>) {
-      return ps.A;
-    } else {
-      return ps.A.template convert<Scalar>();
-    }
-  }();
-
-  dd::SchwarzPreconditioner<Scalar> prec(spec.schwarz, ps.decomp);
-  Timer t_setup;
-  prec.symbolic_setup(A);
-  prec.numeric_setup(A, ps.Z);
-  res.wall_setup_s = t_setup.seconds();
-
-  krylov::CsrOperator<double> op(ps.A);
-  std::vector<double> b(static_cast<size_t>(ps.A.num_rows()), 1.0), x;
-  Timer t_solve;
-  krylov::SolveResult sr;
-  if constexpr (std::is_same_v<Scalar, double>) {
-    sr = krylov::gmres<double>(op, &prec, b, x, spec.gmres);
-  } else {
-    dd::HalfPrecisionOperator<double, Scalar> half(prec);
-    sr = krylov::gmres<double>(op, &half, b, x, spec.gmres);
-  }
-  res.wall_solve_s = t_solve.seconds();
-  res.converged = sr.converged;
-  res.iterations = sr.iterations;
-  res.schwarz = prec.profiles();
-  // The GMRES-side profile records everything done under the solver,
-  // INCLUDING the preconditioner applications (gmres passes its profile
-  // into prec->apply).  Subtract the Schwarz-side work -- it is charged
-  // per rank from res.schwarz -- leaving the pure Krylov share (SpMV,
-  // orthogonalization, vector updates, reductions).
-  res.krylov = sr.profile;
-  for (const auto& rp : res.schwarz.ranks) res.krylov -= rp.solve;
-  res.krylov -= res.schwarz.coarse.solve;
-  return res;
 }
 
 }  // namespace
@@ -119,8 +65,31 @@ std::array<index_t, 3> weak_scaling_mesh(index_t ranks,
 
 ExperimentResult run_experiment(const ExperimentSpec& spec) {
   ProblemSetup ps = build_problem(spec);
-  if (spec.single_precision) return run_typed<float>(spec, ps);
-  return run_typed<double>(spec, ps);
+
+  SolverConfig cfg = spec.solver;
+  if (spec.elasticity && cfg.schwarz.subdomain.dof_block_size == 1) {
+    // Vector-valued problem: compress the fill-reducing ordering by node
+    // (unless the caller configured a block size explicitly).
+    cfg.schwarz.subdomain.dof_block_size = 3;
+    cfg.schwarz.extension.dof_block_size = 3;
+  }
+  if (spec.single_precision) cfg.preconditioner = "schwarz-float";
+
+  Solver solver(cfg);
+  solver.setup(ps.A, ps.Z, ps.decomp);
+  std::vector<double> b(static_cast<size_t>(ps.A.num_rows()), 1.0), x;
+  const SolveReport rep = solver.solve(b, x);
+
+  ExperimentResult res;
+  res.n = ps.A.num_rows();
+  res.ranks = spec.ranks;
+  res.converged = rep.converged;
+  res.iterations = rep.iterations;
+  res.schwarz = rep.schwarz;
+  res.krylov = rep.krylov;
+  res.wall_setup_s = rep.wall_symbolic_s + rep.wall_numeric_s;
+  res.wall_solve_s = rep.wall_solve_s;
+  return res;
 }
 
 ModeledTimes model_times(const ExperimentResult& r, const SummitModel& model,

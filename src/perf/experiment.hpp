@@ -13,12 +13,10 @@
 
 #include <array>
 
-#include "dd/half_precision.hpp"
-#include "dd/schwarz.hpp"
 #include "fem/assembly.hpp"
 #include "graph/partition.hpp"
-#include "krylov/gmres.hpp"
 #include "perf/summit.hpp"
+#include "solver/solver.hpp"
 
 namespace frosch::perf {
 
@@ -34,8 +32,11 @@ struct ExperimentSpec {
 
   bool elasticity = true;      ///< 3D elasticity vs Laplace
   bool single_precision = false;  ///< whole preconditioner in float
-  dd::SchwarzConfig schwarz;
-  krylov::GmresOptions gmres;  ///< defaults: single-reduce, 30, 1e-7
+                                  ///< (selects the "schwarz-float" entry)
+  /// Preconditioner + Krylov configuration; run_experiment drives the
+  /// frosch::Solver facade with exactly this config.  Defaults mirror the
+  /// paper: two-level rGDSW + single-reduce GMRES(30) at 1e-7.
+  SolverConfig solver;
 };
 
 /// Elements-per-axis of the weak-scaling mesh for `ranks` CPU ranks at

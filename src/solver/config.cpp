@@ -1,0 +1,132 @@
+#include "solver/config.hpp"
+
+#include "common/enum_parse.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace frosch {
+namespace {
+
+template <class E>
+void read_enum(const ParameterList& p, const std::string& key, E& out) {
+  if (p.has(key)) out = from_string<E>(p.get<std::string>(key));
+}
+
+void read_int(const ParameterList& p, const std::string& key, index_t& out) {
+  if (p.has(key)) out = p.get<index_t>(key);
+}
+
+}  // namespace
+
+SolverConfig SolverConfig::from_parameters(const ParameterList& p) {
+  return from_parameters(p, SolverConfig{});
+}
+
+SolverConfig SolverConfig::from_parameters(const ParameterList& p,
+                                           SolverConfig base) {
+  SolverConfig c = std::move(base);
+  if (p.has("preconditioner"))
+    c.preconditioner = p.get<std::string>("preconditioner");
+  read_int(p, "num-parts", c.num_parts);
+
+  // Krylov side.
+  read_enum(p, "solver", c.krylov.method);
+  read_enum(p, "ortho", c.krylov.ortho);
+  read_int(p, "restart", c.krylov.restart);
+  read_int(p, "max-iters", c.krylov.max_iters);
+  if (p.has("tol")) c.krylov.tol = p.get<double>("tol");
+
+  // Schwarz side.
+  read_int(p, "overlap", c.schwarz.overlap);
+  if (p.has("two-level")) c.schwarz.two_level = p.get<bool>("two-level");
+  read_enum(p, "coarse-space", c.schwarz.coarse_space);
+  read_enum(p, "subdomain-solver", c.schwarz.subdomain.kind);
+  read_enum(p, "subdomain-trisolve", c.schwarz.subdomain.trisolve);
+  read_enum(p, "extension-solver", c.schwarz.extension.kind);
+  read_enum(p, "extension-trisolve", c.schwarz.extension.trisolve);
+  read_enum(p, "coarse-solver", c.schwarz.coarse.kind);
+  read_enum(p, "coarse-trisolve", c.schwarz.coarse.trisolve);
+  if (p.has("ordering")) {
+    const auto ord = from_string<dd::Ordering>(p.get<std::string>("ordering"));
+    c.schwarz.subdomain.ordering = ord;
+    c.schwarz.extension.ordering = ord;
+  }
+  read_int(p, "ilu-level", c.schwarz.subdomain.ilu_level);
+  read_int(p, "fastilu-sweeps", c.schwarz.subdomain.fastilu_sweeps);
+  read_int(p, "fastsptrsv-sweeps", c.schwarz.subdomain.fastsptrsv_sweeps);
+  if (p.has("dof-block-size")) {
+    const int b = static_cast<int>(p.get<index_t>("dof-block-size"));
+    c.schwarz.subdomain.dof_block_size = b;
+    c.schwarz.extension.dof_block_size = b;
+  }
+
+  const auto unknown = p.unused_keys();
+  if (!unknown.empty()) {
+    std::vector<std::string> valid;
+    for (const auto& d : parameter_docs()) valid.push_back(d.key);
+    FROSCH_CHECK(false, "SolverConfig: unknown parameter(s): "
+                            << join(unknown)
+                            << " (valid keys: " << join(valid) << ")");
+  }
+
+  // Range validation: the string surface reaches every bench flag, so bad
+  // numbers must fail here with a clear message, not hang the solver.
+  FROSCH_CHECK(c.krylov.restart > 0, "SolverConfig: restart must be positive");
+  FROSCH_CHECK(c.krylov.max_iters >= 0,
+               "SolverConfig: max-iters must be non-negative");
+  FROSCH_CHECK(c.krylov.tol > 0.0, "SolverConfig: tol must be positive");
+  FROSCH_CHECK(c.num_parts > 0, "SolverConfig: num-parts must be positive");
+  FROSCH_CHECK(c.schwarz.overlap >= 0,
+               "SolverConfig: overlap must be non-negative");
+  FROSCH_CHECK(c.schwarz.subdomain.ilu_level >= 0,
+               "SolverConfig: ilu-level must be non-negative");
+  FROSCH_CHECK(c.schwarz.subdomain.fastilu_sweeps > 0 &&
+                   c.schwarz.subdomain.fastsptrsv_sweeps > 0,
+               "SolverConfig: sweep counts must be positive");
+  FROSCH_CHECK(c.schwarz.subdomain.dof_block_size > 0,
+               "SolverConfig: dof-block-size must be positive");
+  return c;
+}
+
+std::vector<SolverConfig::ParameterDoc> SolverConfig::parameter_docs() {
+  using dd::CoarseSpaceKind;
+  using dd::LocalSolverKind;
+  using dd::Ordering;
+  using krylov::KrylovMethod;
+  using krylov::OrthoKind;
+  using trisolve::TrisolveKind;
+  return {
+      {"preconditioner", "schwarz, schwarz-float, none",
+       "preconditioner registry name"},
+      {"num-parts", "int", "subdomain count for algebraic setup(A, Z)"},
+      {"solver", enum_names<KrylovMethod>(), "Krylov method"},
+      {"ortho", enum_names<OrthoKind>(), "GMRES orthogonalization"},
+      {"restart", "int", "GMRES cycle length"},
+      {"max-iters", "int", "Krylov iteration cap"},
+      {"tol", "float", "relative residual tolerance"},
+      {"overlap", "int", "algebraic overlap layers"},
+      {"two-level", "bool", "coarse level on/off"},
+      {"coarse-space", enum_names<CoarseSpaceKind>(), "coarse space kind"},
+      {"subdomain-solver", enum_names<LocalSolverKind>(),
+       "local subdomain factorization"},
+      {"subdomain-trisolve", enum_names<TrisolveKind>(),
+       "local triangular-solve engine"},
+      {"extension-solver", enum_names<LocalSolverKind>(),
+       "interior-extension factorization"},
+      {"extension-trisolve", enum_names<TrisolveKind>(),
+       "interior-extension triangular solve"},
+      {"coarse-solver", enum_names<LocalSolverKind>(),
+       "coarse-problem factorization"},
+      {"coarse-trisolve", enum_names<TrisolveKind>(),
+       "coarse-problem triangular solve"},
+      {"ordering", enum_names<Ordering>(),
+       "fill-reducing ordering (subdomain + extension)"},
+      {"ilu-level", "int", "k of ILU(k)"},
+      {"fastilu-sweeps", "int", "FastILU factorization sweeps"},
+      {"fastsptrsv-sweeps", "int", "FastSpTRSV solve sweeps"},
+      {"dof-block-size", "int",
+       "dofs per mesh node (3 for elasticity) for ordering compression"},
+  };
+}
+
+}  // namespace frosch

@@ -1,0 +1,48 @@
+// SolverConfig: the one aggregate behind the frosch::Solver facade,
+// combining the preconditioner choice (a registry name), the Schwarz
+// options, and the unified Krylov options -- populated either directly
+// (typed) or from a ParameterList of strings (see the key schema in
+// parameter_docs() and DESIGN.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dd/schwarz.hpp"
+#include "krylov/solver.hpp"
+#include "solver/parameter_list.hpp"
+
+namespace frosch {
+
+struct SolverConfig {
+  /// Preconditioner registry name: "schwarz" (working precision),
+  /// "schwarz-float" (whole preconditioner in single precision behind a
+  /// half-precision cast, Tables VI/VII), or "none".
+  std::string preconditioner = "schwarz";
+
+  /// Subdomain count for the fully algebraic Solver::setup(A, Z) overload
+  /// (ignored when a decomposition or owner vector is supplied).
+  index_t num_parts = 8;
+
+  dd::SchwarzConfig schwarz;
+  krylov::KrylovOptions krylov;
+
+  /// Populates a config from string-driven parameters on top of `base`:
+  /// keys present in `p` override the corresponding `base` fields, all
+  /// enum-valued keys go through the from_string parsers, and any key
+  /// outside the schema is an error listing the valid keys.
+  static SolverConfig from_parameters(const ParameterList& p,
+                                      SolverConfig base);
+  static SolverConfig from_parameters(const ParameterList& p);
+
+  /// The ParameterList key schema: key, accepted values (enum names are
+  /// derived from the from_string parsers), and a one-line description.
+  struct ParameterDoc {
+    std::string key;
+    std::string values;
+    std::string doc;
+  };
+  static std::vector<ParameterDoc> parameter_docs();
+};
+
+}  // namespace frosch

@@ -1,0 +1,143 @@
+#include "solver/parameter_list.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace frosch {
+namespace {
+
+const char* type_name(const ParameterList::Value& v) {
+  switch (v.index()) {
+    case 0: return "bool";
+    case 1: return "int";
+    case 2: return "double";
+    case 3: return "string";
+  }
+  return "?";
+}
+
+[[noreturn]] void conversion_error(const std::string& key,
+                                   const ParameterList::Value& v,
+                                   const char* target) {
+  std::string repr;
+  if (const auto* s = std::get_if<std::string>(&v)) repr = "'" + *s + "'";
+  FROSCH_CHECK(false, "ParameterList: key '"
+                          << key << "' holds a " << type_name(v) << " value "
+                          << repr << " that cannot be read as " << target);
+  std::abort();  // unreachable; FROSCH_CHECK(false, ...) always throws
+}
+
+}  // namespace
+
+ParameterList& ParameterList::set(const std::string& key, bool v) {
+  entries_[key] = Entry{Value(v)};
+  return *this;
+}
+ParameterList& ParameterList::set(const std::string& key, index_t v) {
+  entries_[key] = Entry{Value(v)};
+  return *this;
+}
+ParameterList& ParameterList::set(const std::string& key, double v) {
+  entries_[key] = Entry{Value(v)};
+  return *this;
+}
+ParameterList& ParameterList::set(const std::string& key, const char* v) {
+  entries_[key] = Entry{Value(std::string(v))};
+  return *this;
+}
+ParameterList& ParameterList::set(const std::string& key, std::string v) {
+  entries_[key] = Entry{Value(std::move(v))};
+  return *this;
+}
+
+bool ParameterList::has(const std::string& key) const {
+  return entries_.count(key) != 0;
+}
+
+std::vector<std::string> ParameterList::keys() const {
+  std::vector<std::string> out;
+  for (const auto& [k, e] : entries_) out.push_back(k);
+  return out;
+}
+
+std::vector<std::string> ParameterList::unused_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [k, e] : entries_)
+    if (!e.used) out.push_back(k);
+  return out;
+}
+
+template <>
+bool ParameterList::get<bool>(const std::string& key) const {
+  auto it = entries_.find(key);
+  FROSCH_CHECK(it != entries_.end(), "ParameterList: no key '" << key << "'");
+  it->second.used = true;
+  const Value& v = it->second.value;
+  if (const auto* b = std::get_if<bool>(&v)) return *b;
+  if (const auto* i = std::get_if<index_t>(&v)) {
+    if (*i == 0 || *i == 1) return *i != 0;
+  }
+  if (const auto* s = std::get_if<std::string>(&v)) {
+    if (*s == "true" || *s == "on" || *s == "yes" || *s == "1") return true;
+    if (*s == "false" || *s == "off" || *s == "no" || *s == "0") return false;
+  }
+  conversion_error(key, v, "bool");
+}
+
+template <>
+index_t ParameterList::get<index_t>(const std::string& key) const {
+  auto it = entries_.find(key);
+  FROSCH_CHECK(it != entries_.end(), "ParameterList: no key '" << key << "'");
+  it->second.used = true;
+  const Value& v = it->second.value;
+  if (const auto* i = std::get_if<index_t>(&v)) return *i;
+  if (const auto* s = std::get_if<std::string>(&v)) {
+    char* end = nullptr;
+    errno = 0;
+    const long long parsed = std::strtoll(s->c_str(), &end, 10);
+    if (end != s->c_str() && *end == '\0' && errno == 0 &&
+        parsed >= std::numeric_limits<index_t>::min() &&
+        parsed <= std::numeric_limits<index_t>::max())
+      return static_cast<index_t>(parsed);
+  }
+  conversion_error(key, v, "int");
+}
+
+template <>
+double ParameterList::get<double>(const std::string& key) const {
+  auto it = entries_.find(key);
+  FROSCH_CHECK(it != entries_.end(), "ParameterList: no key '" << key << "'");
+  it->second.used = true;
+  const Value& v = it->second.value;
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  if (const auto* i = std::get_if<index_t>(&v)) return static_cast<double>(*i);
+  if (const auto* s = std::get_if<std::string>(&v)) {
+    char* end = nullptr;
+    const double parsed = std::strtod(s->c_str(), &end);
+    if (end != s->c_str() && *end == '\0') return parsed;
+  }
+  conversion_error(key, v, "double");
+}
+
+template <>
+std::string ParameterList::get<std::string>(const std::string& key) const {
+  auto it = entries_.find(key);
+  FROSCH_CHECK(it != entries_.end(), "ParameterList: no key '" << key << "'");
+  it->second.used = true;
+  const Value& v = it->second.value;
+  if (const auto* s = std::get_if<std::string>(&v)) return *s;
+  if (const auto* b = std::get_if<bool>(&v)) return *b ? "true" : "false";
+  if (const auto* i = std::get_if<index_t>(&v)) return std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", *d);
+    return buf;
+  }
+  conversion_error(key, v, "string");
+}
+
+}  // namespace frosch

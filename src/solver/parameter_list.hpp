@@ -1,0 +1,64 @@
+// Trilinos-style ParameterList: the typed key/value store behind the
+// string-driven configuration surface.  The paper's experiments configure
+// the whole Belos/FROSch stack through such lists; here one list populates
+// every option struct of the library (see SolverConfig::from_parameters).
+//
+// Values are stored as bool / index_t / double / string and coerced on
+// read: a get<double>("tol") succeeds whether the value was set as the
+// number 1e-7 or as the string "1e-7" (the form command-line flags
+// arrive in).  Reads mark keys as used; unused_keys() afterwards names
+// every key nobody consumed -- the unknown-key diagnostic the facade
+// turns into an error listing the valid schema.
+#pragma once
+
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace frosch {
+
+class ParameterList {
+ public:
+  using Value = std::variant<bool, index_t, double, std::string>;
+
+  ParameterList& set(const std::string& key, bool v);
+  ParameterList& set(const std::string& key, index_t v);
+  ParameterList& set(const std::string& key, double v);
+  ParameterList& set(const std::string& key, const char* v);
+  ParameterList& set(const std::string& key, std::string v);
+
+  bool has(const std::string& key) const;
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  /// Typed read with coercion (T in {bool, index_t, double, std::string}).
+  /// Throws frosch::Error when the key is missing or the stored value
+  /// cannot be converted.  Marks the key as used.
+  template <class T>
+  T get(const std::string& key) const;
+
+  /// Like get(), but returns `fallback` when the key is absent.
+  template <class T>
+  T get_or(const std::string& key, T fallback) const {
+    return has(key) ? get<T>(key) : fallback;
+  }
+
+  /// All keys, sorted.
+  std::vector<std::string> keys() const;
+
+  /// Keys that were set but never read by any get() -- the raw material of
+  /// the unknown-key diagnostics.
+  std::vector<std::string> unused_keys() const;
+
+ private:
+  struct Entry {
+    Value value;
+    mutable bool used = false;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace frosch

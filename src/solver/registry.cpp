@@ -1,0 +1,61 @@
+#include "solver/registry.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "dd/half_precision.hpp"
+#include "dd/schwarz.hpp"
+#include "solver/config.hpp"
+
+namespace frosch {
+
+void PreconditionerRegistry::add(const std::string& name,
+                                 PreconditionerFactory factory) {
+  factories_[name] = std::move(factory);
+}
+
+std::unique_ptr<dd::Preconditioner<double>> PreconditionerRegistry::create(
+    const std::string& name, const SolverConfig& cfg,
+    const dd::Decomposition& decomp) const {
+  auto it = factories_.find(name);
+  FROSCH_CHECK(it != factories_.end(),
+               "PreconditionerRegistry: unknown preconditioner '"
+                   << name << "' (registered: " << names_joined() << ")");
+  return it->second(cfg, decomp);
+}
+
+bool PreconditionerRegistry::has(const std::string& name) const {
+  return factories_.count(name) != 0;
+}
+
+std::vector<std::string> PreconditionerRegistry::names() const {
+  std::vector<std::string> out;
+  for (const auto& [n, f] : factories_) out.push_back(n);
+  return out;
+}
+
+std::string PreconditionerRegistry::names_joined() const {
+  return join(names());
+}
+
+PreconditionerRegistry& preconditioner_registry() {
+  static PreconditionerRegistry registry = [] {
+    PreconditionerRegistry r;
+    r.add("schwarz", [](const SolverConfig& cfg, const dd::Decomposition& d) {
+      return std::make_unique<dd::SchwarzPreconditioner<double>>(cfg.schwarz,
+                                                                d);
+    });
+    r.add("schwarz-float",
+          [](const SolverConfig& cfg, const dd::Decomposition& d) {
+            return std::make_unique<
+                dd::HalfPrecisionPreconditioner<double, float>>(cfg.schwarz,
+                                                                d);
+          });
+    r.add("none", [](const SolverConfig&, const dd::Decomposition&) {
+      return std::unique_ptr<dd::Preconditioner<double>>();
+    });
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace frosch

@@ -1,0 +1,49 @@
+// Name-keyed preconditioner factory registry: the seam where new
+// preconditioners (future backends, one-off experiments) plug into the
+// frosch::Solver facade by string name, without the facade knowing their
+// concrete types.  Built-ins: "schwarz", "schwarz-float", "none".
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dd/decomposition.hpp"
+#include "dd/preconditioner.hpp"
+
+namespace frosch {
+
+struct SolverConfig;
+
+/// Builds a preconditioner for the given config and decomposition.  May
+/// return nullptr to mean "no preconditioning" (the "none" entry does).
+using PreconditionerFactory =
+    std::function<std::unique_ptr<dd::Preconditioner<double>>(
+        const SolverConfig&, const dd::Decomposition&)>;
+
+class PreconditionerRegistry {
+ public:
+  /// Registers (or replaces) a factory under `name`.
+  void add(const std::string& name, PreconditionerFactory factory);
+
+  /// Creates by name; throws frosch::Error listing the registered names
+  /// when `name` is unknown.
+  std::unique_ptr<dd::Preconditioner<double>> create(
+      const std::string& name, const SolverConfig& cfg,
+      const dd::Decomposition& decomp) const;
+
+  bool has(const std::string& name) const;
+  std::vector<std::string> names() const;
+  std::string names_joined() const;  ///< "a, b, c" for error messages
+
+ private:
+  std::map<std::string, PreconditionerFactory> factories_;
+};
+
+/// The process-wide registry the facade consults, pre-populated with the
+/// built-in factories.
+PreconditionerRegistry& preconditioner_registry();
+
+}  // namespace frosch

@@ -1,0 +1,147 @@
+#include "solver/solver.hpp"
+
+#include <cstdio>
+
+#include "common/timer.hpp"
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "solver/registry.hpp"
+
+namespace frosch {
+namespace {
+
+/// Sum of all Schwarz solve-phase work recorded so far; solve() subtracts
+/// the delta across one Krylov run from the whole-solve profile to isolate
+/// the pure Krylov share even when solve() is called repeatedly.
+OpProfile schwarz_solve_total(const dd::SchwarzProfiles& p) {
+  OpProfile total;
+  for (const auto& rp : p.ranks) total += rp.solve;
+  total += p.coarse.solve;
+  return total;
+}
+
+}  // namespace
+
+std::string SolveReport::str() const {
+  char buf[256];
+  std::string s;
+  std::snprintf(buf, sizeof(buf), "%s in %d iterations (residual %.2e -> %.2e)",
+                converged ? "converged" : "did NOT converge", int(iterations),
+                initial_residual, final_residual);
+  s += buf;
+  std::snprintf(buf, sizeof(buf),
+                "\ncoarse dim %d; wall: symbolic %.3fs, numeric %.3fs, "
+                "solve %.3fs",
+                int(coarse_dim), wall_symbolic_s, wall_numeric_s,
+                wall_solve_s);
+  s += buf;
+  return s;
+}
+
+void Solver::configure(SolverConfig cfg) {
+  FROSCH_CHECK(preconditioner_registry().has(cfg.preconditioner),
+               "Solver: unknown preconditioner '"
+                   << cfg.preconditioner << "' (registered: "
+                   << preconditioner_registry().names_joined() << ")");
+  cfg_ = std::move(cfg);
+  krylov_ = krylov::make_krylov<double>(cfg_.krylov);
+  prec_.reset();
+  setup_done_ = false;
+}
+
+void Solver::configure(const ParameterList& params) {
+  configure(SolverConfig::from_parameters(params));
+}
+
+void Solver::setup_phases(const la::DenseMatrix<double>& Z) {
+  if (!krylov_) krylov_ = krylov::make_krylov<double>(cfg_.krylov);
+  prec_ = preconditioner_registry().create(cfg_.preconditioner, cfg_, decomp_);
+  wall_symbolic_s_ = wall_numeric_s_ = 0.0;
+  if (prec_) {
+    Timer ts;
+    prec_->symbolic_setup(A_);
+    wall_symbolic_s_ = ts.seconds();
+    Timer tn;
+    prec_->numeric_setup(A_, Z);
+    wall_numeric_s_ = tn.seconds();
+  }
+  setup_done_ = true;
+}
+
+void Solver::setup(const la::CsrMatrix<double>& A,
+                   const la::DenseMatrix<double>& Z,
+                   const dd::Decomposition& decomp) {
+  A_ = A;
+  decomp_ = decomp;
+  setup_phases(Z);
+}
+
+void Solver::setup(const la::CsrMatrix<double>& A,
+                   const la::DenseMatrix<double>& Z, const IndexVector& owner,
+                   index_t num_parts) {
+  A_ = A;
+  decomp_ = dd::build_decomposition(A_, owner, num_parts,
+                                    cfg_.schwarz.overlap);
+  setup_phases(Z);
+}
+
+void Solver::setup(const la::CsrMatrix<double>& A,
+                   const la::DenseMatrix<double>& Z) {
+  A_ = A;
+  auto owner = graph::recursive_bisection(graph::build_graph(A_),
+                                          cfg_.num_parts);
+  decomp_ = dd::build_decomposition(A_, owner, cfg_.num_parts,
+                                    cfg_.schwarz.overlap);
+  setup_phases(Z);
+}
+
+SolveReport Solver::solve(const std::vector<double>& b,
+                          std::vector<double>& x) {
+  FROSCH_CHECK(setup_done_, "Solver: setup() before solve()");
+  krylov::CsrOperator<double> op(A_);
+
+  // The preconditioner accumulates its solve-phase profiles across apply()
+  // calls; snapshot them so the report stays PER-SOLVE even when solve()
+  // is called repeatedly on one setup.
+  const dd::SchwarzProfiles* sp = prec_ ? prec_->schwarz_profiles() : nullptr;
+  dd::SchwarzProfiles before;
+  if (sp) before = *sp;
+
+  Timer t;
+  auto sr = krylov_->solve(op, prec_.get(), b, x);
+
+  SolveReport rep;
+  rep.converged = sr.converged;
+  rep.iterations = sr.iterations;
+  rep.initial_residual = sr.initial_residual;
+  rep.final_residual = sr.final_residual;
+  rep.residual_history = std::move(sr.residual_history);
+  rep.wall_symbolic_s = wall_symbolic_s_;
+  rep.wall_numeric_s = wall_numeric_s_;
+  rep.wall_solve_s = t.seconds();
+  rep.krylov = sr.profile;
+  if (prec_) rep.coarse_dim = prec_->coarse_dim();
+  if (sp) {
+    rep.schwarz = *sp;
+    // Only the solve-phase members accumulate during apply(); subtract the
+    // pre-solve snapshot so they cover this solve alone (the setup-phase
+    // profiles are unchanged by definition).
+    for (size_t p = 0; p < rep.schwarz.ranks.size(); ++p)
+      rep.schwarz.ranks[p].solve -= before.ranks[p].solve;
+    rep.schwarz.coarse.solve -= before.coarse.solve;
+    rep.schwarz.apply_count -= before.apply_count;
+    // The Krylov-side profile records everything done under the solver,
+    // INCLUDING the preconditioner applications; subtract this solve's
+    // Schwarz share (charged per rank through rep.schwarz) to leave the
+    // pure Krylov work.
+    rep.krylov -= schwarz_solve_total(rep.schwarz);
+  }
+  report_ = rep;
+  return rep;
+}
+
+index_t Solver::coarse_dim() const {
+  return prec_ ? prec_->coarse_dim() : 0;
+}
+
+}  // namespace frosch

@@ -1,0 +1,105 @@
+// The frosch::Solver facade -- the canonical public API.  One object owns
+// the whole decomposition -> preconditioner -> Krylov pipeline behind the
+// four-step lifecycle
+//
+//   frosch::Solver solver(params);     // configure (typed or ParameterList)
+//   solver.setup(A, Z, ...);           // decompose + symbolic + numeric
+//   auto rep = solver.solve(b, x);     // Krylov solve
+//   rep = solver.report();             // consolidated SolveReport
+//
+// mirroring the ParameterList-driven Belos/FROSch stack the paper's
+// experiments run on.  The preconditioner is created by name through the
+// PreconditionerRegistry; the Krylov method through krylov::make_krylov.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dd/decomposition.hpp"
+#include "dd/preconditioner.hpp"
+#include "dd/schwarz.hpp"
+#include "krylov/solver.hpp"
+#include "solver/config.hpp"
+
+namespace frosch {
+
+/// Everything one solve produced: convergence, residual history, coarse
+/// dimension, wall-clock per phase, and the operation profiles the Summit
+/// machine model replays (pure-Krylov share and per-rank Schwarz phases).
+struct SolveReport {
+  bool converged = false;
+  index_t iterations = 0;
+  double initial_residual = 0.0;
+  double final_residual = 0.0;
+  std::vector<double> residual_history;  ///< [0] = initial, one per iteration
+  index_t coarse_dim = 0;
+
+  double wall_symbolic_s = 0.0;  ///< host wall-clock of the setup phases
+  double wall_numeric_s = 0.0;
+  double wall_solve_s = 0.0;
+
+  /// Krylov-side work only (SpMV, orthogonalization, vector updates,
+  /// reductions): the preconditioner's share is subtracted out because it
+  /// is charged per rank through `schwarz`.
+  OpProfile krylov;
+  /// Per-phase, per-rank Schwarz profiles (empty for "none").
+  dd::SchwarzProfiles schwarz;
+
+  /// Multi-line human-readable summary (examples print this).
+  std::string str() const;
+};
+
+class Solver {
+ public:
+  Solver() = default;
+  explicit Solver(SolverConfig cfg) { configure(std::move(cfg)); }
+  explicit Solver(const ParameterList& params) { configure(params); }
+
+  void configure(SolverConfig cfg);
+  void configure(const ParameterList& params);
+  const SolverConfig& config() const { return cfg_; }
+
+  /// Setup with a prebuilt overlapping decomposition.  All setup overloads
+  /// COPY the matrix into the solver, so the facade never dangles when the
+  /// caller's matrix goes out of scope between setup() and solve().
+  void setup(const la::CsrMatrix<double>& A, const la::DenseMatrix<double>& Z,
+             const dd::Decomposition& decomp);
+
+  /// Setup from a nonoverlapping owner vector (one part id per dof); the
+  /// overlap is taken from the config.
+  void setup(const la::CsrMatrix<double>& A, const la::DenseMatrix<double>& Z,
+             const IndexVector& owner, index_t num_parts);
+
+  /// Fully algebraic setup: k-way graph partition of the matrix into
+  /// config().num_parts subdomains (no mesh required).
+  void setup(const la::CsrMatrix<double>& A, const la::DenseMatrix<double>& Z);
+
+  /// Solves A x = b (x is initial guess and result), returning -- and
+  /// storing, see report() -- the consolidated report.
+  SolveReport solve(const std::vector<double>& b, std::vector<double>& x);
+
+  /// The report of the most recent solve().
+  const SolveReport& report() const { return report_; }
+
+  index_t coarse_dim() const;
+  const dd::Preconditioner<double>* preconditioner() const {
+    return prec_.get();
+  }
+  const dd::Decomposition& decomposition() const { return decomp_; }
+
+ private:
+  void setup_phases(const la::DenseMatrix<double>& Z);
+
+  SolverConfig cfg_;
+  la::CsrMatrix<double> A_;
+  dd::Decomposition decomp_;
+  std::unique_ptr<dd::Preconditioner<double>> prec_;
+  std::unique_ptr<krylov::KrylovSolver<double>> krylov_;
+  SolveReport report_;
+  double wall_symbolic_s_ = 0.0;
+  double wall_numeric_s_ = 0.0;
+  bool setup_done_ = false;
+};
+
+}  // namespace frosch

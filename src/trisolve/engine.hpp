@@ -19,8 +19,10 @@
 // what the Summit machine model prices.
 #pragma once
 
+#include <array>
 #include <memory>
 
+#include "common/enum_parse.hpp"
 #include "common/op_profile.hpp"
 #include "direct/factorization.hpp"
 
@@ -35,6 +37,24 @@ enum class TrisolveKind {
 };
 
 const char* to_string(TrisolveKind k);
+
+}  // namespace frosch::trisolve
+
+namespace frosch {
+
+template <>
+struct EnumTraits<trisolve::TrisolveKind> {
+  static constexpr const char* type_name = "TrisolveKind";
+  static constexpr std::array<trisolve::TrisolveKind, 5> all = {
+      trisolve::TrisolveKind::Substitution, trisolve::TrisolveKind::LevelSet,
+      trisolve::TrisolveKind::SupernodalLevelSet,
+      trisolve::TrisolveKind::PartitionedInverse,
+      trisolve::TrisolveKind::JacobiSweeps};
+};
+
+}  // namespace frosch
+
+namespace frosch::trisolve {
 
 using direct::Factorization;
 
