@@ -37,6 +37,7 @@ struct BenchOptions {
   index_t scale = 4;       ///< elems per CPU-rank subdomain axis
   index_t max_nodes = 4;   ///< node ladder cap (paper: 16)
   bool run_micro = false;  ///< also run google-benchmark micro timers
+  std::string json_path;   ///< --json=PATH: machine-readable results file
   ParameterList solver_params;  ///< named solver flags, applied to every spec
 };
 
@@ -46,11 +47,24 @@ inline bool is_solver_key(const std::string& key) {
   return false;
 }
 
-inline void print_help(const char* prog) {
+/// Bench-specific integer flag parsed by parse_options alongside the shared
+/// harness/solver options (e.g. bench_speedup's --elems/--max-threads).
+/// Values must be >= min (rejected with a clear message otherwise).
+struct ExtraOption {
+  const char* key;
+  const char* doc;
+  index_t* target;
+  index_t min = 1;
+};
+
+inline void print_help(const char* prog,
+                       const std::vector<ExtraOption>& extra = {}) {
   std::printf("usage: %s [options]\n\nharness options:\n", prog);
   std::printf("  --scale N            elems per CPU-rank subdomain axis\n");
   std::printf("  --nodes M            node ladder cap\n");
   std::printf("  --micro              also run google-benchmark micro timers\n");
+  std::printf("  --json PATH          also write machine-readable results\n");
+  for (const auto& e : extra) std::printf("  --%-19s %s\n", e.key, e.doc);
   std::printf("  --help               this message\n");
   std::printf(
       "\nsolver options (--key=value or --key value; valid values are\n"
@@ -60,17 +74,18 @@ inline void print_help(const char* prog) {
                 d.values.c_str());
 }
 
-inline BenchOptions parse_options(int argc, char** argv) {
+inline BenchOptions parse_options(int argc, char** argv,
+                                  const std::vector<ExtraOption>& extra = {}) {
   BenchOptions o;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
-      print_help(argv[0]);
+      print_help(argv[0], extra);
       std::exit(0);
     }
     if (arg.rfind("--", 0) != 0) {
       std::fprintf(stderr, "unexpected argument '%s'\n\n", arg.c_str());
-      print_help(argv[0]);
+      print_help(argv[0], extra);
       std::exit(1);
     }
     // google-benchmark flags (--benchmark_filter=..., used with --micro)
@@ -91,20 +106,32 @@ inline BenchOptions parse_options(int argc, char** argv) {
     if (!have_value) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "option --%s needs a value\n\n", key.c_str());
-        print_help(argv[0]);
+        print_help(argv[0], extra);
         std::exit(1);
       }
       value = argv[++i];
     }
+    const ExtraOption* eo = nullptr;
+    for (const auto& e : extra)
+      if (key == e.key) eo = &e;
     if (key == "scale") {
       o.scale = static_cast<index_t>(std::atoi(value.c_str()));
     } else if (key == "nodes") {
       o.max_nodes = static_cast<index_t>(std::atoi(value.c_str()));
+    } else if (key == "json") {
+      o.json_path = value;
+    } else if (eo) {
+      *eo->target = static_cast<index_t>(std::atoi(value.c_str()));
+      if (*eo->target < eo->min) {
+        std::fprintf(stderr, "option --%s needs an integer >= %d, got '%s'\n",
+                     eo->key, int(eo->min), value.c_str());
+        std::exit(1);
+      }
     } else if (is_solver_key(key)) {
       o.solver_params.set(key, value);
     } else {
       std::fprintf(stderr, "unknown option --%s\n\n", key.c_str());
-      print_help(argv[0]);
+      print_help(argv[0], extra);
       std::exit(1);
     }
   }
@@ -214,5 +241,95 @@ inline bool factor_on_cpu(DirectPreset p) {
 inline const char* preset_name(DirectPreset p) {
   return p == DirectPreset::SuperLU ? "SuperLU" : "Tacho";
 }
+
+// ---------------------------------------------------------------------------
+// Machine-readable results (--json=PATH): one JSON array of flat records so
+// the perf trajectory of a bench can be tracked across commits (see
+// scripts/bench_json.sh, which collects BENCH_*.json files).
+
+/// One flat JSON object with insertion-ordered string/number/bool fields.
+class JsonRecord {
+ public:
+  JsonRecord& set(const std::string& key, const std::string& v) {
+    fields_.emplace_back(key, "\"" + escaped(v) + "\"");
+    return *this;
+  }
+  JsonRecord& set(const std::string& key, const char* v) {
+    return set(key, std::string(v));
+  }
+  JsonRecord& set(const std::string& key, double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    fields_.emplace_back(key, buf);
+    return *this;
+  }
+  JsonRecord& set(const std::string& key, index_t v) {
+    fields_.emplace_back(key, std::to_string(v));
+    return *this;
+  }
+  JsonRecord& set(const std::string& key, bool v) {
+    fields_.emplace_back(key, v ? "true" : "false");
+    return *this;
+  }
+
+  std::string str() const {
+    std::string s = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i) s += ", ";
+      s += "\"" + escaped(fields_[i].first) + "\": " + fields_[i].second;
+    }
+    return s + "}";
+  }
+
+ private:
+  static std::string escaped(const std::string& v) {
+    std::string out;
+    for (char c : v) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Accumulates records and writes them as a JSON array on destruction (or
+/// explicit write()).  A default-constructed writer (no path) is a no-op,
+/// so benches can call add() unconditionally.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+  explicit JsonWriter(std::string path) : path_(std::move(path)) {}
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+  ~JsonWriter() { write(); }
+
+  bool enabled() const { return !path_.empty(); }
+  void add(const JsonRecord& r) {
+    if (enabled()) records_.push_back(r.str());
+  }
+
+  void write() {
+    if (!enabled() || written_) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < records_.size(); ++i)
+      std::fprintf(f, "  %s%s\n", records_[i].c_str(),
+                   i + 1 < records_.size() ? "," : "");
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("wrote %zu records to %s\n", records_.size(), path_.c_str());
+    written_ = true;
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> records_;
+  bool written_ = false;
+};
 
 }  // namespace frosch::bench

@@ -1,0 +1,142 @@
+// Thread-scaling of the REAL (wall-clock) hot paths on one problem -- the
+// measurement the exec layer exists for: the same two-level Schwarz + GMRES
+// run at every thread count of a ladder, reporting
+//
+//   * the Schwarz APPLY phase in isolation (repeated preconditioner
+//     applications, the paper's dominant solve-phase kernel),
+//   * the whole setup phase (decomposition + symbolic + per-subdomain
+//     numeric factorizations + interior extensions),
+//   * the full GMRES solve,
+//
+// with iteration counts, which must be IDENTICAL across thread counts (the
+// exec layer's determinism contract, DESIGN.md section 6).
+//
+// Default problem: the 32^3 Laplace brick partitioned into 8 subdomains
+// (~36K dofs).  Usage:
+//   bench_speedup [--elems N] [--parts P] [--max-threads T] [--reps R]
+//                 [--json PATH] [solver flags...]
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+
+using namespace frosch;
+using namespace frosch::bench;
+
+namespace {
+
+struct Measurement {
+  index_t threads = 1;
+  double apply_s = 0.0;   ///< best-of-3 wall time of `reps` applies
+  double setup_s = 0.0;   ///< setup(A, Z) wall time (symbolic + numeric)
+  double solve_s = 0.0;   ///< full GMRES solve wall time
+  index_t iterations = 0;
+  bool converged = false;
+};
+
+Measurement measure(const la::CsrMatrix<double>& A,
+                    const la::DenseMatrix<double>& Z, SolverConfig cfg,
+                    index_t threads, index_t reps) {
+  cfg.threads = threads;
+  Measurement m;
+  m.threads = threads;
+
+  Solver solver(cfg);
+  Timer ts;
+  solver.setup(A, Z);
+  m.setup_s = ts.seconds();
+
+  std::vector<double> b(static_cast<size_t>(A.num_rows()), 1.0), x;
+  const SolveReport rep = solver.solve(b, x);
+  m.solve_s = rep.wall_solve_s;
+  m.iterations = rep.iterations;
+  m.converged = rep.converged;
+
+  const auto* prec = solver.preconditioner();
+  FROSCH_CHECK(prec != nullptr, "bench_speedup: needs a preconditioner");
+  std::vector<double> y;
+  prec->apply(b, y, nullptr);  // warm-up
+  m.apply_s = 1e30;
+  for (int trial = 0; trial < 3; ++trial) {
+    Timer t;
+    for (index_t r = 0; r < reps; ++r) prec->apply(b, y, nullptr);
+    m.apply_s = std::min(m.apply_s, t.seconds());
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  index_t elems = 32, parts = 8, max_threads = 4, reps = 20;
+  auto opt = parse_options(
+      argc, argv,
+      {{"elems", "brick elements per axis (default 32)", &elems},
+       {"parts", "subdomain count (default 8)", &parts},
+       {"max-threads", "thread ladder cap (default 4)", &max_threads},
+       {"reps", "apply() repetitions per measurement (default 20)", &reps}});
+  JsonWriter json(opt.json_path);
+
+  SolverConfig cfg;
+  cfg.num_parts = parts;
+  // 32^3 Laplace is SPD and cheap per subdomain; the paper's defaults
+  // (rGDSW, single-reduce GMRES) stay in force unless overridden by flags.
+  try {
+    cfg = SolverConfig::from_parameters(opt.solver_params, cfg);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+
+  // Assemble the problem once; every ladder point reuses it.
+  fem::BrickMesh mesh(elems, elems, elems, double(elems), double(elems),
+                      double(elems));
+  auto Afull = fem::assemble_laplace(mesh);
+  IndexVector fixed;
+  for (index_t nd : mesh.x0_face_nodes()) fixed.push_back(nd);
+  auto sys = fem::apply_dirichlet(Afull, fixed);
+  auto Z = fem::restrict_nullspace(fem::laplace_nullspace(mesh), sys.keep);
+
+  std::vector<index_t> ladder;
+  for (index_t t = 1; t <= max_threads; t *= 2) ladder.push_back(t);
+  if (ladder.back() != max_threads) ladder.push_back(max_threads);
+
+  std::printf(
+      "\n=== thread scaling: %d^3 Laplace, %d subdomains, wall-clock ===\n",
+      int(elems), int(parts));
+  std::printf("%-10s %14s %14s %14s %8s %10s\n", "threads", "apply[ms/app]",
+              "setup[s]", "solve[s]", "iters", "speedup");
+
+  std::vector<Measurement> ms;
+  for (index_t t : ladder) ms.push_back(measure(sys.A, Z, cfg, t, reps));
+  for (const auto& m : ms) {
+    const double per_apply_ms = 1e3 * m.apply_s / static_cast<double>(reps);
+    const double speedup = ms.front().apply_s / m.apply_s;
+    std::printf("%-10d %14.3f %14.3f %14.3f %8d %9.2fx\n", int(m.threads),
+                per_apply_ms, m.setup_s, m.solve_s, int(m.iterations),
+                speedup);
+    json.add(JsonRecord()
+                 .set("bench", "speedup")
+                 .set("elems", elems)
+                 .set("parts", parts)
+                 .set("threads", m.threads)
+                 .set("apply_per_call_s", m.apply_s / static_cast<double>(reps))
+                 .set("setup_s", m.setup_s)
+                 .set("solve_s", m.solve_s)
+                 .set("iterations", m.iterations)
+                 .set("converged", m.converged)
+                 .set("apply_speedup_vs_serial", speedup));
+  }
+
+  // The determinism contract makes this a hard guarantee, not a hope.
+  for (const auto& m : ms) {
+    if (m.iterations != ms.front().iterations) {
+      std::fprintf(stderr,
+                   "FAIL: iteration count changed with threads (%d vs %d)\n",
+                   int(m.iterations), int(ms.front().iterations));
+      return 1;
+    }
+  }
+  std::printf("iteration counts identical across the ladder: yes\n");
+  return 0;
+}

@@ -18,7 +18,7 @@ using namespace frosch::bench;
 
 namespace {
 
-void run_table(DirectPreset preset, const BenchOptions& opt) {
+void run_table(DirectPreset preset, const BenchOptions& opt, JsonWriter& json) {
   const auto nodes = node_ladder(opt.max_nodes);
   SummitModel model(perf::miniature_summit());
 
@@ -42,6 +42,19 @@ void run_table(DirectPreset preset, const BenchOptions& opt) {
     cpu.push_back(cell(t.solve, res.iterations));
     cpu_t[ni] = t.solve;
     size_row.push_back(std::to_string(res.n) + " dof");
+    json.add(JsonRecord()
+                 .set("bench", "table2")
+                 .set("preset", preset_name(preset))
+                 .set("exec", "cpu")
+                 .set("nodes", n)
+                 .set("np_per_gpu", index_t(0))
+                 .set("dofs", res.n)
+                 .set("threads", spec.solver.threads)
+                 .set("iterations", res.iterations)
+                 .set("modeled_solve_s", t.solve)
+                 .set("modeled_setup_s", t.setup)
+                 .set("wall_solve_s", res.wall_solve_s)
+                 .set("wall_setup_s", res.wall_setup_s));
 
     // GPU rows: 6*k ranks/node, same mesh.
     for (size_t ki = 0; ki < mps_sweep().size(); ++ki) {
@@ -53,6 +66,19 @@ void run_table(DirectPreset preset, const BenchOptions& opt) {
                                   factor_on_cpu(preset));
       gpu[ki].push_back(cell(gt.solve, gres.iterations));
       best_gpu[ni] = std::min(best_gpu[ni], gt.solve);
+      json.add(JsonRecord()
+                   .set("bench", "table2")
+                   .set("preset", preset_name(preset))
+                   .set("exec", "gpu")
+                   .set("nodes", n)
+                   .set("np_per_gpu", index_t(k))
+                   .set("dofs", gres.n)
+                   .set("threads", gspec.solver.threads)
+                   .set("iterations", gres.iterations)
+                   .set("modeled_solve_s", gt.solve)
+                   .set("modeled_setup_s", gt.setup)
+                   .set("wall_solve_s", gres.wall_solve_s)
+                   .set("wall_setup_s", gres.wall_setup_s));
     }
   }
   print_header(std::string("Table II(") + preset_name(preset) + ")", nodes);
@@ -90,8 +116,9 @@ BENCHMARK(BM_SolveApply)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 int main(int argc, char** argv) {
   auto opt = parse_options(argc, argv);
-  run_table(DirectPreset::SuperLU, opt);
-  run_table(DirectPreset::Tacho, opt);
+  JsonWriter json(opt.json_path);
+  run_table(DirectPreset::SuperLU, opt, json);
+  run_table(DirectPreset::Tacho, opt, json);
   if (opt.run_micro) {
 #ifdef FROSCH_HAVE_GBENCH
     benchmark::Initialize(&argc, argv);

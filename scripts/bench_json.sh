@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Machine-readable benchmark results: runs the thread-scaling bench and the
+# Table II reproduction with --json and collects BENCH_*.json files, so the
+# perf trajectory of the hot paths can be tracked across commits.
+#
+# Usage:
+#   scripts/bench_json.sh [BUILD_DIR] [OUT_DIR]
+#     BUILD_DIR  where the bench binaries live (default: build)
+#     OUT_DIR    where BENCH_*.json land (default: bench-results)
+#
+# Environment:
+#   BENCH_THREADS   thread ladder cap for bench_speedup (default: 4)
+#   BENCH_ELEMS     brick elements per axis for bench_speedup (default: 32)
+#   BENCH_SCALE     --scale for bench_table2 (default: 4)
+#   BENCH_NODES     --nodes for bench_table2 (default: 4)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench-results}"
+THREADS="${BENCH_THREADS:-4}"
+ELEMS="${BENCH_ELEMS:-32}"
+SCALE="${BENCH_SCALE:-4}"
+NODES="${BENCH_NODES:-4}"
+
+if [[ ! -x "$BUILD_DIR/bench/bench_speedup" ]]; then
+  echo "error: $BUILD_DIR/bench/bench_speedup not built (run cmake --build $BUILD_DIR first)" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+
+echo "== bench_speedup (${ELEMS}^3 Laplace, threads 1..${THREADS}) =="
+"$BUILD_DIR/bench/bench_speedup" \
+  --elems "$ELEMS" --max-threads "$THREADS" \
+  --json "$OUT_DIR/BENCH_speedup.json"
+
+echo "== bench_table2 (weak scaling, modeled Summit times) =="
+"$BUILD_DIR/bench/bench_table2" \
+  --scale "$SCALE" --nodes "$NODES" \
+  --json "$OUT_DIR/BENCH_table2.json"
+
+echo
+echo "results:"
+ls -l "$OUT_DIR"/BENCH_*.json

@@ -165,14 +165,19 @@ la::CsrMatrix<Scalar> build_interface_basis(const InterfacePartition& ip,
 
 /// Computes the full energy-minimizing basis Phi from Phi_Gamma by solving
 /// the block-diagonal interior extension problems part by part with the
-/// given extension-solver configuration.
+/// given extension-solver configuration.  The per-part solves are fully
+/// independent -- the embarrassingly parallel setup step the paper runs on
+/// the GPU -- and execute concurrently under `policy`; each part collects
+/// its Phi entries privately and they are merged in part order, so the
+/// result is identical at every thread count.
 template <class Scalar>
 la::CsrMatrix<Scalar> extend_basis(const la::CsrMatrix<Scalar>& A,
                                    const Decomposition& d,
                                    const InterfacePartition& ip,
                                    const la::CsrMatrix<Scalar>& phi_gamma,
                                    const LocalSolverConfig& ext_cfg,
-                                   CoarseSpaceProfile* prof = nullptr) {
+                                   CoarseSpaceProfile* prof = nullptr,
+                                   const exec::ExecPolicy& policy = {}) {
   const index_t n = A.num_rows();
   const index_t nc = phi_gamma.num_cols();
   if (prof) prof->per_part_extension.assign(static_cast<size_t>(d.num_parts), {});
@@ -187,53 +192,71 @@ la::CsrMatrix<Scalar> extend_basis(const la::CsrMatrix<Scalar>& A,
   std::vector<IndexVector> interior_of(static_cast<size_t>(d.num_parts));
   for (index_t i : ip.interior_dofs) interior_of[d.owner[i]].push_back(i);
 
+  // Per-part private results, merged serially below.
+  struct PartEntry {
+    index_t row, col;
+    Scalar val;
+  };
+  std::vector<std::vector<PartEntry>> part_entries(
+      static_cast<size_t>(d.num_parts));
+  std::vector<OpProfile> part_prof(static_cast<size_t>(d.num_parts));
+
+  exec::parallel_for(
+      policy, d.num_parts,
+      [&](index_t p) {
+        const IndexVector& I = interior_of[p];
+        if (I.empty()) return;
+        OpProfile* pprof = prof ? &part_prof[p] : nullptr;
+        // Local interior matrix and its factorization.
+        auto App = la::extract_submatrix(A, I, I);
+        LocalSolver<Scalar> solver(ext_cfg);
+        solver.symbolic(App, pprof);
+        solver.numeric(App, pprof, pprof);
+        // Which coarse columns touch this interior?  Walk W rows of I.
+        auto Wp = la::extract_rows(W, I);
+        std::vector<char> active(static_cast<size_t>(nc), 0);
+        for (index_t r = 0; r < Wp.num_rows(); ++r)
+          for (index_t k = Wp.row_begin(r); k < Wp.row_end(r); ++k)
+            active[Wp.col(k)] = 1;
+        std::vector<Scalar> rhs(I.size()), x;
+        OpProfile batched;  // all RHS solved as one batched multi-vector solve
+        index_t n_active = 0;
+        for (index_t c = 0; c < nc; ++c) {
+          if (!active[c]) continue;
+          ++n_active;
+          std::fill(rhs.begin(), rhs.end(), Scalar(0));
+          for (index_t r = 0; r < Wp.num_rows(); ++r) {
+            const index_t pos = Wp.find(r, c);
+            if (pos >= 0) rhs[r] = -Wp.val(pos);
+          }
+          solver.solve(rhs, x, &batched);
+          for (size_t q = 0; q < I.size(); ++q) {
+            if (x[q] != Scalar(0)) part_entries[p].push_back({I[q], c, x[q]});
+          }
+        }
+        if (pprof && n_active > 0) {
+          // A production implementation solves all extension right-hand
+          // sides in ONE batched multi-vector triangular solve: same
+          // flops/traffic, but the launch count and critical path are those
+          // of a single solve with n_active-fold wider work items.
+          batched.launches /= n_active;
+          batched.critical_path /= n_active;
+          *pprof += batched;
+        }
+      },
+      /*grain=*/1);
+
   la::TripletBuilder<Scalar> phi_b(n, nc);
   // Interface block of Phi = Phi_Gamma itself.
   for (index_t i = 0; i < n; ++i)
     for (index_t k = phi_gamma.row_begin(i); k < phi_gamma.row_end(i); ++k)
       phi_b.add(i, phi_gamma.col(k), phi_gamma.val(k));
-
   for (index_t p = 0; p < d.num_parts; ++p) {
-    const IndexVector& I = interior_of[p];
-    if (I.empty()) continue;
-    OpProfile* pprof = prof ? &prof->per_part_extension[p] : nullptr;
-    // Local interior matrix and its factorization.
-    auto App = la::extract_submatrix(A, I, I);
-    LocalSolver<Scalar> solver(ext_cfg);
-    solver.symbolic(App, pprof);
-    solver.numeric(App, pprof, pprof);
-    // Which coarse columns touch this interior?  Walk W rows of I.
-    auto Wp = la::extract_rows(W, I);
-    std::vector<char> active(static_cast<size_t>(nc), 0);
-    for (index_t r = 0; r < Wp.num_rows(); ++r)
-      for (index_t k = Wp.row_begin(r); k < Wp.row_end(r); ++k)
-        active[Wp.col(k)] = 1;
-    std::vector<Scalar> rhs(I.size()), x;
-    OpProfile batched;  // all RHS solved as one batched multi-vector solve
-    index_t n_active = 0;
-    for (index_t c = 0; c < nc; ++c) {
-      if (!active[c]) continue;
-      ++n_active;
-      std::fill(rhs.begin(), rhs.end(), Scalar(0));
-      for (index_t r = 0; r < Wp.num_rows(); ++r) {
-        const index_t pos = Wp.find(r, c);
-        if (pos >= 0) rhs[r] = -Wp.val(pos);
-      }
-      solver.solve(rhs, x, &batched);
-      for (size_t q = 0; q < I.size(); ++q) {
-        if (x[q] != Scalar(0)) phi_b.add(I[q], c, x[q]);
-      }
+    for (const auto& e : part_entries[p]) phi_b.add(e.row, e.col, e.val);
+    if (prof) {
+      prof->per_part_extension[p] = part_prof[p];
+      prof->extension_solves += part_prof[p];
     }
-    if (pprof && n_active > 0) {
-      // A production implementation solves all extension right-hand sides
-      // in ONE batched multi-vector triangular solve: same flops/traffic,
-      // but the launch count and critical path are those of a single solve
-      // with n_active-fold wider work items.
-      batched.launches /= n_active;
-      batched.critical_path /= n_active;
-      *pprof += batched;
-    }
-    if (prof) prof->extension_solves += prof->per_part_extension[p];
   }
   return phi_b.build();
 }

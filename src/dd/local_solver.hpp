@@ -16,6 +16,7 @@
 
 #include "common/enum_parse.hpp"
 #include "direct/gp_lu.hpp"
+#include "exec/exec.hpp"
 #include "direct/multifrontal.hpp"
 #include "graph/nested_dissection.hpp"
 #include "ilu/fastilu.hpp"
@@ -76,6 +77,12 @@ struct LocalSolverConfig {
   /// -- what METIS-based solvers do for vector-valued problems; ordering
   /// the raw dof graph produces drastically worse separators and fill.
   int dof_block_size = 1;
+
+  /// Execution policy for this solver's parallel kernels (FastILU sweeps,
+  /// level-set / Jacobi trisolves).  When the solver runs inside an already
+  /// parallel region (e.g. the subdomain-parallel Schwarz phases) the inner
+  /// kernels automatically degrade to inline serial execution.
+  exec::ExecPolicy exec;
 };
 
 /// One subdomain (or coarse) solver with the three Trilinos phases.
@@ -85,6 +92,7 @@ class LocalSolver {
   explicit LocalSolver(const LocalSolverConfig& cfg) : cfg_(cfg) {
     trisolve::TrisolveOptions topt;
     topt.jacobi_sweeps = cfg.fastsptrsv_sweeps;
+    topt.exec = cfg.exec;
     engine_ = trisolve::make_trisolve<Scalar>(cfg.trisolve, topt);
   }
 
@@ -147,7 +155,7 @@ class LocalSolver {
         engine_->setup(iluk_.factorization(), trisolve_setup_prof);
         break;
       case LocalSolverKind::FastIlu:
-        fast_.numeric(Aord_, cfg_.fastilu_sweeps, factor_prof);
+        fast_.numeric(Aord_, cfg_.fastilu_sweeps, factor_prof, cfg_.exec);
         engine_->setup(fast_.factorization(), trisolve_setup_prof);
         break;
     }

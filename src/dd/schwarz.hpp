@@ -20,9 +20,11 @@
 
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "dd/coarse_space.hpp"
 #include "dd/preconditioner.hpp"
+#include "exec/exec.hpp"
 
 namespace frosch::dd {
 
@@ -33,6 +35,12 @@ struct SchwarzConfig {
   LocalSolverConfig subdomain;                  ///< local subdomain solver
   LocalSolverConfig extension;                  ///< interior-extension solver
   LocalSolverConfig coarse;                     ///< coarse-problem solver
+
+  /// Execution policy of the subdomain-parallel phases (symbolic/numeric
+  /// per-part factorizations, interior extensions, per-part apply solves)
+  /// -- the paper's main source of concurrency.  Local solvers running
+  /// under it execute their own kernels inline (nested regions serialize).
+  exec::ExecPolicy exec;
 
   SchwarzConfig() {
     // Defaults mirror Section VII: Tacho-style direct solvers everywhere
@@ -93,17 +101,21 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
     prof_.rank_comm.assign(static_cast<size_t>(decomp_.num_parts), {});
     if (cfg_.two_level) iface_ = build_interface(A, decomp_);
 
-    // Per-subdomain overlapping matrices + symbolic factorization.
+    // Per-subdomain overlapping matrices + symbolic factorization: fully
+    // independent across parts; each writes only its own slot.
+    local_mats_.assign(static_cast<size_t>(decomp_.num_parts), {});
     solvers_.clear();
-    local_mats_.clear();
-    for (index_t p = 0; p < decomp_.num_parts; ++p) {
-      auto Ap = la::extract_submatrix(A, decomp_.overlap_dofs[p],
-                                      decomp_.overlap_dofs[p]);
-      auto solver = std::make_unique<LocalSolver<Scalar>>(cfg_.subdomain);
-      solver->symbolic(Ap, &prof_.ranks[p].symbolic);
-      local_mats_.push_back(std::move(Ap));
-      solvers_.push_back(std::move(solver));
-    }
+    solvers_.resize(static_cast<size_t>(decomp_.num_parts));
+    exec::parallel_for(
+        cfg_.exec, decomp_.num_parts,
+        [&](index_t p) {
+          local_mats_[p] = la::extract_submatrix(A, decomp_.overlap_dofs[p],
+                                                 decomp_.overlap_dofs[p]);
+          auto solver = std::make_unique<LocalSolver<Scalar>>(cfg_.subdomain);
+          solver->symbolic(local_mats_[p], &prof_.ranks[p].symbolic);
+          solvers_[p] = std::move(solver);
+        },
+        /*grain=*/1);
     symbolic_done_ = true;
   }
 
@@ -115,21 +127,31 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
     auto& bk = prof_.numeric_breakdown;
 
     // (1) Refresh the local overlapping matrices (halo exchange in a real
-    // distributed run: charged as neighbour messages).
-    for (index_t p = 0; p < decomp_.num_parts; ++p) {
-      local_mats_[p] = la::extract_submatrix(A, decomp_.overlap_dofs[p],
-                                             decomp_.overlap_dofs[p]);
-      OpProfile o;
-      o.bytes += local_mats_[p].storage_bytes();
-      o.launches += 1;
-      o.critical_path += 1;
-      o.work_items += static_cast<double>(local_mats_[p].num_rows());
-      o.neighbor_msgs += static_cast<count_t>(decomp_.neighbors[p].size());
-      o.msg_bytes += local_mats_[p].storage_bytes() -
-                     static_cast<double>(decomp_.owned_count[p]) * sizeof(Scalar);
-      bk["overlap-matrix-comm"] += o;
-      prof_.ranks[p].numeric += o;
-      prof_.rank_comm[p] += o;
+    // distributed run: charged as neighbour messages).  Extraction runs
+    // part-parallel; the shared breakdown map is accumulated serially after.
+    {
+      std::vector<OpProfile> comm(static_cast<size_t>(decomp_.num_parts));
+      exec::parallel_for(
+          cfg_.exec, decomp_.num_parts,
+          [&](index_t p) {
+            local_mats_[p] = la::extract_submatrix(A, decomp_.overlap_dofs[p],
+                                                   decomp_.overlap_dofs[p]);
+            OpProfile& o = comm[p];
+            o.bytes += local_mats_[p].storage_bytes();
+            o.launches += 1;
+            o.critical_path += 1;
+            o.work_items += static_cast<double>(local_mats_[p].num_rows());
+            o.neighbor_msgs += static_cast<count_t>(decomp_.neighbors[p].size());
+            o.msg_bytes += local_mats_[p].storage_bytes() -
+                           static_cast<double>(decomp_.owned_count[p]) *
+                               sizeof(Scalar);
+          },
+          /*grain=*/1);
+      for (index_t p = 0; p < decomp_.num_parts; ++p) {
+        bk["overlap-matrix-comm"] += comm[p];
+        prof_.ranks[p].numeric += comm[p];
+        prof_.rank_comm[p] += comm[p];
+      }
     }
 
     // (2) Coarse space: interface values, extensions, RAP, coarse factor.
@@ -149,7 +171,8 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
       has_coarse_ = true;
 
       CoarseSpaceProfile csp;
-      phi_ = extend_basis(A, decomp_, iface_, phi_gamma, cfg_.extension, &csp);
+      phi_ = extend_basis(A, decomp_, iface_, phi_gamma, cfg_.extension, &csp,
+                          cfg_.exec);
       bk["coarse-basis-extension"] += csp.extension_solves;
       bk["coarse-basis-extension"] += csp.extension_rhs;
       for (index_t p = 0; p < decomp_.num_parts; ++p) {
@@ -178,37 +201,53 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
   }
 
   /// Phase (c): y = M^{-1} x, additive over subdomains + coarse level.
+  ///
+  /// The per-subdomain local solves -- the paper's dominant solve-phase
+  /// concurrency -- run in parallel under cfg_.exec, each into a private
+  /// result buffer; the additive combine onto the (overlap-shared) global
+  /// vector happens serially in part order afterwards, so the result is
+  /// identical at every thread count.
   void apply(const std::vector<Scalar>& x, std::vector<Scalar>& y,
              OpProfile* prof) const override {
     FROSCH_CHECK(numeric_done_, "SchwarzPreconditioner: numeric first");
     y.assign(static_cast<size_t>(n_), Scalar(0));
-    std::vector<Scalar> xl, yl;
+    std::vector<std::vector<Scalar>> yls(
+        static_cast<size_t>(decomp_.num_parts));
+    std::vector<OpProfile> locals(static_cast<size_t>(decomp_.num_parts));
+    exec::parallel_for(
+        cfg_.exec, decomp_.num_parts,
+        [&](index_t p) {
+          const auto& dofs = decomp_.overlap_dofs[p];
+          std::vector<Scalar> xl(dofs.size());
+          for (size_t q = 0; q < dofs.size(); ++q) xl[q] = x[dofs[q]];
+          OpProfile& local = locals[p];
+          solvers_[p]->solve(xl, yls[p], &local);
+          // Restriction + prolongation traffic and the halo exchange of the
+          // additive combine.
+          local.bytes += 4.0 * static_cast<double>(dofs.size()) * sizeof(Scalar);
+          local.launches += 2;
+          local.critical_path += 2;
+          local.work_items += 2.0 * static_cast<double>(dofs.size());
+          local.neighbor_msgs +=
+              static_cast<count_t>(decomp_.neighbors[p].size());
+          local.msg_bytes +=
+              static_cast<double>(dofs.size() - decomp_.owned_count[p]) *
+              sizeof(Scalar);
+        },
+        /*grain=*/1);
     for (index_t p = 0; p < decomp_.num_parts; ++p) {
       const auto& dofs = decomp_.overlap_dofs[p];
-      xl.resize(dofs.size());
-      for (size_t q = 0; q < dofs.size(); ++q) xl[q] = x[dofs[q]];
-      OpProfile local;
-      solvers_[p]->solve(xl, yl, &local);
-      for (size_t q = 0; q < dofs.size(); ++q) y[dofs[q]] += yl[q];
-      // Restriction + prolongation traffic and the halo exchange of the
-      // additive combine.
-      local.bytes += 4.0 * static_cast<double>(dofs.size()) * sizeof(Scalar);
-      local.launches += 2;
-      local.critical_path += 2;
-      local.work_items += 2.0 * static_cast<double>(dofs.size());
-      local.neighbor_msgs += static_cast<count_t>(decomp_.neighbors[p].size());
-      local.msg_bytes += static_cast<double>(dofs.size() - decomp_.owned_count[p]) *
-                         sizeof(Scalar);
-      prof_.ranks[p].solve += local;
-      if (prof) *prof += local;
+      for (size_t q = 0; q < dofs.size(); ++q) y[dofs[q]] += yls[p][q];
+      prof_.ranks[p].solve += locals[p];
+      if (prof) *prof += locals[p];
     }
     if (cfg_.two_level && has_coarse_) {
       OpProfile cp;
       std::vector<Scalar> r0, z0(static_cast<size_t>(A0_.num_rows())), w;
-      la::spmv_transpose(phi_, x, r0, Scalar(1), Scalar(0), &cp);
+      la::spmv_transpose(phi_, x, r0, Scalar(1), Scalar(0), &cp, cfg_.exec);
       coarse_solver_->solve(r0, z0, &cp);
-      la::spmv(phi_, z0, w, Scalar(1), Scalar(0), &cp);
-      for (index_t i = 0; i < n_; ++i) y[i] += w[i];
+      la::spmv(phi_, z0, w, Scalar(1), Scalar(0), &cp, cfg_.exec);
+      exec::parallel_for(cfg_.exec, n_, [&](index_t i) { y[i] += w[i]; });
       // Gather/scatter of the coarse vector across ranks: two collectives.
       cp.reductions += 2;
       cp.msg_bytes += 2.0 * static_cast<double>(A0_.num_rows()) * sizeof(Scalar);
@@ -220,19 +259,28 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
 
  private:
   void numeric_local_setup(std::map<std::string, OpProfile>& bk) {
+    // Independent per-subdomain factorizations -- the phase the paper's GPU
+    // runs execute concurrently across local problems.  Profiles are
+    // gathered per part and merged in part order afterwards.
+    std::vector<OpProfile> fac(static_cast<size_t>(decomp_.num_parts));
+    std::vector<OpProfile> tri(static_cast<size_t>(decomp_.num_parts));
+    exec::parallel_for(
+        cfg_.exec, decomp_.num_parts,
+        [&](index_t p) {
+          if (!solvers_[p]->symbolic_reusable()) {
+            // Pivoting backend: symbolic must be redone every numeric call.
+            solvers_[p]->symbolic(local_mats_[p], &fac[p]);
+          }
+          solvers_[p]->numeric(local_mats_[p], &fac[p], &tri[p]);
+        },
+        /*grain=*/1);
     for (index_t p = 0; p < decomp_.num_parts; ++p) {
-      OpProfile fac, tri;
-      if (!solvers_[p]->symbolic_reusable()) {
-        // Pivoting backend: symbolic must be redone every numeric call.
-        solvers_[p]->symbolic(local_mats_[p], &fac);
-      }
-      solvers_[p]->numeric(local_mats_[p], &fac, &tri);
-      bk["local-factorization"] += fac;
-      bk["sptrsv-setup"] += tri;
-      prof_.ranks[p].numeric += fac;
-      prof_.ranks[p].numeric += tri;
-      prof_.rank_factor[p] += fac;
-      prof_.rank_trisolve_setup[p] += tri;
+      bk["local-factorization"] += fac[p];
+      bk["sptrsv-setup"] += tri[p];
+      prof_.ranks[p].numeric += fac[p];
+      prof_.ranks[p].numeric += tri[p];
+      prof_.rank_factor[p] += fac[p];
+      prof_.rank_trisolve_setup[p] += tri[p];
     }
   }
 

@@ -1,0 +1,13 @@
+#include "exec/exec.hpp"
+
+namespace frosch::exec {
+
+const char* to_string(ExecBackend b) {
+  switch (b) {
+    case ExecBackend::Serial: return "serial";
+    case ExecBackend::Threads: return "threads";
+  }
+  return "unknown";
+}
+
+}  // namespace frosch::exec

@@ -1,0 +1,140 @@
+// The execution-policy layer: the CPU realization of the data-parallel
+// launch structure every kernel in miniFROSch already *models* through
+// OpProfile (one `launches` increment == one parallel_for region here).
+//
+// ExecPolicy selects serial or thread-pool execution and carries the thread
+// count; it is plumbed from SolverConfig ("threads" parameter) into every
+// subsystem (la kernels, Schwarz setup/apply, trisolve engines, FastILU
+// sweeps).  Two primitives cover all hot paths:
+//
+//   parallel_for(policy, n, fn)        independent iterations (SpMV rows,
+//                                      subdomains, level rows, sweep rows)
+//   parallel_reduce(policy, n, block)  chunked reduction (dot products)
+//
+// Determinism contract (see DESIGN.md section 6): the chunk decomposition
+// depends only on the problem size -- never on the thread count -- and
+// partial results are combined in chunk order on the calling thread, so a
+// reduction yields BITWISE identical results at every thread count
+// (including serial).  parallel_for regions with disjoint writes are
+// trivially bitwise reproducible.  Nested regions (a parallel kernel called
+// from inside a parallel region, e.g. a level-set trisolve inside a
+// subdomain-parallel Schwarz apply) execute inline serially, mirroring how
+// a GPU kernel cannot launch blocking child kernels.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/enum_parse.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace frosch::exec {
+
+enum class ExecBackend {
+  Serial,   ///< plain loops on the calling thread
+  Threads,  ///< chunked execution on the persistent global ThreadPool
+};
+
+const char* to_string(ExecBackend b);
+
+/// Where and how wide a kernel runs.  Value type, freely copied into every
+/// subsystem's config struct; the pool itself is process-global.
+struct ExecPolicy {
+  ExecBackend backend = ExecBackend::Serial;
+  int threads = 1;  ///< max threads per region (caller included)
+
+  bool parallel() const { return backend == ExecBackend::Threads && threads > 1; }
+
+  static ExecPolicy serial() { return {}; }
+  static ExecPolicy with_threads(int t) {
+    ExecPolicy p;
+    p.threads = t < 1 ? 1 : t;
+    p.backend = p.threads > 1 ? ExecBackend::Threads : ExecBackend::Serial;
+    return p;
+  }
+};
+
+/// Default iteration count below which a chunk is not worth a task.
+constexpr index_t kDefaultGrain = 1024;
+/// Chunk-count cap: bounds task overhead and the transient partial-result
+/// storage of reductions.  Policy-independent by design (determinism).
+constexpr index_t kMaxChunks = 256;
+
+/// Number of chunks [0, kMaxChunks] a range of n items splits into.
+/// Depends only on (n, grain) so reduction orders never vary with the
+/// thread count.
+inline index_t chunk_count(index_t n, index_t grain = kDefaultGrain) {
+  if (n <= 0) return 0;
+  const index_t g = grain < 1 ? 1 : grain;
+  const index_t c = (n + g - 1) / g;
+  return c < kMaxChunks ? c : kMaxChunks;
+}
+
+/// Half-open range of chunk c out of nc over [0, n): even split, the first
+/// n % nc chunks one element longer.
+inline std::pair<index_t, index_t> chunk_range(index_t n, index_t nc,
+                                               index_t c) {
+  const index_t base = n / nc, rem = n % nc;
+  const index_t b = c * base + (c < rem ? c : rem);
+  return {b, b + base + (c < rem ? 1 : 0)};
+}
+
+/// fn(i) for i in [0, n), independent iterations.  Runs inline when the
+/// policy is serial, the range is below one grain, or the caller is already
+/// a pool worker (nested region).
+template <class Fn>
+void parallel_for(const ExecPolicy& p, index_t n, Fn&& fn,
+                  index_t grain = kDefaultGrain) {
+  if (n <= 0) return;
+  if (!p.parallel() || ThreadPool::inside_worker() || n <= grain) {
+    for (index_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const index_t nc = chunk_count(n, grain);
+  global_pool().run_chunks(
+      nc,
+      [&](index_t c) {
+        const auto [b, e] = chunk_range(n, nc, c);
+        for (index_t i = b; i < e; ++i) fn(i);
+      },
+      p.threads);
+}
+
+/// Deterministic chunked reduction: block(begin, end) -> T over each chunk,
+/// partials summed with += in chunk order.  The SERIAL path uses the same
+/// chunking, so results are bitwise identical across every thread count.
+/// The partial buffer lives on the stack (nc <= kMaxChunks), keeping the
+/// Krylov hot path's dot products allocation-free.
+template <class T, class BlockFn>
+T parallel_reduce(const ExecPolicy& p, index_t n, BlockFn&& block,
+                  index_t grain = kDefaultGrain) {
+  if (n <= 0) return T(0);
+  const index_t nc = chunk_count(n, grain);
+  if (nc == 1) return block(index_t(0), n);
+  std::array<T, kMaxChunks> partial;  // chunks [0, nc) all written below
+  auto run = [&](index_t c) {
+    const auto [b, e] = chunk_range(n, nc, c);
+    partial[c] = block(b, e);
+  };
+  if (!p.parallel() || ThreadPool::inside_worker()) {
+    for (index_t c = 0; c < nc; ++c) run(c);
+  } else {
+    global_pool().run_chunks(nc, run, p.threads);
+  }
+  T s(0);
+  for (index_t c = 0; c < nc; ++c) s += partial[c];
+  return s;
+}
+
+}  // namespace frosch::exec
+
+namespace frosch {
+
+template <>
+struct EnumTraits<exec::ExecBackend> {
+  static constexpr const char* type_name = "ExecBackend";
+  static constexpr std::array<exec::ExecBackend, 2> all = {
+      exec::ExecBackend::Serial, exec::ExecBackend::Threads};
+};
+
+}  // namespace frosch

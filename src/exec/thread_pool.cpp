@@ -1,0 +1,132 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/error.hpp"
+
+namespace frosch::exec {
+
+namespace {
+thread_local bool tls_inside_worker = false;
+}  // namespace
+
+/// One blocking parallel region: helpers and the caller pull chunk indices
+/// from a shared atomic counter until the region is exhausted.  Held by
+/// shared_ptr so late-waking helpers outlive the caller's stack frame.
+struct ThreadPool::Region {
+  std::function<void(index_t)> fn;
+  index_t nchunks = 0;
+  std::atomic<index_t> next{0};
+  std::atomic<index_t> done{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::exception_ptr error;
+  std::mutex error_mutex;
+};
+
+ThreadPool::ThreadPool(int workers) {
+  const int n = std::max(0, workers);
+  threads_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+bool ThreadPool::inside_worker() { return tls_inside_worker; }
+
+void ThreadPool::drain(Region& r) {
+  for (index_t c; (c = r.next.fetch_add(1)) < r.nchunks;) {
+    try {
+      r.fn(c);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(r.error_mutex);
+      if (!r.error) r.error = std::current_exception();
+    }
+    if (r.done.fetch_add(1) + 1 == r.nchunks) {
+      // Notify under the region mutex so the caller's predicate check and
+      // sleep cannot interleave with this wake-up.
+      std::lock_guard<std::mutex> lk(r.mutex);
+      r.cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  tls_inside_worker = true;
+  for (;;) {
+    std::shared_ptr<Region> region;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      region = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    drain(*region);
+  }
+}
+
+void ThreadPool::run_chunks(index_t nchunks,
+                            const std::function<void(index_t)>& fn,
+                            int concurrency) {
+  FROSCH_CHECK(!inside_worker(),
+               "ThreadPool: nested run_chunks from a pool worker (callers "
+               "must check inside_worker() and run inline)");
+  if (nchunks <= 0) return;
+  auto region = std::make_shared<Region>();
+  region->fn = fn;
+  region->nchunks = nchunks;
+
+  // Caller always works; enqueue one queue entry per helper slot so up to
+  // that many workers join the drain (extras find the counter exhausted and
+  // return immediately).
+  const int helpers =
+      std::max(0, std::min({concurrency - 1, workers(),
+                            static_cast<int>(nchunks) - 1}));
+  if (helpers > 0) {
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      for (int h = 0; h < helpers; ++h) queue_.push_back(region);
+    }
+    if (helpers == 1) {
+      cv_.notify_one();
+    } else {
+      cv_.notify_all();
+    }
+  }
+
+  // The caller drains chunks too; mark it as inside pool work for the
+  // duration so nested regions in ITS chunks also degrade to inline
+  // execution (not just those on worker threads) -- the documented
+  // "nested regions run inline" invariant.  drain() never throws (chunk
+  // exceptions land in region->error), so plain restore suffices.
+  tls_inside_worker = true;
+  drain(*region);
+  tls_inside_worker = false;
+  {
+    std::unique_lock<std::mutex> lk(region->mutex);
+    region->cv.wait(lk, [&] { return region->done.load() == nchunks; });
+  }
+  if (region->error) std::rethrow_exception(region->error);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool([] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    // At least 7 helpers even on tiny machines: equivalence and TSan tests
+    // request threads=4 regardless of core count, and blocked workers are
+    // nearly free.
+    return static_cast<int>(std::max(hw, 8u)) - 1;
+  }());
+  return pool;
+}
+
+}  // namespace frosch::exec

@@ -1,0 +1,82 @@
+// Persistent worker-thread pool behind the exec layer's parallel_for /
+// parallel_reduce primitives (see exec/exec.hpp).
+//
+// Design constraints, in the order they shaped the implementation:
+//   * PERSISTENT: workers are created once and reused across every parallel
+//     region -- a Krylov solve launches thousands of small kernels, so
+//     per-region thread creation would swamp the kernels themselves (the
+//     CPU analogue of the GPU kernel-launch latency the Summit model
+//     prices per `launches`).
+//   * BLOCKING REGIONS: run_chunks() returns only when every chunk has
+//     executed; the caller thread participates in the work instead of
+//     idling, so `concurrency` threads means caller + (concurrency-1)
+//     helpers.
+//   * EXCEPTION SAFE: the first exception thrown by any chunk is captured
+//     and rethrown on the calling thread after the region drains; remaining
+//     chunks still run (they may hold references into caller state that
+//     must stay quiescent until the region ends).
+//   * NESTING SAFE: code running inside a pool worker must never submit a
+//     blocking region of its own (workers waiting on workers deadlocks a
+//     finite pool); inside_worker() lets the exec primitives detect this
+//     and degrade to inline serial execution.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace frosch::exec {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` persistent threads (clamped to at least 0; a pool
+  /// with zero workers still functions -- run_chunks executes inline).
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Executes fn(c) for every chunk c in [0, nchunks), using at most
+  /// `concurrency` threads in total (the calling thread counts and always
+  /// participates).  Blocks until all chunks have run; rethrows the first
+  /// captured exception.  Safe to call concurrently from multiple external
+  /// threads; must NOT be called from inside a pool worker (assert-guarded
+  /// -- callers are expected to check inside_worker() and run inline).
+  void run_chunks(index_t nchunks, const std::function<void(index_t)>& fn,
+                  int concurrency);
+
+  /// True while the current thread executes pool work (thread-local flag):
+  /// permanently on pool worker threads, and on any caller thread for the
+  /// duration of its run_chunks drain.  The signal that a nested parallel
+  /// region must execute inline.
+  static bool inside_worker();
+
+ private:
+  struct Region;
+  void worker_loop();
+  static void drain(Region& r);
+
+  std::vector<std::thread> threads_;
+  std::deque<std::shared_ptr<Region>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// The process-wide pool the exec primitives submit to, created lazily on
+/// first parallel use.  Sized generously (at least 7 workers, more when the
+/// hardware has more cores) so that oversubscribed thread counts requested
+/// on small machines still exercise real concurrency -- an ExecPolicy's
+/// `threads` bounds how many of these workers one region may occupy.
+ThreadPool& global_pool();
+
+}  // namespace frosch::exec

@@ -32,6 +32,7 @@
 #include "dd/interface.hpp"
 #include "dd/preconditioner.hpp"
 #include "dd/schwarz.hpp"
+#include "exec/exec.hpp"
 #include "fem/assembly.hpp"
 #include "fem/mesh.hpp"
 #include "graph/partition.hpp"

@@ -17,6 +17,7 @@ struct CgOptions {
   index_t max_iters = 2000;
   double tol = 1e-7;  ///< relative to the initial residual (as in GMRES)
   IterationCallback on_iteration;  ///< optional per-iteration observer
+  exec::ExecPolicy exec;  ///< vector-kernel execution (dots, axpys)
 };
 
 template <class Scalar>
@@ -30,11 +31,12 @@ SolveResult cg(const LinearOperator<Scalar>& A,
   x.resize(static_cast<size_t>(n), Scalar(0));
   SolveResult res;
   OpProfile* prof = &res.profile;
+  const exec::ExecPolicy& ex = opts.exec;
 
   std::vector<Scalar> r(static_cast<size_t>(n)), z, p, Ap(static_cast<size_t>(n));
   A.apply(x, r, prof);
-  for (index_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
-  const double beta0 = static_cast<double>(la::norm2(r, prof));
+  exec::parallel_for(ex, n, [&](index_t i) { r[i] = b[i] - r[i]; });
+  const double beta0 = static_cast<double>(la::norm2(r, prof, ex));
   res.initial_residual = beta0;
   res.residual_history.push_back(beta0);
   if (beta0 == 0.0) {
@@ -49,16 +51,16 @@ SolveResult cg(const LinearOperator<Scalar>& A,
     z = r;
   }
   p = z;
-  Scalar rz = la::dot(r, z, prof);
+  Scalar rz = la::dot(r, z, prof, ex);
   for (index_t it = 0; it < opts.max_iters; ++it) {
     A.apply(p, Ap, prof);
-    const Scalar pAp = la::dot(p, Ap, prof);
+    const Scalar pAp = la::dot(p, Ap, prof, ex);
     FROSCH_CHECK(pAp > Scalar(0), "cg: operator not SPD (p^T A p <= 0)");
     const Scalar alpha = rz / pAp;
-    la::axpy(alpha, p, x, prof);
-    la::axpy(-alpha, Ap, r, prof);
+    la::axpy(alpha, p, x, prof, ex);
+    la::axpy(-alpha, Ap, r, prof, ex);
     ++res.iterations;
-    const double rn = static_cast<double>(la::norm2(r, prof));
+    const double rn = static_cast<double>(la::norm2(r, prof, ex));
     res.final_residual = rn;
     res.residual_history.push_back(rn);
     if (opts.on_iteration) opts.on_iteration(res.iterations, rn);
@@ -67,8 +69,8 @@ SolveResult cg(const LinearOperator<Scalar>& A,
       // iterations) -- the same safeguard gmres() applies at its restarts.
       std::vector<Scalar> rt(static_cast<size_t>(n));
       A.apply(x, rt, prof);
-      for (index_t i = 0; i < n; ++i) rt[i] = b[i] - rt[i];
-      const double tn = static_cast<double>(la::norm2(rt, prof));
+      exec::parallel_for(ex, n, [&](index_t i) { rt[i] = b[i] - rt[i]; });
+      const double tn = static_cast<double>(la::norm2(rt, prof, ex));
       res.final_residual = tn;
       res.residual_history.back() = tn;
       if (tn <= target) {
@@ -82,10 +84,10 @@ SolveResult cg(const LinearOperator<Scalar>& A,
     } else {
       z = r;
     }
-    const Scalar rz_new = la::dot(r, z, prof);
+    const Scalar rz_new = la::dot(r, z, prof, ex);
     const Scalar betak = rz_new / rz;
     rz = rz_new;
-    for (index_t i = 0; i < n; ++i) p[i] = z[i] + betak * p[i];
+    exec::parallel_for(ex, n, [&](index_t i) { p[i] = z[i] + betak * p[i]; });
   }
   return res;
 }

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "common/enum_parse.hpp"
+#include "exec/exec.hpp"
 #include "krylov/operator.hpp"
 #include "la/dense.hpp"
 #include "la/vector_ops.hpp"
@@ -38,6 +39,7 @@ struct GmresOptions {
   double tol = 1e-7;            ///< relative to the initial residual (paper)
   OrthoKind ortho = OrthoKind::SingleReduce;
   IterationCallback on_iteration;  ///< optional per-iteration observer
+  exec::ExecPolicy exec;  ///< vector-kernel execution (dots, axpys, scales)
 };
 
 struct SolveResult {

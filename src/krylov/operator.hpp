@@ -23,20 +23,23 @@ class LinearOperator {
 };
 
 /// CSR matrix as an operator; the halo exchange of a distributed SpMV is
-/// charged as neighbor messages on the profile.
+/// charged as neighbor messages on the profile.  The row-parallel SpMV runs
+/// under the given execution policy.
 template <class Scalar>
 class CsrOperator final : public LinearOperator<Scalar> {
  public:
   explicit CsrOperator(const la::CsrMatrix<Scalar>& A, count_t halo_msgs = 0,
-                       double halo_bytes = 0.0)
-      : A_(A), halo_msgs_(halo_msgs), halo_bytes_(halo_bytes) {}
+                       double halo_bytes = 0.0,
+                       const exec::ExecPolicy& policy = {})
+      : A_(A), halo_msgs_(halo_msgs), halo_bytes_(halo_bytes),
+        policy_(policy) {}
 
   index_t rows() const override { return A_.num_rows(); }
   index_t cols() const override { return A_.num_cols(); }
 
   void apply(const std::vector<Scalar>& x, std::vector<Scalar>& y,
              OpProfile* prof) const override {
-    la::spmv(A_, x, y, Scalar(1), Scalar(0), prof);
+    la::spmv(A_, x, y, Scalar(1), Scalar(0), prof, policy_);
     if (prof) {
       prof->neighbor_msgs += halo_msgs_;
       prof->msg_bytes += halo_bytes_;
@@ -47,6 +50,7 @@ class CsrOperator final : public LinearOperator<Scalar> {
   const la::CsrMatrix<Scalar>& A_;
   count_t halo_msgs_;
   double halo_bytes_;
+  exec::ExecPolicy policy_;
 };
 
 }  // namespace frosch::krylov

@@ -28,6 +28,7 @@ struct KrylovOptions {
   double tol = 1e-7;            ///< relative to the initial residual
   OrthoKind ortho = OrthoKind::SingleReduce;  ///< GMRES orthogonalization
   IterationCallback on_iteration;  ///< optional per-iteration observer
+  exec::ExecPolicy exec;  ///< vector-kernel execution policy
 
   GmresOptions gmres_options() const {
     GmresOptions o;
@@ -36,6 +37,7 @@ struct KrylovOptions {
     o.tol = tol;
     o.ortho = ortho;
     o.on_iteration = on_iteration;
+    o.exec = exec;
     return o;
   }
 
@@ -44,6 +46,7 @@ struct KrylovOptions {
     o.max_iters = max_iters;
     o.tol = tol;
     o.on_iteration = on_iteration;
+    o.exec = exec;
     return o;
   }
 };

@@ -4,6 +4,12 @@
 // charges one all-reduce latency per `reductions` increment, which is exactly
 // the cost the single-reduce GMRES variant (Section I, Table I) is designed
 // to amortize.
+//
+// All kernels execute through the exec layer.  Elementwise kernels are
+// bitwise reproducible at any thread count (disjoint writes); reductions use
+// exec::parallel_reduce's fixed chunk decomposition, so dot/norm2/multi_dot
+// are ALSO bitwise identical across thread counts including serial -- the
+// property the equivalence tests in test_exec assert.
 #pragma once
 
 #include <cmath>
@@ -12,14 +18,16 @@
 #include "common/error.hpp"
 #include "common/op_profile.hpp"
 #include "common/types.hpp"
+#include "exec/exec.hpp"
 
 namespace frosch::la {
 
 template <class Scalar>
 void axpy(Scalar alpha, const std::vector<Scalar>& x, std::vector<Scalar>& y,
-          OpProfile* prof = nullptr) {
+          OpProfile* prof = nullptr, const exec::ExecPolicy& policy = {}) {
   FROSCH_ASSERT(x.size() == y.size(), "axpy: size mismatch");
-  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  exec::parallel_for(policy, static_cast<index_t>(x.size()),
+                     [&](index_t i) { y[i] += alpha * x[i]; });
   if (prof) {
     prof->flops += 2.0 * static_cast<double>(x.size());
     prof->bytes += 3.0 * static_cast<double>(x.size()) * sizeof(Scalar);
@@ -30,8 +38,10 @@ void axpy(Scalar alpha, const std::vector<Scalar>& x, std::vector<Scalar>& y,
 }
 
 template <class Scalar>
-void scale(std::vector<Scalar>& x, Scalar alpha, OpProfile* prof = nullptr) {
-  for (auto& v : x) v *= alpha;
+void scale(std::vector<Scalar>& x, Scalar alpha, OpProfile* prof = nullptr,
+           const exec::ExecPolicy& policy = {}) {
+  exec::parallel_for(policy, static_cast<index_t>(x.size()),
+                     [&](index_t i) { x[i] *= alpha; });
   if (prof) {
     prof->flops += static_cast<double>(x.size());
     prof->bytes += 2.0 * static_cast<double>(x.size()) * sizeof(Scalar);
@@ -44,10 +54,14 @@ void scale(std::vector<Scalar>& x, Scalar alpha, OpProfile* prof = nullptr) {
 /// Local dot product + one modeled global reduction.
 template <class Scalar>
 Scalar dot(const std::vector<Scalar>& x, const std::vector<Scalar>& y,
-           OpProfile* prof = nullptr) {
+           OpProfile* prof = nullptr, const exec::ExecPolicy& policy = {}) {
   FROSCH_ASSERT(x.size() == y.size(), "dot: size mismatch");
-  Scalar s(0);
-  for (size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  const Scalar s = exec::parallel_reduce<Scalar>(
+      policy, static_cast<index_t>(x.size()), [&](index_t b, index_t e) {
+        Scalar p(0);
+        for (index_t i = b; i < e; ++i) p += x[i] * y[i];
+        return p;
+      });
   if (prof) {
     prof->flops += 2.0 * static_cast<double>(x.size());
     prof->bytes += 2.0 * static_cast<double>(x.size()) * sizeof(Scalar);
@@ -60,23 +74,43 @@ Scalar dot(const std::vector<Scalar>& x, const std::vector<Scalar>& y,
 }
 
 template <class Scalar>
-Scalar norm2(const std::vector<Scalar>& x, OpProfile* prof = nullptr) {
-  return std::sqrt(dot(x, x, prof));
+Scalar norm2(const std::vector<Scalar>& x, OpProfile* prof = nullptr,
+             const exec::ExecPolicy& policy = {}) {
+  return std::sqrt(dot(x, x, prof, policy));
 }
 
 /// Fused multi-dot: k dot products against a common vector, one reduction.
 /// This is the kernel the single-reduce orthogonalization relies on.
+/// Parallelized by chunking the vector length (k is small -- the GMRES
+/// basis size); per-chunk partial sum vectors are combined in chunk order,
+/// so results are bitwise identical at every thread count.
 template <class Scalar>
 void multi_dot(const std::vector<std::vector<Scalar>>& vs,
                const std::vector<Scalar>& w, std::vector<Scalar>& out,
-               OpProfile* prof = nullptr) {
-  out.resize(vs.size());
-  for (size_t j = 0; j < vs.size(); ++j) {
+               OpProfile* prof = nullptr, const exec::ExecPolicy& policy = {}) {
+  const size_t k = vs.size();
+  for (size_t j = 0; j < k; ++j)
     FROSCH_ASSERT(vs[j].size() == w.size(), "multi_dot: size mismatch");
-    Scalar s(0);
-    for (size_t i = 0; i < w.size(); ++i) s += vs[j][i] * w[i];
-    out[j] = s;
-  }
+  const index_t n = static_cast<index_t>(w.size());
+  const index_t nc = exec::chunk_count(n);
+  std::vector<std::vector<Scalar>> partial(static_cast<size_t>(nc));
+  exec::parallel_for(
+      policy, nc,
+      [&](index_t c) {
+        auto& pc = partial[c];
+        pc.assign(k, Scalar(0));
+        const auto [b, e] = exec::chunk_range(n, nc, c);
+        for (size_t j = 0; j < k; ++j) {
+          const Scalar* vj = vs[j].data();
+          Scalar s(0);
+          for (index_t i = b; i < e; ++i) s += vj[i] * w[i];
+          pc[j] = s;
+        }
+      },
+      /*grain=*/1);
+  out.assign(k, Scalar(0));
+  for (index_t c = 0; c < nc; ++c)
+    for (size_t j = 0; j < k; ++j) out[j] += partial[c][j];
   if (prof) {
     prof->flops += 2.0 * static_cast<double>(vs.size()) *
                    static_cast<double>(w.size());

@@ -18,6 +18,15 @@ void read_int(const ParameterList& p, const std::string& key, index_t& out) {
 
 }  // namespace
 
+void SolverConfig::propagate_exec() {
+  const auto policy = exec::ExecPolicy::with_threads(static_cast<int>(threads));
+  schwarz.exec = policy;
+  schwarz.subdomain.exec = policy;
+  schwarz.extension.exec = policy;
+  schwarz.coarse.exec = policy;
+  krylov.exec = policy;
+}
+
 SolverConfig SolverConfig::from_parameters(const ParameterList& p) {
   return from_parameters(p, SolverConfig{});
 }
@@ -28,6 +37,7 @@ SolverConfig SolverConfig::from_parameters(const ParameterList& p,
   if (p.has("preconditioner"))
     c.preconditioner = p.get<std::string>("preconditioner");
   read_int(p, "num-parts", c.num_parts);
+  read_int(p, "threads", c.threads);
 
   // Krylov side.
   read_enum(p, "solver", c.krylov.method);
@@ -76,6 +86,7 @@ SolverConfig SolverConfig::from_parameters(const ParameterList& p,
                "SolverConfig: max-iters must be non-negative");
   FROSCH_CHECK(c.krylov.tol > 0.0, "SolverConfig: tol must be positive");
   FROSCH_CHECK(c.num_parts > 0, "SolverConfig: num-parts must be positive");
+  FROSCH_CHECK(c.threads > 0, "SolverConfig: threads must be positive");
   FROSCH_CHECK(c.schwarz.overlap >= 0,
                "SolverConfig: overlap must be non-negative");
   FROSCH_CHECK(c.schwarz.subdomain.ilu_level >= 0,
@@ -99,6 +110,7 @@ std::vector<SolverConfig::ParameterDoc> SolverConfig::parameter_docs() {
       {"preconditioner", "schwarz, schwarz-float, none",
        "preconditioner registry name"},
       {"num-parts", "int", "subdomain count for algebraic setup(A, Z)"},
+      {"threads", "int", "exec-layer thread count (1 = serial)"},
       {"solver", enum_names<KrylovMethod>(), "Krylov method"},
       {"ortho", enum_names<OrthoKind>(), "GMRES orthogonalization"},
       {"restart", "int", "GMRES cycle length"},

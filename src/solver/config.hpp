@@ -24,8 +24,20 @@ struct SolverConfig {
   /// (ignored when a decomposition or owner vector is supplied).
   index_t num_parts = 8;
 
+  /// Thread count of the execution layer (1 = serial).  The facade copies
+  /// it into every subsystem policy (Schwarz phases, local solvers, Krylov
+  /// vector kernels, the operator SpMV) via propagate_exec() -- the single
+  /// knob behind the "threads" ParameterList key and the benches'
+  /// --threads flag.
+  index_t threads = 1;
+
   dd::SchwarzConfig schwarz;
   krylov::KrylovOptions krylov;
+
+  /// Copies `threads` into the exec policies of every subsystem config.
+  /// Called by Solver::configure; call it directly when driving subsystem
+  /// structs by hand after changing `threads`.
+  void propagate_exec();
 
   /// Populates a config from string-driven parameters on top of `base`:
   /// keys present in `p` override the corresponding `base` fields, all

@@ -30,9 +30,9 @@ std::string SolveReport::str() const {
                 initial_residual, final_residual);
   s += buf;
   std::snprintf(buf, sizeof(buf),
-                "\ncoarse dim %d; wall: symbolic %.3fs, numeric %.3fs, "
-                "solve %.3fs",
-                int(coarse_dim), wall_symbolic_s, wall_numeric_s,
+                "\ncoarse dim %d; threads %d; wall: symbolic %.3fs, "
+                "numeric %.3fs, solve %.3fs",
+                int(coarse_dim), int(threads), wall_symbolic_s, wall_numeric_s,
                 wall_solve_s);
   s += buf;
   return s;
@@ -43,7 +43,9 @@ void Solver::configure(SolverConfig cfg) {
                "Solver: unknown preconditioner '"
                    << cfg.preconditioner << "' (registered: "
                    << preconditioner_registry().names_joined() << ")");
+  FROSCH_CHECK(cfg.threads > 0, "Solver: threads must be positive");
   cfg_ = std::move(cfg);
+  cfg_.propagate_exec();
   krylov_ = krylov::make_krylov<double>(cfg_.krylov);
   prec_.reset();
   setup_done_ = false;
@@ -98,7 +100,7 @@ void Solver::setup(const la::CsrMatrix<double>& A,
 SolveReport Solver::solve(const std::vector<double>& b,
                           std::vector<double>& x) {
   FROSCH_CHECK(setup_done_, "Solver: setup() before solve()");
-  krylov::CsrOperator<double> op(A_);
+  krylov::CsrOperator<double> op(A_, 0, 0.0, cfg_.krylov.exec);
 
   // The preconditioner accumulates its solve-phase profiles across apply()
   // calls; snapshot them so the report stays PER-SOLVE even when solve()
@@ -116,6 +118,7 @@ SolveReport Solver::solve(const std::vector<double>& b,
   rep.initial_residual = sr.initial_residual;
   rep.final_residual = sr.final_residual;
   rep.residual_history = std::move(sr.residual_history);
+  rep.threads = cfg_.threads;
   rep.wall_symbolic_s = wall_symbolic_s_;
   rep.wall_numeric_s = wall_numeric_s_;
   rep.wall_solve_s = t.seconds();

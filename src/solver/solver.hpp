@@ -34,6 +34,7 @@ struct SolveReport {
   double final_residual = 0.0;
   std::vector<double> residual_history;  ///< [0] = initial, one per iteration
   index_t coarse_dim = 0;
+  index_t threads = 1;  ///< exec-layer thread count the solve ran with
 
   double wall_symbolic_s = 0.0;  ///< host wall-clock of the setup phases
   double wall_numeric_s = 0.0;

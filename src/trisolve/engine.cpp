@@ -22,13 +22,14 @@ std::unique_ptr<TriangularEngine<Scalar>> make_trisolve(
     case TrisolveKind::Substitution:
       return std::make_unique<SubstitutionEngine<Scalar>>();
     case TrisolveKind::LevelSet:
-      return std::make_unique<LevelSetEngine<Scalar>>();
+      return std::make_unique<LevelSetEngine<Scalar>>(opts.exec);
     case TrisolveKind::SupernodalLevelSet:
-      return std::make_unique<SupernodalEngine<Scalar>>();
+      return std::make_unique<SupernodalEngine<Scalar>>(opts.exec);
     case TrisolveKind::PartitionedInverse:
-      return std::make_unique<PartitionedInverseEngine<Scalar>>();
+      return std::make_unique<PartitionedInverseEngine<Scalar>>(opts.exec);
     case TrisolveKind::JacobiSweeps:
-      return std::make_unique<JacobiSweepsEngine<Scalar>>(opts.jacobi_sweeps);
+      return std::make_unique<JacobiSweepsEngine<Scalar>>(opts.jacobi_sweeps,
+                                                          opts.exec);
   }
   FROSCH_CHECK(false, "make_trisolve: unknown kind");
   return nullptr;

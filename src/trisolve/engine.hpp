@@ -25,6 +25,7 @@
 #include "common/enum_parse.hpp"
 #include "common/op_profile.hpp"
 #include "direct/factorization.hpp"
+#include "exec/exec.hpp"
 
 namespace frosch::trisolve {
 
@@ -61,6 +62,7 @@ using direct::Factorization;
 /// Options shared by all engines.
 struct TrisolveOptions {
   int jacobi_sweeps = 5;  ///< FastSpTRSV sweep count (paper default: five)
+  exec::ExecPolicy exec;  ///< within-level / per-sweep execution policy
 };
 
 /// A fully set-up solver for  x = U^{-1} L^{-1} P b  given a Factorization.

@@ -1,5 +1,12 @@
 // Concrete TriangularEngine implementations.  See engine.hpp for the
 // algorithm catalogue and attribution.
+//
+// Since the exec-layer refactor the level-set engines EXECUTE their modeled
+// schedule: rows (or supernodes) within a dependency level run concurrently
+// through exec::parallel_for, levels remain a sequential chain -- one
+// parallel region per recorded launch.  All exact engines stay bitwise
+// identical to the serial substitution baseline at every thread count (the
+// per-row accumulation order is unchanged); see DESIGN.md section 6.
 #pragma once
 
 #include "la/spmv.hpp"
@@ -9,7 +16,7 @@
 namespace frosch::trisolve {
 
 /// CPU baseline: sequential substitution.  One "launch" per factor; critical
-/// path = n rows (fully serial).
+/// path = n rows (fully serial -- deliberately ignores the exec policy).
 template <class Scalar>
 class SubstitutionEngine final : public TriangularEngine<Scalar> {
  public:
@@ -44,14 +51,19 @@ class SubstitutionEngine final : public TriangularEngine<Scalar> {
 };
 
 /// Element-based level-set scheduling [Anderson & Saad 1989]: rows grouped
-/// into dependency levels; one GPU kernel launch per level.
+/// into dependency levels; one kernel launch (parallel region) per level.
 template <class Scalar>
 class LevelSetEngine final : public TriangularEngine<Scalar> {
  public:
+  explicit LevelSetEngine(const exec::ExecPolicy& policy = {})
+      : policy_(policy) {}
+
   void setup(const Factorization<Scalar>& f, OpProfile* prof) override {
     fact_ = &f;
     llevel_ = lower_levels(f.L, &lower_nlevels_);
     ulevel_ = upper_levels(f.U, &upper_nlevels_);
+    build_level_schedule(llevel_, lower_nlevels_, lorder_, lptr_);
+    build_level_schedule(ulevel_, upper_nlevels_, uorder_, uptr_);
     if (prof) {
       // Setup streams both factors to compute levels and build the schedule.
       prof->bytes += 2.0 * (f.L.storage_bytes() + f.U.storage_bytes());
@@ -64,8 +76,10 @@ class LevelSetEngine final : public TriangularEngine<Scalar> {
   void solve(const std::vector<Scalar>& b, std::vector<Scalar>& x,
              OpProfile* prof) const override {
     fact_->apply_row_perm(b, x);
-    forward_solve(fact_->L, fact_->unit_diag_L, x);
-    backward_solve(fact_->U, x);
+    level_scheduled_solve(fact_->L, fact_->unit_diag_L, lorder_, lptr_, x,
+                          policy_);
+    level_scheduled_solve(fact_->U, /*unit_diag=*/false, uorder_, uptr_, x,
+                          policy_);
     record_levelset_sweep(fact_->L, lower_nlevels_, prof);
     record_levelset_sweep(fact_->U, upper_nlevels_, prof);
   }
@@ -77,7 +91,9 @@ class LevelSetEngine final : public TriangularEngine<Scalar> {
 
  private:
   const Factorization<Scalar>* fact_ = nullptr;
+  exec::ExecPolicy policy_;
   IndexVector llevel_, ulevel_;
+  IndexVector lorder_, lptr_, uorder_, uptr_;
   index_t lower_nlevels_ = 0, upper_nlevels_ = 0;
 };
 
@@ -85,9 +101,16 @@ class LevelSetEngine final : public TriangularEngine<Scalar> {
 /// level sets over supernodal column blocks instead of single rows.  Fewer,
 /// fatter levels => fewer kernel launches and team-parallel dense work per
 /// block, which is why the paper pairs it with SuperLU factors on GPUs.
+/// Executed here as one parallel region per block level with supernodes as
+/// tasks; the rows of a supernode are processed sequentially inside the
+/// task (same-block dependencies), in factor order -- bitwise identical to
+/// serial substitution.
 template <class Scalar>
 class SupernodalEngine final : public TriangularEngine<Scalar> {
  public:
+  explicit SupernodalEngine(const exec::ExecPolicy& policy = {})
+      : policy_(policy) {}
+
   void setup(const Factorization<Scalar>& f, OpProfile* prof) override {
     fact_ = &f;
     // Supernode of each column.
@@ -99,8 +122,12 @@ class SupernodalEngine final : public TriangularEngine<Scalar> {
     // Supernode dependency levels, derived from row levels collapsed onto
     // blocks: level(s) = 1 + max(level(s') over supernodes s' < s that s's
     // rows reference).
-    lower_nlevels_ = block_levels(f.L, sn_of, nsn, /*lower=*/true);
-    upper_nlevels_ = block_levels(f.U, sn_of, nsn, /*lower=*/false);
+    IndexVector llev = block_levels(f.L, sn_of, nsn, /*lower=*/true,
+                                    &lower_nlevels_);
+    IndexVector ulev = block_levels(f.U, sn_of, nsn, /*lower=*/false,
+                                    &upper_nlevels_);
+    build_level_schedule(llev, lower_nlevels_, lsn_order_, lsn_ptr_);
+    build_level_schedule(ulev, upper_nlevels_, usn_order_, usn_ptr_);
     if (prof) {
       // Supernode detection, block-structure conversion (CSC -> supernodal
       // block storage), and two level schedules: several irregular host
@@ -116,8 +143,10 @@ class SupernodalEngine final : public TriangularEngine<Scalar> {
   void solve(const std::vector<Scalar>& b, std::vector<Scalar>& x,
              OpProfile* prof) const override {
     fact_->apply_row_perm(b, x);
-    forward_solve(fact_->L, fact_->unit_diag_L, x);
-    backward_solve(fact_->U, x);
+    block_sweep(fact_->L, fact_->unit_diag_L, /*forward=*/true, lsn_order_,
+                lsn_ptr_, x);
+    block_sweep(fact_->U, /*unit_diag=*/false, /*forward=*/false, usn_order_,
+                usn_ptr_, x);
     if (prof) {
       prof->flops += 2.0 * static_cast<double>(fact_->factor_nnz());
       prof->bytes += fact_->L.storage_bytes() + fact_->U.storage_bytes();
@@ -139,9 +168,9 @@ class SupernodalEngine final : public TriangularEngine<Scalar> {
   index_t upper_nlevels() const { return upper_nlevels_; }
 
  private:
-  static index_t block_levels(const la::CsrMatrix<Scalar>& T,
-                              const IndexVector& sn_of, index_t nsn,
-                              bool lower) {
+  static IndexVector block_levels(const la::CsrMatrix<Scalar>& T,
+                                  const IndexVector& sn_of, index_t nsn,
+                                  bool lower, index_t* nlevels) {
     IndexVector level(static_cast<size_t>(nsn), 1);
     index_t maxl = nsn > 0 ? 1 : 0;
     const index_t n = T.num_rows();
@@ -160,10 +189,35 @@ class SupernodalEngine final : public TriangularEngine<Scalar> {
     } else {
       for (index_t i = n - 1; i >= 0; --i) relax(i);
     }
-    return maxl;
+    if (nlevels) *nlevels = maxl;
+    return level;
+  }
+
+  /// One block-level sweep: supernodes of a level in parallel, the rows of
+  /// one supernode sequentially (ascending for L, descending for U).
+  void block_sweep(const la::CsrMatrix<Scalar>& T, bool unit_diag,
+                   bool forward, const IndexVector& sn_order,
+                   const IndexVector& sn_lptr, std::vector<Scalar>& x) const {
+    const auto& sn_ptr = fact_->sn_ptr;
+    const index_t nlevels = static_cast<index_t>(sn_lptr.size()) - 1;
+    for (index_t l = 0; l < nlevels; ++l) {
+      const index_t begin = sn_lptr[l], width = sn_lptr[l + 1] - sn_lptr[l];
+      exec::parallel_for(
+          policy_, width,
+          [&](index_t q) {
+            const index_t s = sn_order[begin + q];
+            const index_t rb = sn_ptr[s], re = sn_ptr[s + 1];
+            for (index_t r = 0; r < re - rb; ++r) {
+              solve_row(T, unit_diag, forward ? rb + r : re - 1 - r, x);
+            }
+          },
+          /*grain=*/16);
+    }
   }
 
   const Factorization<Scalar>* fact_ = nullptr;
+  exec::ExecPolicy policy_;
+  IndexVector lsn_order_, lsn_ptr_, usn_order_, usn_ptr_;
   index_t lower_nlevels_ = 0, upper_nlevels_ = 0;
 };
 
@@ -175,6 +229,9 @@ class SupernodalEngine final : public TriangularEngine<Scalar> {
 template <class Scalar>
 class PartitionedInverseEngine final : public TriangularEngine<Scalar> {
  public:
+  explicit PartitionedInverseEngine(const exec::ExecPolicy& policy = {})
+      : policy_(policy) {}
+
   void setup(const Factorization<Scalar>& f, OpProfile* prof) override {
     fact_ = &f;
     build_factors(f.L, f.unit_diag_L, /*lower=*/true, lower_factors_, ldiag_);
@@ -196,18 +253,19 @@ class PartitionedInverseEngine final : public TriangularEngine<Scalar> {
              OpProfile* prof) const override {
     fact_->apply_row_perm(b, x);
     std::vector<Scalar> tmp(x.size());
+    const index_t n = static_cast<index_t>(x.size());
     // y = Lhat^{-1} (P b); x = D_L^{-1} y.
     for (const auto& P : lower_factors_) {
-      la::spmv(P, x.data(), tmp.data(), Scalar(1), Scalar(0), prof);
+      la::spmv(P, x.data(), tmp.data(), Scalar(1), Scalar(0), prof, policy_);
       std::swap(tmp, x);
     }
-    for (size_t i = 0; i < x.size(); ++i) x[i] /= ldiag_[i];
+    exec::parallel_for(policy_, n, [&](index_t i) { x[i] /= ldiag_[i]; });
     // Same for U.
     for (const auto& P : upper_factors_) {
-      la::spmv(P, x.data(), tmp.data(), Scalar(1), Scalar(0), prof);
+      la::spmv(P, x.data(), tmp.data(), Scalar(1), Scalar(0), prof, policy_);
       std::swap(tmp, x);
     }
-    for (size_t i = 0; i < x.size(); ++i) x[i] /= udiag_[i];
+    exec::parallel_for(policy_, n, [&](index_t i) { x[i] /= udiag_[i]; });
     if (prof) {
       prof->flops += 2.0 * static_cast<double>(x.size());
       prof->launches += 2;
@@ -259,6 +317,7 @@ class PartitionedInverseEngine final : public TriangularEngine<Scalar> {
   }
 
   const Factorization<Scalar>* fact_ = nullptr;
+  exec::ExecPolicy policy_;
   std::vector<la::CsrMatrix<Scalar>> lower_factors_, upper_factors_;
   std::vector<Scalar> ldiag_, udiag_;
 };
@@ -267,11 +326,15 @@ class PartitionedInverseEngine final : public TriangularEngine<Scalar> {
 /// Boman et al. 2016]:  x^{m+1} = D^{-1} (b - N x^m).  APPROXIMATE: with the
 /// default five sweeps the outer Krylov method needs more iterations, but
 /// every sweep is one full-width SpMV-like launch -- the trade the paper
-/// measures in Tables IV/V.
+/// measures in Tables IV/V.  Each sweep reads the previous iterate and
+/// writes a fresh array, so the parallel rows are free of conflicts and the
+/// result is bitwise identical at every thread count.
 template <class Scalar>
 class JacobiSweepsEngine final : public TriangularEngine<Scalar> {
  public:
-  explicit JacobiSweepsEngine(int sweeps) : sweeps_(sweeps) {}
+  explicit JacobiSweepsEngine(int sweeps,
+                              const exec::ExecPolicy& policy = {})
+      : policy_(policy), sweeps_(sweeps) {}
 
   void setup(const Factorization<Scalar>& f, OpProfile* prof) override {
     fact_ = &f;
@@ -308,17 +371,17 @@ class JacobiSweepsEngine final : public TriangularEngine<Scalar> {
       for (index_t i = 0; i < n; ++i) diag[i] = T.at(i, i);
     // x^0 = D^{-1} b.
     x.resize(static_cast<size_t>(n));
-    for (index_t i = 0; i < n; ++i) x[i] = b[i] / diag[i];
+    exec::parallel_for(policy_, n, [&](index_t i) { x[i] = b[i] / diag[i]; });
     std::vector<Scalar> xn(static_cast<size_t>(n));
     for (int s = 0; s < sweeps_; ++s) {
-      for (index_t i = 0; i < n; ++i) {
+      exec::parallel_for(policy_, n, [&](index_t i) {
         Scalar sum = b[i];
         for (index_t k = T.row_begin(i); k < T.row_end(i); ++k) {
           const index_t j = T.col(k);
           if (j != i) sum -= T.val(k) * x[j];
         }
         xn[i] = sum / diag[i];
-      }
+      });
       std::swap(x, xn);
     }
     if (prof) {
@@ -331,6 +394,7 @@ class JacobiSweepsEngine final : public TriangularEngine<Scalar> {
   }
 
   const Factorization<Scalar>* fact_ = nullptr;
+  exec::ExecPolicy policy_;
   int sweeps_;
 };
 

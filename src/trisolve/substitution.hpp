@@ -1,9 +1,12 @@
 // Row-wise forward/backward substitution kernels shared by all engines, plus
-// level-set computation utilities.
+// level-set computation utilities and the level-scheduled parallel sweep
+// (rows within a level concurrently, levels in sequence -- the execution
+// structure the level-set engines' OpProfiles have always modeled).
 #pragma once
 
 #include "common/op_profile.hpp"
 #include "direct/factorization.hpp"
+#include "exec/exec.hpp"
 
 namespace frosch::trisolve {
 
@@ -86,6 +89,63 @@ IndexVector upper_levels(const la::CsrMatrix<Scalar>& U, index_t* nlevels) {
   }
   if (nlevels) *nlevels = maxl;
   return level;
+}
+
+/// Groups rows by dependency level: `order` lists the rows level-by-level
+/// (stable within a level, i.e. ascending row index) and `ptr` holds the
+/// level offsets (`ptr[l]..ptr[l+1]` are the rows of 1-based level l+1).
+inline void build_level_schedule(const IndexVector& level, index_t nlevels,
+                                 IndexVector& order, IndexVector& ptr) {
+  const index_t n = static_cast<index_t>(level.size());
+  ptr.assign(static_cast<size_t>(nlevels) + 1, 0);
+  for (index_t i = 0; i < n; ++i) ptr[level[i]] += 1;  // levels are 1-based
+  for (index_t l = 0; l < nlevels; ++l) ptr[l + 1] += ptr[l];
+  order.resize(static_cast<size_t>(n));
+  IndexVector next(ptr.begin(), ptr.end() - 1);
+  for (index_t i = 0; i < n; ++i) order[next[level[i] - 1]++] = i;
+}
+
+/// One row update of a scheduled triangular sweep: subtracts every
+/// off-diagonal contribution of row i (in CSR order, exactly like
+/// forward_solve/backward_solve) and divides by the diagonal unless the
+/// factor has an implicit unit diagonal.  All x[j] the row reads must
+/// already be final -- the level/block schedules guarantee it.
+template <class Scalar>
+void solve_row(const la::CsrMatrix<Scalar>& T, bool unit_diag, index_t i,
+               std::vector<Scalar>& x) {
+  Scalar sum = x[i];
+  Scalar diag = unit_diag ? Scalar(1) : Scalar(0);
+  for (index_t k = T.row_begin(i); k < T.row_end(i); ++k) {
+    const index_t j = T.col(k);
+    if (j == i) {
+      diag = T.val(k);
+    } else {
+      sum -= T.val(k) * x[j];
+    }
+  }
+  FROSCH_ASSERT(diag != Scalar(0), "solve_row: zero diagonal");
+  x[i] = unit_diag ? sum : sum / diag;
+}
+
+/// One level-scheduled triangular sweep, x in place: rows within a level run
+/// through exec::parallel_for (they only read x entries finalized by earlier
+/// levels), levels are a sequential dependency chain.  The per-row update
+/// accumulates in CSR order exactly like forward_solve/backward_solve, so
+/// the result is bitwise identical to the serial sweeps at EVERY thread
+/// count.  Works for lower and upper factors alike; `unit_diag` only for L.
+template <class Scalar>
+void level_scheduled_solve(const la::CsrMatrix<Scalar>& T, bool unit_diag,
+                           const IndexVector& order, const IndexVector& ptr,
+                           std::vector<Scalar>& x,
+                           const exec::ExecPolicy& policy) {
+  const index_t nlevels = static_cast<index_t>(ptr.size()) - 1;
+  for (index_t l = 0; l < nlevels; ++l) {
+    const index_t begin = ptr[l], width = ptr[l + 1] - ptr[l];
+    exec::parallel_for(
+        policy, width,
+        [&](index_t q) { solve_row(T, unit_diag, order[begin + q], x); },
+        /*grain=*/256);
+  }
 }
 
 /// Profile helper: records one triangular sweep executed as a level-set

@@ -275,5 +275,37 @@ TEST(Profiles, JacobiSolveHasConstantCriticalPath) {
   EXPECT_GT(pj.mean_width(), pl.mean_width());
 }
 
+class ParallelEngines : public ::testing::TestWithParam<TrisolveKind> {};
+
+TEST_P(ParallelEngines, ThreadedSolveMatchesSubstitution) {
+  // Within-level parallel execution (exec layer, threads=4) against the
+  // serial substitution baseline; also the ThreadSanitizer CI workload.
+  auto A = laplace2d(12, 12);
+  direct::MultifrontalCholesky<double> chol;
+  chol.symbolic(A);
+  chol.numeric(A);
+  const auto& f = chol.factorization();
+
+  auto b = random_vector(A.num_rows(), 5);
+  SubstitutionEngine<double> ref_engine;
+  ref_engine.setup(f, nullptr);
+  std::vector<double> xref;
+  ref_engine.solve(b, xref, nullptr);
+
+  TrisolveOptions opts;
+  opts.exec = exec::ExecPolicy::with_threads(4);
+  auto engine = make_trisolve<double>(GetParam(), opts);
+  engine->setup(f, nullptr);
+  std::vector<double> x;
+  engine->solve(b, x, nullptr);
+  ASSERT_EQ(x.size(), xref.size());
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(x[i], xref[i], 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExactKindsThreaded, ParallelEngines,
+                         ::testing::Values(TrisolveKind::LevelSet,
+                                           TrisolveKind::SupernodalLevelSet,
+                                           TrisolveKind::PartitionedInverse));
+
 }  // namespace
 }  // namespace frosch::trisolve
