@@ -1,0 +1,122 @@
+// Rank-ladder scaling of the virtual distributed runtime: ONE problem and
+// ONE decomposition, re-run at every virtual-rank count of a ladder
+// (subdomains block-mapped onto fewer ranks as the ladder descends),
+// reporting what the comm layer MEASURED -- per-rank halo messages, payload
+// bytes, fused all-reduces -- alongside the modeled Summit solve time and
+// the measured per-rank load imbalance.
+//
+// Iteration counts (and iterates, bitwise) must be IDENTICAL across the
+// whole ladder: the determinism contract of DESIGN.md section 7 extends
+// over rank counts, and this bench fails hard if it drifts.
+//
+// Usage:
+//   bench_scaling [--scale N] [--parts P] [--json PATH] [solver flags...]
+//     --scale N   elements per subdomain axis of the fixed mesh (default 4)
+//     --parts P   subdomain count == rank-ladder cap (default 32)
+#include "bench_common.hpp"
+
+using namespace frosch;
+using namespace frosch::bench;
+
+namespace {
+
+struct Point {
+  index_t ranks = 0;
+  index_t iterations = 0;
+  bool converged = false;
+  double imbalance = 1.0;
+  count_t max_msgs = 0;      ///< busiest rank: halo messages (solve)
+  double max_bytes = 0.0;    ///< busiest rank: halo payload (solve)
+  count_t reductions = 0;    ///< measured collectives (same on every rank)
+  double setup_bytes = 0.0;  ///< busiest rank: setup-phase import payload
+  double modeled_solve_s = 0.0;
+  double modeled_setup_s = 0.0;
+};
+
+Point run_point(ExperimentSpec spec, index_t ranks, const SummitModel& model) {
+  spec.solver.ranks = ranks;
+  const auto res = perf::run_experiment(spec);
+  const auto t = perf::model_times(res, model, Execution::CpuCores, 1);
+  Point pt;
+  pt.ranks = ranks;
+  pt.iterations = res.iterations;
+  pt.converged = res.converged;
+  pt.imbalance = res.solve_imbalance;
+  pt.modeled_solve_s = t.solve;
+  pt.modeled_setup_s = t.setup;
+  for (const auto& p : res.rank_krylov) {
+    pt.max_msgs = std::max(pt.max_msgs, p.neighbor_msgs);
+    pt.max_bytes = std::max(pt.max_bytes, p.msg_bytes);
+    pt.reductions = std::max(pt.reductions, p.reductions);
+  }
+  for (const auto& p : res.rank_setup_comm)
+    pt.setup_bytes = std::max(pt.setup_bytes, p.msg_bytes);
+  return pt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  index_t parts = 32;
+  auto opt = parse_options(
+      argc, argv,
+      {{"parts", "subdomain count == rank-ladder cap (default 32)", &parts}});
+  JsonWriter json(opt.json_path);
+
+  // Fixed mesh + fixed decomposition into `parts` subdomains; only the
+  // virtual-rank count varies along the ladder.
+  ExperimentSpec spec;
+  spec.ranks = parts;
+  spec.elems_per_rank = opt.scale;
+  spec.elasticity = false;  // Laplace keeps the ladder quick
+  apply_solver_flags(spec, opt);
+  SummitModel model(perf::miniature_summit());
+
+  std::vector<index_t> ladder;
+  for (index_t r = 1; r <= parts; r *= 2) ladder.push_back(r);
+  if (ladder.back() != parts) ladder.push_back(parts);
+
+  std::printf(
+      "\n=== rank ladder: %d subdomains, measured communication ===\n",
+      int(parts));
+  std::printf("%-8s %8s %10s %12s %14s %12s %14s %14s\n", "ranks", "iters",
+              "imbalance", "allreduces", "halo msgs/rk", "halo KB/rk",
+              "setup KB/rk", "model solve ms");
+
+  std::vector<Point> points;
+  for (index_t r : ladder) {
+    const Point pt = run_point(spec, r, model);
+    points.push_back(pt);
+    std::printf("%-8d %8d %10.3f %12lld %14lld %12.1f %14.1f %14.3f\n",
+                int(pt.ranks), int(pt.iterations), pt.imbalance,
+                static_cast<long long>(pt.reductions),
+                static_cast<long long>(pt.max_msgs), pt.max_bytes / 1024.0,
+                pt.setup_bytes / 1024.0, 1e3 * pt.modeled_solve_s);
+    json.add(JsonRecord()
+                 .set("bench", "scaling")
+                 .set("parts", parts)
+                 .set("ranks", pt.ranks)
+                 .set("iterations", pt.iterations)
+                 .set("converged", pt.converged)
+                 .set("solve_imbalance", pt.imbalance)
+                 .set("measured_allreduces", index_t(pt.reductions))
+                 .set("measured_halo_msgs_max", index_t(pt.max_msgs))
+                 .set("measured_halo_bytes_max", pt.max_bytes)
+                 .set("measured_setup_bytes_max", pt.setup_bytes)
+                 .set("modeled_solve_s", pt.modeled_solve_s)
+                 .set("modeled_setup_s", pt.modeled_setup_s));
+  }
+
+  // Same problem, same decomposition: the determinism contract guarantees
+  // identical trajectories at every rank count.
+  for (const auto& pt : points) {
+    if (pt.iterations != points.front().iterations) {
+      std::fprintf(stderr,
+                   "FAIL: iteration count changed with ranks (%d vs %d)\n",
+                   int(pt.iterations), int(points.front().iterations));
+      return 1;
+    }
+  }
+  std::printf("iteration counts identical across the rank ladder: yes\n");
+  return 0;
+}

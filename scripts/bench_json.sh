@@ -13,6 +13,7 @@
 #   BENCH_ELEMS     brick elements per axis for bench_speedup (default: 32)
 #   BENCH_SCALE     --scale for bench_table2 (default: 4)
 #   BENCH_NODES     --nodes for bench_table2 (default: 4)
+#   BENCH_PARTS     --parts (rank-ladder cap) for bench_scaling (default: 32)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,6 +24,7 @@ THREADS="${BENCH_THREADS:-4}"
 ELEMS="${BENCH_ELEMS:-32}"
 SCALE="${BENCH_SCALE:-4}"
 NODES="${BENCH_NODES:-4}"
+PARTS="${BENCH_PARTS:-32}"
 
 if [[ ! -x "$BUILD_DIR/bench/bench_speedup" ]]; then
   echo "error: $BUILD_DIR/bench/bench_speedup not built (run cmake --build $BUILD_DIR first)" >&2
@@ -35,6 +37,11 @@ echo "== bench_speedup (${ELEMS}^3 Laplace, threads 1..${THREADS}) =="
 "$BUILD_DIR/bench/bench_speedup" \
   --elems "$ELEMS" --max-threads "$THREADS" \
   --json "$OUT_DIR/BENCH_speedup.json"
+
+echo "== bench_scaling (rank ladder, measured communication) =="
+"$BUILD_DIR/bench/bench_scaling" \
+  --parts "$PARTS" --scale "$SCALE" \
+  --json "$OUT_DIR/BENCH_scaling.json"
 
 echo "== bench_table2 (weak scaling, modeled Summit times) =="
 "$BUILD_DIR/bench/bench_table2" \

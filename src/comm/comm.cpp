@@ -1,0 +1,8 @@
+#include "comm/comm.hpp"
+
+namespace frosch::comm {
+
+// Out-of-line vtable anchor for the comm layer's library.
+Communicator::~Communicator() = default;
+
+}  // namespace frosch::comm

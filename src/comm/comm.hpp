@@ -1,0 +1,219 @@
+// The virtual distributed-memory runtime: P in-process "virtual ranks"
+// whose communication is MEASURED from the actual calls, not estimated at
+// scattered call sites.
+//
+// The paper's results are distributed-memory results (42+ MPI ranks per
+// Summit node, halo exchanges in SpMV, one fused all-reduce per
+// single-reduce GMRES iteration, coarse-problem gathers).  miniFROSch runs
+// the same algorithms in one address space; this layer makes the
+// distribution real enough to measure: every subsystem above it (la, dd,
+// krylov) shards its work by rank and performs its data movement through a
+// Communicator, which records per-rank operation profiles -- message
+// counts, payload bytes, collective counts -- that the perf/ machine model
+// replays.  Two implementations:
+//
+//   SelfComm  one rank, the degenerate communicator (collective calls
+//             still record, remote traffic cannot exist);
+//   SimComm   P virtual ranks driven by the exec-layer ThreadPool; rank
+//             regions run in parallel, collectives combine contributions
+//             in a deterministic canonical order.
+//
+// Determinism contract (DESIGN.md section 7): every collective combines
+// floating-point contributions in a FIXED canonical order -- slot order for
+// the slotted all-reduce (the slots are the exec layer's problem-size-only
+// chunk grid), rank order for per-rank contributions -- so results are
+// bitwise identical at every (ranks, threads) combination, including the
+// shared-memory path (SelfComm / no communicator).  A real MPI runtime
+// cannot promise this across rank counts; the virtual runtime can, and the
+// repo's golden tests depend on it.
+//
+// Charging convention (the perf model's pricing rule, see summit.hpp):
+// point-to-point messages charge the IMPORTING (destination) rank -- one
+// neighbor message plus the payload bytes actually moved -- mirroring how
+// the halo import is the blocking side of a ghost exchange.  Collectives
+// charge every participating rank one reduction (they are bulk-synchronous)
+// plus the payload each rank ships.
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/op_profile.hpp"
+#include "exec/exec.hpp"
+
+namespace frosch::comm {
+
+/// One point-to-point transfer of an exchange: `count` items moving from
+/// virtual rank `src` to virtual rank `dst`, `bytes` on the wire.  The
+/// bytes are computed by the caller from the ACTUAL payload (scalar counts,
+/// CSR row storage) -- the plan that builds messages is the measurement.
+struct Message {
+  int src = 0;
+  int dst = 0;
+  index_t count = 0;   ///< payload items (scalars, matrix rows, ...)
+  double bytes = 0.0;  ///< payload size actually moved, in bytes
+};
+
+/// Abstract virtual-rank communicator: rank count, per-rank measured
+/// profiles, parallel rank regions, and deterministic collectives.  All
+/// combine logic is shared (it is identical for every implementation by
+/// the determinism contract); concrete classes fix the rank count.
+class Communicator {
+ public:
+  virtual ~Communicator();
+  virtual const char* name() const = 0;
+
+  int size() const { return nranks_; }
+
+  const exec::ExecPolicy& policy() const { return policy_; }
+  void set_policy(const exec::ExecPolicy& p) { policy_ = p; }
+
+  /// Measured per-rank profile: communication events recorded by the
+  /// collectives below, plus the rank-local compute the distributed kernels
+  /// attribute while sharding (see la/dist.hpp).
+  OpProfile& prof(int r) { return prof_[static_cast<size_t>(r)]; }
+  const OpProfile& prof(int r) const { return prof_[static_cast<size_t>(r)]; }
+  const std::vector<OpProfile>& rank_profiles() const { return prof_; }
+  void reset_profiles() { prof_.assign(static_cast<size_t>(nranks_), {}); }
+
+  /// BSP rank region: fn(r) for every rank, in parallel on the exec pool
+  /// (each rank is one task; nested kernels inside run inline).
+  template <class Fn>
+  void for_ranks(Fn&& fn) {
+    exec::parallel_for(
+        policy_, nranks_, [&](index_t r) { fn(static_cast<int>(r)); },
+        /*grain=*/1);
+  }
+
+  /// Deterministic block map sharding `n` items over the ranks: rank r gets
+  /// the half-open range rank_block(n, r).  Used for the global chunk grid
+  /// of reductions and for mapping subdomains onto fewer ranks.
+  std::pair<index_t, index_t> rank_block(index_t n, int r) const {
+    return exec::chunk_range(n, nranks_, r);
+  }
+
+  /// Inverse of rank_block: the rank whose block contains item i.
+  int block_owner(index_t n, index_t i) const {
+    const index_t base = n / nranks_, rem = n % nranks_;
+    // Blocks [0, rem) have base+1 items, the rest base items.
+    if (base == 0) return static_cast<int>(i);
+    const index_t head = rem * (base + 1);
+    if (i < head) return static_cast<int>(i / (base + 1));
+    return static_cast<int>(rem + (i - head) / base);
+  }
+
+  // ---- collectives: every call is one measured communication event ----
+
+  /// Fused all-reduce over a fixed slot grid: `slots` holds nslots rows of
+  /// k values (row-major); each row was produced by exactly one rank (the
+  /// rank_block owner of the slot).  After the call out[j] holds the fold
+  /// of slots[s*k + j] in SLOT order -- the same order the shared-memory
+  /// exec::parallel_reduce folds its chunk partials, which is what makes
+  /// distributed reductions bitwise identical to the global path.  Records
+  /// one reduction on EVERY rank (bulk-synchronous) and the k-value fused
+  /// payload each rank ships -- one call == one wire all-reduce, however
+  /// many values are fused into it (the single-reduce GMRES contract).
+  template <class Scalar>
+  void allreduce_slots(const Scalar* slots, index_t nslots, int k,
+                       Scalar* out) {
+    for (int j = 0; j < k; ++j) out[j] = Scalar(0);
+    for (index_t s = 0; s < nslots; ++s)
+      for (int j = 0; j < k; ++j) out[j] += slots[s * k + j];
+    record_collective(static_cast<double>(k) * sizeof(Scalar));
+  }
+
+  /// Fused all-reduce of per-rank contributions (contrib[r] has k values),
+  /// combined in RANK order.  out[j] = sum_r contrib[r][j].
+  template <class Scalar>
+  void allreduce(const std::vector<std::vector<Scalar>>& contrib,
+                 std::vector<Scalar>& out) {
+    FROSCH_ASSERT(static_cast<int>(contrib.size()) == nranks_,
+                  "Communicator::allreduce: one contribution per rank");
+    const size_t k = contrib.empty() ? 0 : contrib[0].size();
+    out.assign(k, Scalar(0));
+    for (int r = 0; r < nranks_; ++r) {
+      FROSCH_ASSERT(contrib[r].size() == k,
+                    "Communicator::allreduce: ragged contributions");
+      for (size_t j = 0; j < k; ++j) out[j] += contrib[r][j];
+    }
+    record_collective(static_cast<double>(k) * sizeof(Scalar));
+  }
+
+  /// Point-to-point exchange: copy(m) performs message m's actual payload
+  /// movement (pack -> ship -> unpack); the copies run in parallel (their
+  /// destinations are disjoint by construction of any valid plan).  Each
+  /// message charges its DESTINATION rank: one neighbor message + the
+  /// measured payload bytes.  Self-messages (src == dst) are local copies,
+  /// not communication: copied, never charged.
+  template <class CopyFn>
+  void exchange(const std::vector<Message>& msgs, CopyFn&& copy) {
+    exec::parallel_for(
+        policy_, static_cast<index_t>(msgs.size()),
+        [&](index_t m) { copy(static_cast<size_t>(m)); },
+        /*grain=*/1);
+    post(msgs);
+  }
+
+  /// Records an exchange whose payload the CALLER already moved (irregular
+  /// payloads like CSR row imports).  Same charging rule as exchange().
+  void post(const std::vector<Message>& msgs) {
+    for (const auto& m : msgs) {
+      if (m.src == m.dst) continue;
+      auto& p = prof_[static_cast<size_t>(m.dst)];
+      p.neighbor_msgs += 1;
+      p.msg_bytes += m.bytes;
+    }
+  }
+
+  /// Reduction-to-root collective (the coarse-problem gather): a dense
+  /// reduce of per-rank PARTIAL contributions, each the full `bytes` of
+  /// the object being assembled (the coarse restriction r0 = sum_r
+  /// Phi_r^T x_r sums full-length partial vectors; the Galerkin gather
+  /// sums locally supported coarse-matrix contributions).  Bulk-
+  /// synchronous: one reduction + the full payload on every rank.
+  void gather(double bytes) { record_collective(bytes); }
+
+  /// Root-to-all broadcast of `bytes` (the coarse-solution replication).
+  void broadcast(double bytes) { record_collective(bytes); }
+
+ protected:
+  Communicator(int nranks, exec::ExecPolicy policy)
+      : nranks_(nranks < 1 ? 1 : nranks), policy_(policy) {
+    prof_.assign(static_cast<size_t>(nranks_), {});
+  }
+
+  /// One bulk-synchronous collective: every rank participates, every rank
+  /// ships `bytes` of payload.
+  void record_collective(double bytes) {
+    for (auto& p : prof_) {
+      p.reductions += 1;
+      p.msg_bytes += nranks_ > 1 ? bytes : 0.0;
+    }
+  }
+
+ private:
+  int nranks_;
+  exec::ExecPolicy policy_;
+  std::vector<OpProfile> prof_;
+};
+
+/// The one-rank communicator: the shared-memory path seen through the comm
+/// interface.  Collectives still count (the profile stays comparable across
+/// rank counts); point-to-point traffic cannot exist and records nothing.
+class SelfComm final : public Communicator {
+ public:
+  explicit SelfComm(exec::ExecPolicy policy = {}) : Communicator(1, policy) {}
+  const char* name() const override { return "self"; }
+};
+
+/// P in-process virtual ranks on the exec thread pool.
+class SimComm final : public Communicator {
+ public:
+  explicit SimComm(int nranks, exec::ExecPolicy policy = {})
+      : Communicator(nranks, policy) {
+    FROSCH_CHECK(nranks >= 1, "SimComm: need at least one rank");
+  }
+  const char* name() const override { return "sim"; }
+};
+
+}  // namespace frosch::comm

@@ -13,15 +13,32 @@
 //                      matching Fig. 4's bars;
 //   apply(x, y)        one additive application per Krylov iteration.
 //
+// RANK SHARDING (the virtual distributed runtime, src/comm).  Subdomains
+// are block-mapped onto the communicator's virtual ranks (one subdomain per
+// rank by default -- the paper's configuration); each rank owns its
+// subdomains' overlap import and local solves.  All communication is
+// MEASURED from the actual transfer plans, not estimated:
+//
+//   * numeric overlap-matrix refresh: the off-rank CSR rows each rank
+//     imports, with their true storage bytes;
+//   * apply restriction: the off-rank overlap entries of x each rank
+//     imports (and the mirrored export of the additive combine), with the
+//     true scalar payload;
+//   * coarse problem: gathered to and replicated from the root through the
+//     comm layer's collectives (coarse matrix once per numeric setup,
+//     coarse rhs/solution once per apply).
+//
 // Per-rank operation profiles are kept for every phase: the Summit machine
-// model replays them to produce the CPU-vs-GPU, MPS-sharing, and
-// weak/strong-scaling timings of Tables II-VII.
+// model replays them (plus the communicator's measured per-rank traffic) to
+// produce the CPU-vs-GPU, MPS-sharing, and weak/strong-scaling timings of
+// Tables II-VII.
 #pragma once
 
 #include <map>
 #include <memory>
 #include <vector>
 
+#include "comm/comm.hpp"
 #include "dd/coarse_space.hpp"
 #include "dd/preconditioner.hpp"
 #include "exec/exec.hpp"
@@ -42,6 +59,11 @@ struct SchwarzConfig {
   /// under it execute their own kernels inline (nested regions serialize).
   exec::ExecPolicy exec;
 
+  /// Virtual-rank communicator (non-owning; the facade passes its own).
+  /// nullptr: the preconditioner creates the historical one-rank-per-
+  /// subdomain topology internally, so communication is still measured.
+  comm::Communicator* comm = nullptr;
+
   SchwarzConfig() {
     // Defaults mirror Section VII: Tacho-style direct solvers everywhere
     // (the paper computes the basis functions with Tacho even in the ILU
@@ -54,20 +76,26 @@ struct SchwarzConfig {
   }
 };
 
-/// Per-phase, per-rank profile collection.
+/// Per-phase, per-RANK profile collection (indexed by virtual rank; ranks
+/// and subdomains coincide in the default one-subdomain-per-rank topology).
+///
+/// These hold the COMPUTE side only -- flops, traffic, launches.  The
+/// communication each phase performs (overlap imports, apply halos, coarse
+/// collectives) is recorded by the Communicator into its own measured
+/// per-rank profiles; see DESIGN.md for the measured-vs-modeled boundary.
 ///
 /// The numeric phase is additionally split per rank into factorization,
-/// triangular-solve setup, interior-extension, and halo-communication
-/// shares: the Summit model maps each share to the device that executes it
-/// (e.g. the SuperLU-like factorization stays on the CPU even in GPU runs,
+/// triangular-solve setup, interior-extension, and overlap-assembly shares:
+/// the Summit model maps each share to the device that executes it (e.g.
+/// the SuperLU-like factorization stays on the CPU even in GPU runs,
 /// exactly as in the paper's Fig. 4 discussion).
 struct SchwarzProfiles {
-  std::vector<PhaseProfile> ranks;   ///< indexed by part id
+  std::vector<PhaseProfile> ranks;   ///< indexed by virtual rank
   std::vector<OpProfile> rank_factor;         ///< numeric: factorization
   std::vector<OpProfile> rank_trisolve_setup; ///< numeric: SpTRSV setup
   std::vector<OpProfile> rank_extension;      ///< numeric: coarse-basis ext.
-  std::vector<OpProfile> rank_comm;           ///< numeric: halo/overlap comm
-  PhaseProfile coarse;               ///< coarse-problem work (rank 0's extra)
+  std::vector<OpProfile> rank_comm;           ///< numeric: overlap assembly
+  PhaseProfile coarse;               ///< coarse-problem work (root's extra)
   std::map<std::string, OpProfile> numeric_breakdown;  ///< Fig. 4 bars
   index_t coarse_dim = 0;
   count_t apply_count = 0;
@@ -89,33 +117,63 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
   const la::CsrMatrix<Scalar>& coarse_basis() const { return phi_; }
   const la::CsrMatrix<Scalar>& coarse_matrix() const { return A0_; }
 
+  /// The communicator the preconditioner records through (set after
+  /// symbolic_setup): the facade's, or the internal per-subdomain one.
+  const comm::Communicator* communicator() const { return comm_; }
+  /// Owning virtual rank of each subdomain.
+  const IndexVector& part_ranks() const { return part_rank_; }
+
   /// Phase (a): pattern-only analysis.
   void symbolic_setup(const la::CsrMatrix<Scalar>& A) override {
     n_ = A.num_rows();
     FROSCH_CHECK(static_cast<index_t>(decomp_.owner.size()) == n_,
                  "SchwarzPreconditioner: decomposition/matrix mismatch");
-    prof_.ranks.assign(static_cast<size_t>(decomp_.num_parts), {});
-    prof_.rank_factor.assign(static_cast<size_t>(decomp_.num_parts), {});
-    prof_.rank_trisolve_setup.assign(static_cast<size_t>(decomp_.num_parts), {});
-    prof_.rank_extension.assign(static_cast<size_t>(decomp_.num_parts), {});
-    prof_.rank_comm.assign(static_cast<size_t>(decomp_.num_parts), {});
+
+    // Establish the virtual-rank topology and the subdomain -> rank block
+    // map (every rank gets a contiguous block of subdomains; 1:1 when the
+    // communicator has one rank per subdomain).
+    if (cfg_.comm) {
+      comm_ = cfg_.comm;
+      owned_comm_.reset();
+    } else {
+      owned_comm_ = std::make_unique<comm::SimComm>(
+          static_cast<int>(decomp_.num_parts), cfg_.exec);
+      comm_ = owned_comm_.get();
+    }
+    const size_t R = static_cast<size_t>(comm_->size());
+    part_rank_.resize(static_cast<size_t>(decomp_.num_parts));
+    for (index_t p = 0; p < decomp_.num_parts; ++p)
+      part_rank_[p] = comm_->block_owner(decomp_.num_parts, p);
+
+    prof_ = SchwarzProfiles{};
+    prof_.ranks.assign(R, {});
+    prof_.rank_factor.assign(R, {});
+    prof_.rank_trisolve_setup.assign(R, {});
+    prof_.rank_extension.assign(R, {});
+    prof_.rank_comm.assign(R, {});
     if (cfg_.two_level) iface_ = build_interface(A, decomp_);
 
     // Per-subdomain overlapping matrices + symbolic factorization: fully
-    // independent across parts; each writes only its own slot.
+    // independent across parts; each writes only its own slot.  Profiles
+    // land in per-part slots and merge into the owning rank in part order.
     local_mats_.assign(static_cast<size_t>(decomp_.num_parts), {});
     solvers_.clear();
     solvers_.resize(static_cast<size_t>(decomp_.num_parts));
+    std::vector<OpProfile> sym(static_cast<size_t>(decomp_.num_parts));
     exec::parallel_for(
         cfg_.exec, decomp_.num_parts,
         [&](index_t p) {
           local_mats_[p] = la::extract_submatrix(A, decomp_.overlap_dofs[p],
                                                  decomp_.overlap_dofs[p]);
           auto solver = std::make_unique<LocalSolver<Scalar>>(cfg_.subdomain);
-          solver->symbolic(local_mats_[p], &prof_.ranks[p].symbolic);
+          solver->symbolic(local_mats_[p], &sym[p]);
           solvers_[p] = std::move(solver);
         },
         /*grain=*/1);
+    for (index_t p = 0; p < decomp_.num_parts; ++p)
+      prof_.ranks[part_rank_[p]].symbolic += sym[p];
+
+    build_exchange_plans(A);
     symbolic_done_ = true;
   }
 
@@ -126,32 +184,30 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
     FROSCH_CHECK(symbolic_done_, "SchwarzPreconditioner: symbolic first");
     auto& bk = prof_.numeric_breakdown;
 
-    // (1) Refresh the local overlapping matrices (halo exchange in a real
-    // distributed run: charged as neighbour messages).  Extraction runs
-    // part-parallel; the shared breakdown map is accumulated serially after.
+    // (1) Refresh the local overlapping matrices.  In the distributed run
+    // each rank imports the off-rank rows of its overlap regions; the wire
+    // traffic is the measured overlap_msgs_ plan (posted below), while the
+    // assembly's memory traffic stays a compute cost on the owning rank.
     {
-      std::vector<OpProfile> comm(static_cast<size_t>(decomp_.num_parts));
+      std::vector<OpProfile> asm_prof(static_cast<size_t>(decomp_.num_parts));
       exec::parallel_for(
           cfg_.exec, decomp_.num_parts,
           [&](index_t p) {
             local_mats_[p] = la::extract_submatrix(A, decomp_.overlap_dofs[p],
                                                    decomp_.overlap_dofs[p]);
-            OpProfile& o = comm[p];
+            OpProfile& o = asm_prof[p];
             o.bytes += local_mats_[p].storage_bytes();
             o.launches += 1;
             o.critical_path += 1;
             o.work_items += static_cast<double>(local_mats_[p].num_rows());
-            o.neighbor_msgs += static_cast<count_t>(decomp_.neighbors[p].size());
-            o.msg_bytes += local_mats_[p].storage_bytes() -
-                           static_cast<double>(decomp_.owned_count[p]) *
-                               sizeof(Scalar);
           },
           /*grain=*/1);
       for (index_t p = 0; p < decomp_.num_parts; ++p) {
-        bk["overlap-matrix-comm"] += comm[p];
-        prof_.ranks[p].numeric += comm[p];
-        prof_.rank_comm[p] += comm[p];
+        bk["overlap-matrix-comm"] += asm_prof[p];
+        prof_.ranks[part_rank_[p]].numeric += asm_prof[p];
+        prof_.rank_comm[part_rank_[p]] += asm_prof[p];
       }
+      comm_->post(overlap_msgs_);  // measured off-rank row import
     }
 
     // (2) Coarse space: interface values, extensions, RAP, coarse factor.
@@ -176,8 +232,8 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
       bk["coarse-basis-extension"] += csp.extension_solves;
       bk["coarse-basis-extension"] += csp.extension_rhs;
       for (index_t p = 0; p < decomp_.num_parts; ++p) {
-        prof_.ranks[p].numeric += csp.per_part_extension[p];
-        prof_.rank_extension[p] += csp.per_part_extension[p];
+        prof_.ranks[part_rank_[p]].numeric += csp.per_part_extension[p];
+        prof_.rank_extension[part_rank_[p]] += csp.per_part_extension[p];
       }
 
       OpProfile rap;
@@ -186,6 +242,10 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
       bk["coarse-rap-spgemm"] += rap;
       prof_.coarse.numeric += rap;
       prof_.coarse_dim = A0_.num_rows();
+      // The Galerkin contributions are gathered onto the coarse root (the
+      // replicated-coarse strategy): one collective, the coarse matrix's
+      // actual storage as payload.
+      comm_->gather(A0_.storage_bytes());
 
       coarse_solver_ = std::make_unique<LocalSolver<Scalar>>(cfg_.coarse);
       OpProfile cfac;
@@ -206,7 +266,9 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
   /// concurrency -- run in parallel under cfg_.exec, each into a private
   /// result buffer; the additive combine onto the (overlap-shared) global
   /// vector happens serially in part order afterwards, so the result is
-  /// identical at every thread count.
+  /// identical at every (ranks, threads) combination.  The off-rank
+  /// restriction entries and the mirrored additive export are posted as
+  /// measured halo traffic once per application.
   void apply(const std::vector<Scalar>& x, std::vector<Scalar>& y,
              OpProfile* prof) const override {
     FROSCH_CHECK(numeric_done_, "SchwarzPreconditioner: numeric first");
@@ -222,35 +284,34 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
           for (size_t q = 0; q < dofs.size(); ++q) xl[q] = x[dofs[q]];
           OpProfile& local = locals[p];
           solvers_[p]->solve(xl, yls[p], &local);
-          // Restriction + prolongation traffic and the halo exchange of the
-          // additive combine.
+          // Restriction + prolongation memory traffic of this subdomain.
           local.bytes += 4.0 * static_cast<double>(dofs.size()) * sizeof(Scalar);
           local.launches += 2;
           local.critical_path += 2;
           local.work_items += 2.0 * static_cast<double>(dofs.size());
-          local.neighbor_msgs +=
-              static_cast<count_t>(decomp_.neighbors[p].size());
-          local.msg_bytes +=
-              static_cast<double>(dofs.size() - decomp_.owned_count[p]) *
-              sizeof(Scalar);
         },
         /*grain=*/1);
+    // The overlap halo of one application, measured from the exchange
+    // plans: import of off-rank x entries, export of the additive combine.
+    comm_->post(apply_import_msgs_);
+    comm_->post(apply_export_msgs_);
     for (index_t p = 0; p < decomp_.num_parts; ++p) {
       const auto& dofs = decomp_.overlap_dofs[p];
       for (size_t q = 0; q < dofs.size(); ++q) y[dofs[q]] += yls[p][q];
-      prof_.ranks[p].solve += locals[p];
+      prof_.ranks[part_rank_[p]].solve += locals[p];
       if (prof) *prof += locals[p];
     }
     if (cfg_.two_level && has_coarse_) {
       OpProfile cp;
       std::vector<Scalar> r0, z0(static_cast<size_t>(A0_.num_rows())), w;
       la::spmv_transpose(phi_, x, r0, Scalar(1), Scalar(0), &cp, cfg_.exec);
+      // Coarse rhs gathered to the root, solved there, solution replicated:
+      // two collectives with the coarse vector's actual payload.
+      comm_->gather(static_cast<double>(A0_.num_rows()) * sizeof(Scalar));
       coarse_solver_->solve(r0, z0, &cp);
+      comm_->broadcast(static_cast<double>(A0_.num_rows()) * sizeof(Scalar));
       la::spmv(phi_, z0, w, Scalar(1), Scalar(0), &cp, cfg_.exec);
       exec::parallel_for(cfg_.exec, n_, [&](index_t i) { y[i] += w[i]; });
-      // Gather/scatter of the coarse vector across ranks: two collectives.
-      cp.reductions += 2;
-      cp.msg_bytes += 2.0 * static_cast<double>(A0_.num_rows()) * sizeof(Scalar);
       prof_.coarse.solve += cp;
       if (prof) *prof += cp;
     }
@@ -277,10 +338,69 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
     for (index_t p = 0; p < decomp_.num_parts; ++p) {
       bk["local-factorization"] += fac[p];
       bk["sptrsv-setup"] += tri[p];
-      prof_.ranks[p].numeric += fac[p];
-      prof_.ranks[p].numeric += tri[p];
-      prof_.rank_factor[p] += fac[p];
-      prof_.rank_trisolve_setup[p] += tri[p];
+      prof_.ranks[part_rank_[p]].numeric += fac[p];
+      prof_.ranks[part_rank_[p]].numeric += tri[p];
+      prof_.rank_factor[part_rank_[p]] += fac[p];
+      prof_.rank_trisolve_setup[part_rank_[p]] += tri[p];
+    }
+  }
+
+  /// Builds the measured exchange plans from the decomposition and the
+  /// subdomain -> rank map: which overlap entries (apply halo) and which
+  /// matrix rows (numeric overlap refresh) each rank imports from which,
+  /// with the payloads the transfers actually carry.  Fused per (src, dst)
+  /// rank pair across subdomains, exactly as a rank-level exchange packs:
+  /// a dof in the overlap of SEVERAL subdomains of one rank ships once.
+  void build_exchange_plans(const la::CsrMatrix<Scalar>& A) {
+    const int R = comm_->size();
+    const size_t rr = static_cast<size_t>(R) * static_cast<size_t>(R);
+    std::vector<index_t> halo_count(rr, 0);  // dofs == imported rows
+    std::vector<double> row_bytes(rr, 0.0);
+    // seen[dof] == dst + 1 marks dof as already packed for rank dst.  One
+    // mark per dof suffices because the block map keeps each rank's
+    // subdomains contiguous in part order (part_rank_ is non-decreasing).
+    std::vector<index_t> seen(static_cast<size_t>(n_), 0);
+    for (index_t p = 0; p < decomp_.num_parts; ++p) {
+      const int dst = static_cast<int>(part_rank_[p]);
+      for (index_t dof : decomp_.overlap_dofs[p]) {
+        const int src = static_cast<int>(part_rank_[decomp_.owner[dof]]);
+        if (src == dst) continue;
+        if (seen[static_cast<size_t>(dof)] == static_cast<index_t>(dst) + 1)
+          continue;
+        seen[static_cast<size_t>(dof)] = static_cast<index_t>(dst) + 1;
+        const size_t k = static_cast<size_t>(src) * R + dst;
+        halo_count[k] += 1;
+        // One imported CSR row: values + column ids + its rowptr entry.
+        row_bytes[k] +=
+            static_cast<double>(A.row_nnz(dof)) *
+                (sizeof(Scalar) + sizeof(index_t)) +
+            sizeof(index_t);
+      }
+    }
+    overlap_msgs_.clear();
+    apply_import_msgs_.clear();
+    apply_export_msgs_.clear();
+    for (int src = 0; src < R; ++src) {
+      for (int dst = 0; dst < R; ++dst) {
+        const size_t k = static_cast<size_t>(src) * R + dst;
+        if (halo_count[k] == 0) continue;
+        comm::Message imp;
+        imp.src = src;
+        imp.dst = dst;
+        imp.count = halo_count[k];
+        imp.bytes = static_cast<double>(halo_count[k]) * sizeof(Scalar);
+        apply_import_msgs_.push_back(imp);
+        comm::Message exp = imp;  // additive combine: same ids, reversed
+        exp.src = dst;
+        exp.dst = src;
+        apply_export_msgs_.push_back(exp);
+        comm::Message rows;
+        rows.src = src;
+        rows.dst = dst;
+        rows.count = halo_count[k];
+        rows.bytes = row_bytes[k];
+        overlap_msgs_.push_back(rows);
+      }
     }
   }
 
@@ -288,6 +408,12 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
   Decomposition decomp_;
   InterfacePartition iface_;
   index_t n_ = 0;
+  comm::Communicator* comm_ = nullptr;
+  std::unique_ptr<comm::Communicator> owned_comm_;
+  IndexVector part_rank_;
+  std::vector<comm::Message> overlap_msgs_;       ///< numeric row import
+  std::vector<comm::Message> apply_import_msgs_;  ///< apply restriction halo
+  std::vector<comm::Message> apply_export_msgs_;  ///< apply additive export
   std::vector<la::CsrMatrix<Scalar>> local_mats_;
   std::vector<std::unique_ptr<LocalSolver<Scalar>>> solvers_;
   std::unique_ptr<LocalSolver<Scalar>> coarse_solver_;

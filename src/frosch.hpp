@@ -27,6 +27,7 @@
 // examples, benches, and the perf experiment driver wire them together.
 #pragma once
 
+#include "comm/comm.hpp"
 #include "dd/decomposition.hpp"
 #include "dd/half_precision.hpp"
 #include "dd/interface.hpp"
@@ -40,6 +41,7 @@
 #include "krylov/gmres.hpp"
 #include "krylov/solver.hpp"
 #include "la/csr.hpp"
+#include "la/dist.hpp"
 #include "la/mm_io.hpp"
 #include "la/ops.hpp"
 #include "la/spmv.hpp"

@@ -18,6 +18,7 @@ struct CgOptions {
   double tol = 1e-7;  ///< relative to the initial residual (as in GMRES)
   IterationCallback on_iteration;  ///< optional per-iteration observer
   exec::ExecPolicy exec;  ///< vector-kernel execution (dots, axpys)
+  la::DistContext dist;   ///< measured distributed reductions (as in GMRES)
 };
 
 template <class Scalar>
@@ -32,11 +33,12 @@ SolveResult cg(const LinearOperator<Scalar>& A,
   SolveResult res;
   OpProfile* prof = &res.profile;
   const exec::ExecPolicy& ex = opts.exec;
+  const la::DistContext& dc = opts.dist;
 
   std::vector<Scalar> r(static_cast<size_t>(n)), z, p, Ap(static_cast<size_t>(n));
   A.apply(x, r, prof);
   exec::parallel_for(ex, n, [&](index_t i) { r[i] = b[i] - r[i]; });
-  const double beta0 = static_cast<double>(la::norm2(r, prof, ex));
+  const double beta0 = static_cast<double>(la::dist_norm2(dc, r, prof, ex));
   res.initial_residual = beta0;
   res.residual_history.push_back(beta0);
   if (beta0 == 0.0) {
@@ -51,16 +53,16 @@ SolveResult cg(const LinearOperator<Scalar>& A,
     z = r;
   }
   p = z;
-  Scalar rz = la::dot(r, z, prof, ex);
+  Scalar rz = la::dist_dot(dc, r, z, prof, ex);
   for (index_t it = 0; it < opts.max_iters; ++it) {
     A.apply(p, Ap, prof);
-    const Scalar pAp = la::dot(p, Ap, prof, ex);
+    const Scalar pAp = la::dist_dot(dc, p, Ap, prof, ex);
     FROSCH_CHECK(pAp > Scalar(0), "cg: operator not SPD (p^T A p <= 0)");
     const Scalar alpha = rz / pAp;
-    la::axpy(alpha, p, x, prof, ex);
-    la::axpy(-alpha, Ap, r, prof, ex);
+    la::dist_axpy(dc, alpha, p, x, prof, ex);
+    la::dist_axpy(dc, -alpha, Ap, r, prof, ex);
     ++res.iterations;
-    const double rn = static_cast<double>(la::norm2(r, prof, ex));
+    const double rn = static_cast<double>(la::dist_norm2(dc, r, prof, ex));
     res.final_residual = rn;
     res.residual_history.push_back(rn);
     if (opts.on_iteration) opts.on_iteration(res.iterations, rn);
@@ -70,7 +72,7 @@ SolveResult cg(const LinearOperator<Scalar>& A,
       std::vector<Scalar> rt(static_cast<size_t>(n));
       A.apply(x, rt, prof);
       exec::parallel_for(ex, n, [&](index_t i) { rt[i] = b[i] - rt[i]; });
-      const double tn = static_cast<double>(la::norm2(rt, prof, ex));
+      const double tn = static_cast<double>(la::dist_norm2(dc, rt, prof, ex));
       res.final_residual = tn;
       res.residual_history.back() = tn;
       if (tn <= target) {
@@ -84,7 +86,7 @@ SolveResult cg(const LinearOperator<Scalar>& A,
     } else {
       z = r;
     }
-    const Scalar rz_new = la::dot(r, z, prof, ex);
+    const Scalar rz_new = la::dist_dot(dc, r, z, prof, ex);
     const Scalar betak = rz_new / rz;
     rz = rz_new;
     exec::parallel_for(ex, n, [&](index_t i) { p[i] = z[i] + betak * p[i]; });

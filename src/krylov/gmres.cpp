@@ -24,20 +24,20 @@ template <class Scalar>
 bool orthogonalize(std::vector<std::vector<Scalar>>& V, index_t j,
                    std::vector<Scalar>& w, std::vector<Scalar>& h,
                    OrthoKind kind, OpProfile* prof,
-                   const exec::ExecPolicy& ex) {
-  using la::axpy;
-  using la::dot;
-  using la::multi_dot;
-  using la::norm2;
+                   const exec::ExecPolicy& ex, const la::DistContext& dc) {
+  using la::dist_axpy;
+  using la::dist_dot;
+  using la::dist_multi_dot;
+  using la::dist_norm2;
   switch (kind) {
     case OrthoKind::MGS: {
       // One reduction per projection plus the final norm: j+2 reductions.
       for (index_t i = 0; i <= j; ++i) {
-        const Scalar hij = dot(V[i], w, prof, ex);
+        const Scalar hij = dist_dot(dc, V[i], w, prof, ex);
         h[i] = hij;
-        axpy(-hij, V[i], w, prof, ex);
+        dist_axpy(dc, -hij, V[i], w, prof, ex);
       }
-      const Scalar nrm = norm2(w, prof, ex);
+      const Scalar nrm = dist_norm2(dc, w, prof, ex);
       h[j + 1] = nrm;
       return nrm > Scalar(0);
     }
@@ -45,14 +45,14 @@ bool orthogonalize(std::vector<std::vector<Scalar>>& V, index_t j,
       // Two fused projection passes + final norm: 3 reductions.
       std::vector<Scalar> c1, c2;
       std::vector<std::vector<Scalar>> basis(V.begin(), V.begin() + j + 1);
-      multi_dot(basis, w, c1, prof, ex);
-      for (index_t i = 0; i <= j; ++i) axpy(-c1[i], V[i], w, prof, ex);
-      multi_dot(basis, w, c2, prof, ex);
+      dist_multi_dot(dc, basis, w, c1, prof, ex);
+      for (index_t i = 0; i <= j; ++i) dist_axpy(dc, -c1[i], V[i], w, prof, ex);
+      dist_multi_dot(dc, basis, w, c2, prof, ex);
       for (index_t i = 0; i <= j; ++i) {
-        axpy(-c2[i], V[i], w, prof, ex);
+        dist_axpy(dc, -c2[i], V[i], w, prof, ex);
         h[i] = c1[i] + c2[i];
       }
-      const Scalar nrm = norm2(w, prof, ex);
+      const Scalar nrm = dist_norm2(dc, w, prof, ex);
       h[j + 1] = nrm;
       return nrm > Scalar(0);
     }
@@ -63,14 +63,14 @@ bool orthogonalize(std::vector<std::vector<Scalar>>& V, index_t j,
       std::vector<std::vector<Scalar>> basis(V.begin(), V.begin() + j + 1);
       basis.push_back(w);  // adds w^T w to the same fused reduction
       std::vector<Scalar> c;
-      multi_dot(basis, w, c, prof, ex);
+      dist_multi_dot(dc, basis, w, c, prof, ex);
       const Scalar wtw = c[static_cast<size_t>(j) + 1];
       Scalar c2 = Scalar(0);
       for (index_t i = 0; i <= j; ++i) {
         h[i] = c[i];
         c2 += c[i] * c[i];
       }
-      for (index_t i = 0; i <= j; ++i) axpy(-h[i], V[i], w, prof, ex);
+      for (index_t i = 0; i <= j; ++i) dist_axpy(dc, -h[i], V[i], w, prof, ex);
       Scalar nrm2v = wtw - c2;
       if (!(nrm2v > Scalar(1e-4) * wtw)) {
         // Severe cancellation (projection removed nearly all of w): the
@@ -80,12 +80,12 @@ bool orthogonalize(std::vector<std::vector<Scalar>>& V, index_t j,
         // low-synch implementations apply in this regime.
         basis.pop_back();
         std::vector<Scalar> c2nd;
-        multi_dot(basis, w, c2nd, prof, ex);
+        dist_multi_dot(dc, basis, w, c2nd, prof, ex);
         for (index_t i = 0; i <= j; ++i) {
-          axpy(-c2nd[i], V[i], w, prof, ex);
+          dist_axpy(dc, -c2nd[i], V[i], w, prof, ex);
           h[i] += c2nd[i];
         }
-        const Scalar nrm = norm2(w, prof, ex);
+        const Scalar nrm = dist_norm2(dc, w, prof, ex);
         h[j + 1] = nrm;
         return nrm > Scalar(0);
       }
@@ -113,6 +113,7 @@ SolveResult gmres(const LinearOperator<Scalar>& A,
   SolveResult res;
   OpProfile* prof = &res.profile;
   const exec::ExecPolicy& ex = opts.exec;
+  const la::DistContext& dc = opts.dist;
 
   std::vector<std::vector<Scalar>> V(static_cast<size_t>(m) + 1);
   la::DenseMatrix<Scalar> H(m + 1, m);
@@ -125,7 +126,7 @@ SolveResult gmres(const LinearOperator<Scalar>& A,
   std::vector<Scalar> r(static_cast<size_t>(n));
   A.apply(x, r, prof);
   exec::parallel_for(ex, n, [&](index_t i) { r[i] = b[i] - r[i]; });
-  const double beta0 = static_cast<double>(la::norm2(r, prof, ex));
+  const double beta0 = static_cast<double>(la::dist_norm2(dc, r, prof, ex));
   res.initial_residual = beta0;
   res.residual_history.push_back(beta0);
   if (beta0 == 0.0) {
@@ -138,7 +139,7 @@ SolveResult gmres(const LinearOperator<Scalar>& A,
   while (res.iterations < opts.max_iters) {
     // --- restart cycle ---
     V[0] = r;
-    la::scale(V[0], Scalar(1.0 / beta), prof, ex);
+    la::dist_scale(dc, V[0], Scalar(1.0 / beta), prof, ex);
     std::fill(g.begin(), g.end(), Scalar(0));
     g[0] = static_cast<Scalar>(beta);
 
@@ -152,7 +153,7 @@ SolveResult gmres(const LinearOperator<Scalar>& A,
       } else {
         A.apply(V[j], w, prof);
       }
-      if (!orthogonalize(V, j, w, h, opts.ortho, prof, ex)) {
+      if (!orthogonalize(V, j, w, h, opts.ortho, prof, ex, dc)) {
         // Breakdown: the Krylov space is invariant; solution is exact in it.
         for (index_t i = 0; i <= j + 1; ++i) H(i, j) = i <= j ? h[i] : Scalar(0);
         ++res.iterations;
@@ -167,7 +168,7 @@ SolveResult gmres(const LinearOperator<Scalar>& A,
       }
       for (index_t i = 0; i <= j + 1; ++i) H(i, j) = h[i];
       V[j + 1] = w;
-      la::scale(V[j + 1], Scalar(1) / h[j + 1], prof, ex);
+      la::dist_scale(dc, V[j + 1], Scalar(1) / h[j + 1], prof, ex);
 
       // Apply accumulated Givens rotations to column j of H.
       for (index_t i = 0; i < j; ++i) {
@@ -205,7 +206,7 @@ SolveResult gmres(const LinearOperator<Scalar>& A,
       y[i] = s / H(i, i);
     }
     std::fill(z.begin(), z.end(), Scalar(0));
-    for (index_t i = 0; i < j; ++i) la::axpy(y[i], V[i], z, prof, ex);
+    for (index_t i = 0; i < j; ++i) la::dist_axpy(dc, y[i], V[i], z, prof, ex);
     if (prec) {
       std::vector<Scalar> t(static_cast<size_t>(n));
       prec->apply(z, t, prof);
@@ -216,7 +217,7 @@ SolveResult gmres(const LinearOperator<Scalar>& A,
     // True residual for restart / convergence decision.
     A.apply(x, r, prof);
     exec::parallel_for(ex, n, [&](index_t i) { r[i] = b[i] - r[i]; });
-    beta = static_cast<double>(la::norm2(r, prof, ex));
+    beta = static_cast<double>(la::dist_norm2(dc, r, prof, ex));
     res.final_residual = beta;
     // The cycle's last history entry was an implicit estimate; replace it by
     // the explicitly computed true residual.

@@ -17,6 +17,7 @@
 #include "exec/exec.hpp"
 #include "krylov/operator.hpp"
 #include "la/dense.hpp"
+#include "la/dist.hpp"
 #include "la/vector_ops.hpp"
 
 namespace frosch::krylov {
@@ -40,6 +41,12 @@ struct GmresOptions {
   OrthoKind ortho = OrthoKind::SingleReduce;
   IterationCallback on_iteration;  ///< optional per-iteration observer
   exec::ExecPolicy exec;  ///< vector-kernel execution (dots, axpys, scales)
+  /// Virtual distributed-memory context: when active, every reduction and
+  /// norm is a MEASURED communicated event through the communicator (one
+  /// fused all-reduce per single-reduce iteration) and per-rank Krylov work
+  /// is attributed by row ownership.  Inactive (default): the shared-memory
+  /// kernels, bitwise identical results.
+  la::DistContext dist;
 };
 
 struct SolveResult {

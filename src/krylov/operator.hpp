@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/op_profile.hpp"
+#include "la/dist.hpp"
 #include "la/spmv.hpp"
 
 namespace frosch::krylov {
@@ -51,6 +52,38 @@ class CsrOperator final : public LinearOperator<Scalar> {
   count_t halo_msgs_;
   double halo_bytes_;
   exec::ExecPolicy policy_;
+};
+
+/// The rank-sharded operator of the virtual distributed runtime: every
+/// application scatters the owned entries, performs the REAL ghost import
+/// (measured messages + payload through the communicator), runs the
+/// rank-local SpMVs, and gathers the owned results.  Bitwise identical to
+/// CsrOperator at every rank count (see la/dist.hpp).
+template <class Scalar>
+class DistCsrOperator final : public LinearOperator<Scalar> {
+ public:
+  DistCsrOperator(const la::DistCsrMatrix<Scalar>& A, comm::Communicator& comm,
+                  const exec::ExecPolicy& policy = {})
+      : A_(A), comm_(comm), policy_(policy), x_(*A.plan), y_(*A.plan),
+        halo_msgs_(A.plan->messages(sizeof(Scalar))) {}
+
+  index_t rows() const override { return A_.plan->n; }
+  index_t cols() const override { return A_.plan->n; }
+
+  void apply(const std::vector<Scalar>& x, std::vector<Scalar>& y,
+             OpProfile* prof) const override {
+    x_.scatter_owned(x, policy_);
+    la::halo_import(comm_, *A_.plan, halo_msgs_, x_);
+    la::dist_spmv(comm_, A_, x_, y_, prof);
+    y_.gather_owned(y, policy_);
+  }
+
+ private:
+  const la::DistCsrMatrix<Scalar>& A_;
+  comm::Communicator& comm_;
+  exec::ExecPolicy policy_;
+  mutable la::DistVector<Scalar> x_, y_;
+  std::vector<comm::Message> halo_msgs_;  ///< cached off the hot path
 };
 
 }  // namespace frosch::krylov

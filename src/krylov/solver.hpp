@@ -29,6 +29,7 @@ struct KrylovOptions {
   OrthoKind ortho = OrthoKind::SingleReduce;  ///< GMRES orthogonalization
   IterationCallback on_iteration;  ///< optional per-iteration observer
   exec::ExecPolicy exec;  ///< vector-kernel execution policy
+  la::DistContext dist;   ///< measured distributed reductions + attribution
 
   GmresOptions gmres_options() const {
     GmresOptions o;
@@ -38,6 +39,7 @@ struct KrylovOptions {
     o.ortho = ortho;
     o.on_iteration = on_iteration;
     o.exec = exec;
+    o.dist = dist;
     return o;
   }
 
@@ -47,6 +49,7 @@ struct KrylovOptions {
     o.tol = tol;
     o.on_iteration = on_iteration;
     o.exec = exec;
+    o.dist = dist;
     return o;
   }
 };

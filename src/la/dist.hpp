@@ -1,0 +1,543 @@
+// Rank-sharded linear algebra on the virtual distributed-memory runtime
+// (src/comm): the Tpetra-map analogue of miniFROSch.
+//
+//   HaloPlan        row ownership + ghost-column dependency analysis of a
+//                   matrix: which global ids each rank owns, which it must
+//                   import, and the exact point-to-point messages (with
+//                   their payloads) a ghost exchange moves.
+//   DistVector      per-rank packed storage over a rank's local column
+//                   space (owned + ghost ids).
+//   DistCsrMatrix   per-rank local CSR of the rank's OWNED rows with
+//                   columns renumbered into its local column space.
+//   dist_spmv       y = A x with a REAL ghost import: the halo payload is
+//                   measured from the scalars actually copied.
+//   dist_dot / dist_multi_dot / dist_norm2 / dist_axpy / dist_scale
+//                   Krylov vector kernels on replicated vectors, sharded by
+//                   rank for attribution, reductions routed through
+//                   Communicator::allreduce_slots as measured events.
+//
+// Determinism (DESIGN.md section 7).  Two representation choices make every
+// distributed result BITWISE identical to the shared-memory path at every
+// (ranks, threads) combination:
+//
+//  * Local column ids are ordered by GLOBAL id (owned and ghost ids merged
+//    into one sorted map, not Tpetra's owned-then-ghost convention), so a
+//    local CSR row is traversed in exactly the global row's entry order and
+//    every per-row SpMV sum reproduces the global sum bit for bit.
+//  * Reductions keep the exec layer's problem-size-only chunk grid as their
+//    summation schedule (chunks block-distributed over ranks purely for
+//    attribution) and fold partials in slot order inside the communicator.
+//
+// Krylov vector STATE is replicated across the virtual ranks' shared
+// address space; ownership governs which rank computes (and is charged for)
+// which share, and bytes move exactly where a real distributed run moves
+// them: ghost imports, overlap imports, coarse gathers, all-reduces.  A
+// real MPI run would shard the state too -- the replication is what lets
+// the determinism contract extend across rank counts.
+#pragma once
+
+#include <array>
+
+#include "comm/comm.hpp"
+#include "la/csr.hpp"
+#include "la/vector_ops.hpp"
+
+namespace frosch::la {
+
+/// Row ownership, local column spaces, and the ghost-exchange message plan
+/// of one square matrix distributed by rows over `nranks` virtual ranks.
+struct HaloPlan {
+  int nranks = 0;
+  index_t n = 0;        ///< global size
+  IndexVector rank_of;  ///< global id -> owning rank
+
+  /// Per rank: owned global ids, ascending.
+  std::vector<IndexVector> owned;
+  /// Per rank: local column space = owned + ghost global ids, ascending by
+  /// GLOBAL id (the bitwise-determinism ordering, see file comment).
+  std::vector<IndexVector> cols;
+  /// Per rank: slot in cols[r] of each owned id, aligned with owned[r].
+  std::vector<IndexVector> owned_slot;
+
+  /// One ghost-exchange transfer: `ids` (ascending) move from rank src's
+  /// owned storage into rank dst's ghost slots.
+  struct Transfer {
+    int src = 0;
+    int dst = 0;
+    IndexVector ids;        ///< global ids transferred
+    IndexVector src_slots;  ///< positions in cols[src] (owned there)
+    IndexVector dst_slots;  ///< positions in cols[dst] (ghosts there)
+  };
+  std::vector<Transfer> transfers;  ///< ordered by (dst, src)
+
+  index_t owned_count(int r) const {
+    return static_cast<index_t>(owned[static_cast<size_t>(r)].size());
+  }
+  index_t ghost_count(int r) const {
+    return static_cast<index_t>(cols[static_cast<size_t>(r)].size() -
+                                owned[static_cast<size_t>(r)].size());
+  }
+
+  /// The measured message list of one ghost exchange of `elem_bytes`-sized
+  /// scalars (one comm::Message per transfer, payload = ids moved).
+  std::vector<comm::Message> messages(double elem_bytes) const {
+    std::vector<comm::Message> msgs;
+    msgs.reserve(transfers.size());
+    for (const auto& t : transfers) {
+      comm::Message m;
+      m.src = t.src;
+      m.dst = t.dst;
+      m.count = static_cast<index_t>(t.ids.size());
+      m.bytes = static_cast<double>(t.ids.size()) * elem_bytes;
+      msgs.push_back(m);
+    }
+    return msgs;
+  }
+};
+
+/// Builds the HaloPlan of A under the row distribution `rank_of` (one
+/// owning rank per global id).  Ghosts are the column dependencies of each
+/// rank's owned rows that land on other ranks -- exactly the ids a
+/// distributed SpMV must import.
+template <class Scalar>
+HaloPlan build_halo_plan(const CsrMatrix<Scalar>& A, const IndexVector& rank_of,
+                         int nranks) {
+  const index_t n = A.num_rows();
+  FROSCH_CHECK(A.num_cols() == n, "build_halo_plan: square matrix required");
+  FROSCH_CHECK(static_cast<index_t>(rank_of.size()) == n,
+               "build_halo_plan: rank_of size mismatch");
+  FROSCH_CHECK(nranks >= 1, "build_halo_plan: need at least one rank");
+  HaloPlan plan;
+  plan.nranks = nranks;
+  plan.n = n;
+  plan.rank_of = rank_of;
+  plan.owned.assign(static_cast<size_t>(nranks), {});
+  plan.cols.assign(static_cast<size_t>(nranks), {});
+  plan.owned_slot.assign(static_cast<size_t>(nranks), {});
+  for (index_t i = 0; i < n; ++i) {
+    FROSCH_CHECK(rank_of[i] >= 0 && rank_of[i] < nranks,
+                 "build_halo_plan: bad owner rank");
+    plan.owned[static_cast<size_t>(rank_of[i])].push_back(i);
+  }
+
+  // Ghosts per rank, then the merged (globally sorted) local column space.
+  std::vector<IndexVector> ghosts(static_cast<size_t>(nranks));
+  std::vector<char> mark(static_cast<size_t>(n), 0);
+  for (int r = 0; r < nranks; ++r) {
+    auto& g = ghosts[static_cast<size_t>(r)];
+    for (index_t i : plan.owned[static_cast<size_t>(r)]) {
+      for (index_t k = A.row_begin(i); k < A.row_end(i); ++k) {
+        const index_t c = A.col(k);
+        if (rank_of[c] != r && !mark[static_cast<size_t>(c)]) {
+          mark[static_cast<size_t>(c)] = 1;
+          g.push_back(c);
+        }
+      }
+    }
+    std::sort(g.begin(), g.end());
+    for (index_t c : g) mark[static_cast<size_t>(c)] = 0;
+
+    // Merge owned (sorted) and ghosts (sorted) into the local column map.
+    const auto& own = plan.owned[static_cast<size_t>(r)];
+    auto& cols = plan.cols[static_cast<size_t>(r)];
+    auto& oslot = plan.owned_slot[static_cast<size_t>(r)];
+    cols.resize(own.size() + g.size());
+    std::merge(own.begin(), own.end(), g.begin(), g.end(), cols.begin());
+    oslot.reserve(own.size());
+    size_t q = 0;
+    for (size_t s = 0; s < cols.size(); ++s) {
+      if (q < own.size() && cols[s] == own[q]) {
+        oslot.push_back(static_cast<index_t>(s));
+        ++q;
+      }
+    }
+  }
+
+  // Transfers: each rank's ghosts grouped by source rank, (dst, src) order.
+  for (int dst = 0; dst < nranks; ++dst) {
+    const auto& g = ghosts[static_cast<size_t>(dst)];
+    std::vector<HaloPlan::Transfer> per_src(static_cast<size_t>(nranks));
+    for (index_t c : g)
+      per_src[static_cast<size_t>(rank_of[c])].ids.push_back(c);
+    for (int src = 0; src < nranks; ++src) {
+      auto& t = per_src[static_cast<size_t>(src)];
+      if (t.ids.empty()) continue;
+      t.src = src;
+      t.dst = dst;
+      t.src_slots.reserve(t.ids.size());
+      t.dst_slots.reserve(t.ids.size());
+      for (index_t c : t.ids) {
+        const auto& scols = plan.cols[static_cast<size_t>(src)];
+        const auto& dcols = plan.cols[static_cast<size_t>(dst)];
+        t.src_slots.push_back(static_cast<index_t>(
+            std::lower_bound(scols.begin(), scols.end(), c) - scols.begin()));
+        t.dst_slots.push_back(static_cast<index_t>(
+            std::lower_bound(dcols.begin(), dcols.end(), c) - dcols.begin()));
+      }
+      plan.transfers.push_back(std::move(t));
+    }
+  }
+  return plan;
+}
+
+/// Per-rank packed vector over the plan's local column spaces.  Owned
+/// entries live at owned_slot positions; ghost slots are filled by
+/// halo_import.
+template <class Scalar>
+struct DistVector {
+  const HaloPlan* plan = nullptr;
+  std::vector<std::vector<Scalar>> vals;  ///< per rank, cols[r].size() entries
+
+  DistVector() = default;
+  explicit DistVector(const HaloPlan& p) { init(p); }
+
+  void init(const HaloPlan& p) {
+    plan = &p;
+    vals.assign(static_cast<size_t>(p.nranks), {});
+    for (int r = 0; r < p.nranks; ++r)
+      vals[static_cast<size_t>(r)].assign(p.cols[static_cast<size_t>(r)].size(),
+                                          Scalar(0));
+  }
+
+  /// Copies each rank's OWNED entries out of the replicated global vector
+  /// (bookkeeping, not communication: owned data never crosses ranks).
+  void scatter_owned(const std::vector<Scalar>& x,
+                     const exec::ExecPolicy& policy = {}) {
+    exec::parallel_for(
+        policy, plan->nranks,
+        [&](index_t r) {
+          const auto& own = plan->owned[static_cast<size_t>(r)];
+          const auto& slot = plan->owned_slot[static_cast<size_t>(r)];
+          auto& v = vals[static_cast<size_t>(r)];
+          for (size_t q = 0; q < own.size(); ++q) v[slot[q]] = x[own[q]];
+        },
+        /*grain=*/1);
+  }
+
+  /// Writes each rank's OWNED entries back into the replicated global
+  /// vector (disjoint writes; bookkeeping, not communication).
+  void gather_owned(std::vector<Scalar>& x,
+                    const exec::ExecPolicy& policy = {}) const {
+    x.resize(static_cast<size_t>(plan->n));
+    exec::parallel_for(
+        policy, plan->nranks,
+        [&](index_t r) {
+          const auto& own = plan->owned[static_cast<size_t>(r)];
+          const auto& slot = plan->owned_slot[static_cast<size_t>(r)];
+          const auto& v = vals[static_cast<size_t>(r)];
+          for (size_t q = 0; q < own.size(); ++q) x[own[q]] = v[slot[q]];
+        },
+        /*grain=*/1);
+  }
+};
+
+/// The REAL ghost exchange: moves every transfer's scalars from the owning
+/// rank's storage into the destination rank's ghost slots through the
+/// communicator, which records one message + the measured payload per
+/// transfer on the importing rank.  `msgs` must be plan.messages(sizeof(
+/// Scalar)) -- callers on the Krylov hot path cache it (DistCsrOperator).
+template <class Scalar>
+void halo_import(comm::Communicator& comm, const HaloPlan& plan,
+                 const std::vector<comm::Message>& msgs,
+                 DistVector<Scalar>& x) {
+  comm.exchange(msgs, [&](size_t m) {
+    const auto& t = plan.transfers[m];
+    const auto& src = x.vals[static_cast<size_t>(t.src)];
+    auto& dst = x.vals[static_cast<size_t>(t.dst)];
+    for (size_t q = 0; q < t.ids.size(); ++q)
+      dst[t.dst_slots[q]] = src[t.src_slots[q]];
+  });
+}
+
+template <class Scalar>
+void halo_import(comm::Communicator& comm, const HaloPlan& plan,
+                 DistVector<Scalar>& x) {
+  halo_import(comm, plan, plan.messages(sizeof(Scalar)), x);
+}
+
+/// Per-rank local CSR: rank r's owned rows (ascending global id) with
+/// columns renumbered into its local column space.  Because local col ids
+/// ascend with global ids, each local row preserves the global row's entry
+/// order -- per-row SpMV sums are bitwise identical to the global kernel's.
+template <class Scalar>
+struct DistCsrMatrix {
+  const HaloPlan* plan = nullptr;
+  std::vector<CsrMatrix<Scalar>> local;  ///< per rank
+
+  DistCsrMatrix() = default;
+  DistCsrMatrix(const CsrMatrix<Scalar>& A, const HaloPlan& p,
+                const exec::ExecPolicy& policy = {}) {
+    build(A, p, policy);
+  }
+
+  void build(const CsrMatrix<Scalar>& A, const HaloPlan& p,
+             const exec::ExecPolicy& policy = {}) {
+    FROSCH_CHECK(A.num_rows() == p.n, "DistCsrMatrix: plan/matrix mismatch");
+    plan = &p;
+    local.assign(static_cast<size_t>(p.nranks), {});
+    exec::parallel_for(
+        policy, p.nranks,
+        [&](index_t r) {
+          const auto& own = p.owned[static_cast<size_t>(r)];
+          const auto& cols = p.cols[static_cast<size_t>(r)];
+          std::vector<index_t> rowptr(own.size() + 1, 0);
+          for (size_t q = 0; q < own.size(); ++q)
+            rowptr[q + 1] = rowptr[q] + A.row_nnz(own[q]);
+          std::vector<index_t> colind(static_cast<size_t>(rowptr.back()));
+          std::vector<Scalar> values(colind.size());
+          index_t pos = 0;
+          for (index_t i : own) {
+            for (index_t k = A.row_begin(i); k < A.row_end(i); ++k) {
+              colind[pos] = static_cast<index_t>(
+                  std::lower_bound(cols.begin(), cols.end(), A.col(k)) -
+                  cols.begin());
+              values[pos] = A.val(k);
+              ++pos;
+            }
+          }
+          local[static_cast<size_t>(r)] = CsrMatrix<Scalar>(
+              static_cast<index_t>(own.size()),
+              static_cast<index_t>(cols.size()), std::move(rowptr),
+              std::move(colind), std::move(values));
+        },
+        /*grain=*/1);
+  }
+};
+
+/// Rank-sharded y = A x over an ALREADY-IMPORTED x (call halo_import
+/// first; DistCsrOperator in krylov/operator.hpp packages the sequence).
+/// Writes each rank's owned result entries into y's owned slots.  Per-rank
+/// compute is recorded into the communicator's measured profiles; `prof`
+/// (optional) receives the aggregate, matching la::spmv's accounting.
+template <class Scalar>
+void dist_spmv(comm::Communicator& comm, const DistCsrMatrix<Scalar>& A,
+               const DistVector<Scalar>& x, DistVector<Scalar>& y,
+               OpProfile* prof = nullptr) {
+  const HaloPlan& plan = *A.plan;
+  // One accounting formula for both views: each rank's local kernel.
+  auto local_profile = [](const CsrMatrix<Scalar>& Al) {
+    OpProfile p;
+    p.flops = 2.0 * static_cast<double>(Al.num_entries());
+    p.bytes = Al.storage_bytes() +
+              static_cast<double>(Al.num_rows() + Al.num_cols()) *
+                  sizeof(Scalar);
+    p.launches = 1;
+    p.critical_path = 1;
+    p.work_items = static_cast<double>(Al.num_rows());
+    return p;
+  };
+  // Row tasks: `sub` row-chunks per rank so the pool stays busy when there
+  // are fewer virtual ranks than threads (per-row results are independent
+  // of the chunking, so this cannot perturb the bitwise contract).
+  const exec::ExecPolicy& pol = comm.policy();
+  const int R = comm.size();
+  index_t sub = 1;
+  if (pol.parallel() && R < pol.threads)
+    sub = (pol.threads + static_cast<index_t>(R) - 1) / R;
+  exec::parallel_for(
+      pol, static_cast<index_t>(R) * sub,
+      [&](index_t task) {
+        const size_t r = static_cast<size_t>(task / sub);
+        const auto& Al = A.local[r];
+        const auto& xl = x.vals[r];
+        auto& yl = y.vals[r];
+        const auto& slot = plan.owned_slot[r];
+        const auto [b, e] = exec::chunk_range(Al.num_rows(), sub, task % sub);
+        for (index_t i = b; i < e; ++i) {
+          Scalar sum(0);
+          for (index_t k = Al.row_begin(i); k < Al.row_end(i); ++k)
+            sum += Al.val(k) * xl[Al.col(k)];
+          yl[slot[i]] = sum;
+        }
+      },
+      /*grain=*/1);
+  for (int r = 0; r < R; ++r)
+    comm.prof(r) += local_profile(A.local[static_cast<size_t>(r)]);
+  if (prof) {
+    // Aggregate view: the per-rank shares summed, as ONE bulk-synchronous
+    // launch (matching la::spmv's whole-matrix accounting).
+    OpProfile agg;
+    for (const auto& Al : A.local) {
+      OpProfile p = local_profile(Al);
+      agg.flops += p.flops;
+      agg.bytes += p.bytes;
+      agg.work_items += p.work_items;
+    }
+    agg.launches = 1;
+    agg.critical_path = 1;
+    *prof += agg;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Distributed Krylov vector kernels.
+//
+// These operate on replicated global vectors (see the file comment).  Work
+// is sharded over ranks by ownership for ATTRIBUTION (each rank is charged
+// the exact share a distributed run would compute); the SUMMATION SCHEDULE
+// of reductions is the exec layer's problem-size-only chunk grid, folded in
+// slot order by the communicator, so results are bitwise identical to
+// la::dot / la::multi_dot at every rank and thread count.  Every reduction
+// is ONE measured all-reduce, however many values are fused into it.
+
+/// Ties a communicator to the row-distribution plan the Krylov kernels
+/// attribute by.  A default-constructed (inactive) context makes every
+/// dist_* kernel fall through to its shared-memory twin.
+struct DistContext {
+  comm::Communicator* comm = nullptr;
+  const HaloPlan* plan = nullptr;
+  bool active() const { return comm != nullptr && plan != nullptr; }
+};
+
+namespace detail {
+
+/// Charges each rank its owned share of an elementwise kernel touching
+/// `vecs` vectors with `flops_per_elem` flops per element.
+inline void attribute_elementwise(const DistContext& d, double flops_per_elem,
+                                  double vecs, double elem_bytes) {
+  for (int r = 0; r < d.comm->size(); ++r) {
+    const double share = static_cast<double>(d.plan->owned_count(r));
+    OpProfile& p = d.comm->prof(r);
+    p.flops += flops_per_elem * share;
+    p.bytes += vecs * share * elem_bytes;
+    p.launches += 1;
+    p.critical_path += 1;
+    p.work_items += share;
+  }
+}
+
+}  // namespace detail
+
+/// Distributed dot product: the global chunk partials are computed in
+/// parallel, then folded in chunk order through ONE measured all-reduce.
+template <class Scalar>
+Scalar dist_dot(const DistContext& d, const std::vector<Scalar>& x,
+                const std::vector<Scalar>& y, OpProfile* prof = nullptr,
+                const exec::ExecPolicy& policy = {}) {
+  if (!d.active()) return dot(x, y, prof, policy);
+  FROSCH_ASSERT(x.size() == y.size(), "dist_dot: size mismatch");
+  const index_t n = static_cast<index_t>(x.size());
+  const index_t nc = exec::chunk_count(n);
+  std::array<Scalar, exec::kMaxChunks> partial;
+  exec::parallel_for(
+      policy, nc,
+      [&](index_t c) {
+        const auto [b, e] = exec::chunk_range(n, nc, c);
+        Scalar s(0);
+        for (index_t i = b; i < e; ++i) s += x[i] * y[i];
+        partial[static_cast<size_t>(c)] = s;
+      },
+      /*grain=*/1);
+  Scalar out(0);
+  d.comm->allreduce_slots(partial.data(), nc, 1, &out);
+  detail::attribute_elementwise(d, 2.0, 2.0, sizeof(Scalar));
+  if (prof) {
+    prof->flops += 2.0 * static_cast<double>(n);
+    prof->bytes += 2.0 * static_cast<double>(n) * sizeof(Scalar);
+    prof->launches += 1;
+    prof->critical_path += 1;
+    prof->work_items += static_cast<double>(n);
+    prof->reductions += 1;
+  }
+  return out;
+}
+
+template <class Scalar>
+Scalar dist_norm2(const DistContext& d, const std::vector<Scalar>& x,
+                  OpProfile* prof = nullptr,
+                  const exec::ExecPolicy& policy = {}) {
+  return std::sqrt(dist_dot(d, x, x, prof, policy));
+}
+
+/// Distributed fused multi-dot: k dot products against a common vector,
+/// ONE measured all-reduce carrying all k fused values (the single-reduce
+/// GMRES contract: one wire collective per iteration).
+template <class Scalar>
+void dist_multi_dot(const DistContext& d,
+                    const std::vector<std::vector<Scalar>>& vs,
+                    const std::vector<Scalar>& w, std::vector<Scalar>& out,
+                    OpProfile* prof = nullptr,
+                    const exec::ExecPolicy& policy = {}) {
+  if (!d.active()) {
+    multi_dot(vs, w, out, prof, policy);
+    return;
+  }
+  const size_t k = vs.size();
+  for (size_t j = 0; j < k; ++j)
+    FROSCH_ASSERT(vs[j].size() == w.size(), "dist_multi_dot: size mismatch");
+  const index_t n = static_cast<index_t>(w.size());
+  const index_t nc = exec::chunk_count(n);
+  std::vector<Scalar> partial(static_cast<size_t>(nc) * k, Scalar(0));
+  exec::parallel_for(
+      policy, nc,
+      [&](index_t c) {
+        Scalar* pc = partial.data() + static_cast<size_t>(c) * k;
+        const auto [b, e] = exec::chunk_range(n, nc, c);
+        for (size_t j = 0; j < k; ++j) {
+          const Scalar* vj = vs[j].data();
+          Scalar s(0);
+          for (index_t i = b; i < e; ++i) s += vj[i] * w[i];
+          pc[j] = s;
+        }
+      },
+      /*grain=*/1);
+  out.assign(k, Scalar(0));
+  d.comm->allreduce_slots(partial.data(), nc, static_cast<int>(k), out.data());
+  detail::attribute_elementwise(d, 2.0 * static_cast<double>(k),
+                                static_cast<double>(k) + 1.0, sizeof(Scalar));
+  if (prof) {
+    prof->flops += 2.0 * static_cast<double>(k) * static_cast<double>(n);
+    prof->bytes += (static_cast<double>(k) + 1.0) * static_cast<double>(n) *
+                   sizeof(Scalar);
+    prof->launches += 1;
+    prof->critical_path += 1;
+    prof->work_items += static_cast<double>(n);
+    prof->reductions += 1;  // all k partial sums travel in ONE all-reduce
+  }
+}
+
+/// Distributed axpy: elementwise (no communication), each rank charged its
+/// owned share.
+template <class Scalar>
+void dist_axpy(const DistContext& d, Scalar alpha, const std::vector<Scalar>& x,
+               std::vector<Scalar>& y, OpProfile* prof = nullptr,
+               const exec::ExecPolicy& policy = {}) {
+  if (!d.active()) {
+    axpy(alpha, x, y, prof, policy);
+    return;
+  }
+  FROSCH_ASSERT(x.size() == y.size(), "dist_axpy: size mismatch");
+  exec::parallel_for(policy, static_cast<index_t>(x.size()),
+                     [&](index_t i) { y[i] += alpha * x[i]; });
+  detail::attribute_elementwise(d, 2.0, 3.0, sizeof(Scalar));
+  if (prof) {
+    prof->flops += 2.0 * static_cast<double>(x.size());
+    prof->bytes += 3.0 * static_cast<double>(x.size()) * sizeof(Scalar);
+    prof->launches += 1;
+    prof->critical_path += 1;
+    prof->work_items += static_cast<double>(x.size());
+  }
+}
+
+/// Distributed scale: elementwise (no communication).
+template <class Scalar>
+void dist_scale(const DistContext& d, std::vector<Scalar>& x, Scalar alpha,
+                OpProfile* prof = nullptr,
+                const exec::ExecPolicy& policy = {}) {
+  if (!d.active()) {
+    scale(x, alpha, prof, policy);
+    return;
+  }
+  exec::parallel_for(policy, static_cast<index_t>(x.size()),
+                     [&](index_t i) { x[i] *= alpha; });
+  detail::attribute_elementwise(d, 1.0, 2.0, sizeof(Scalar));
+  if (prof) {
+    prof->flops += static_cast<double>(x.size());
+    prof->bytes += 2.0 * static_cast<double>(x.size()) * sizeof(Scalar);
+    prof->launches += 1;
+    prof->critical_path += 1;
+    prof->work_items += static_cast<double>(x.size());
+  }
+}
+
+}  // namespace frosch::la

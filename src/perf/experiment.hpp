@@ -49,8 +49,17 @@ struct ExperimentResult {
   index_t ranks = 0;
   bool converged = false;
   index_t iterations = 0;
-  dd::SchwarzProfiles schwarz;   ///< setup + apply profiles (per rank)
-  OpProfile krylov;              ///< GMRES-side work, recorded globally
+  dd::SchwarzProfiles schwarz;   ///< setup + apply COMPUTE profiles (per rank)
+  OpProfile krylov;              ///< GMRES-side work, aggregate view
+  /// MEASURED per-rank solve profiles from the virtual distributed
+  /// runtime: each rank's Krylov compute share + every communication event
+  /// (SpMV halos, fused all-reduces, Schwarz apply halos, coarse
+  /// collectives).  The model's max-over-ranks runs over these.
+  std::vector<OpProfile> rank_krylov;
+  /// Measured per-rank setup-phase communication (overlap row imports,
+  /// coarse gather).
+  std::vector<OpProfile> rank_setup_comm;
+  double solve_imbalance = 1.0;  ///< measured per-rank load imbalance
   double wall_setup_s = 0.0;     ///< actual host wall-clock (transparency)
   double wall_solve_s = 0.0;
 };

@@ -38,4 +38,12 @@ OpProfile network_part(const OpProfile& p) {
   return n;
 }
 
+OpProfile compute_part(const OpProfile& p) {
+  OpProfile c = p;
+  c.reductions = 0;
+  c.neighbor_msgs = 0;
+  c.msg_bytes = 0.0;
+  return c;
+}
+
 }  // namespace frosch::perf

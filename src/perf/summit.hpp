@@ -74,22 +74,63 @@ class SummitModel {
                     bool host_staged = false) const {
     double worst = 0.0;
     for (const auto& p : rank_profiles) {
-      double t;
-      if (exec == Execution::Gpu) {
-        t = host_staged ? host_staged_time(cfg_.gpu, cfg_.cpu, p, fp32)
-                        : cfg_.gpu.time(p, ranks_per_gpu, fp32);
-      } else {
-        t = cfg_.cpu.time(p, fp32);
-      }
-      t += static_cast<double>(p.neighbor_msgs) * cfg_.net.p2p_alpha +
-           p.msg_bytes * cfg_.net.beta;
+      const double t =
+          rank_time(p, exec, ranks_per_gpu, fp32, host_staged) +
+          static_cast<double>(p.neighbor_msgs) * cfg_.net.p2p_alpha +
+          p.msg_bytes * cfg_.net.beta;
       worst = std::max(worst, t);
     }
     return worst;
   }
 
-  /// Network part: global reductions charged from the aggregate profile
-  /// (halo traffic is charged per rank inside local_time).
+  /// Single-rank DEVICE time of a profile: compute + launches only, no
+  /// wire traffic (the measured-per-rank pricing path zeroes the network
+  /// fields before calling this; see network_time below).
+  double rank_time(const OpProfile& p, Execution exec, int ranks_per_gpu,
+                   bool fp32 = false, bool host_staged = false) const {
+    if (exec == Execution::Gpu) {
+      return host_staged ? host_staged_time(cfg_.gpu, cfg_.cpu, p, fp32)
+                         : cfg_.gpu.time(p, ranks_per_gpu, fp32);
+    }
+    return cfg_.cpu.time(p, fp32);
+  }
+
+  /// Network pricing of MEASURED per-rank profiles -- the unified rule.
+  ///
+  /// The pre-comm-layer model priced reductions from an aggregate profile
+  /// (whose counter was bumped once per collective call) but point-to-point
+  /// from per-rank profiles, an asymmetry that double-charged any profile
+  /// seen through both views.  With the comm layer every rank's profile
+  /// records every event it took part in, so both families price from the
+  /// same per-rank measurements, each exactly once:
+  ///
+  ///  * collectives are bulk-synchronous: every rank participates in the
+  ///    same tree, so the phase pays max-over-ranks(reductions) *
+  ///    alpha * log2(P) -- NOT the sum over ranks, which would charge one
+  ///    wire collective P times;
+  ///  * point-to-point is pairwise: each rank pays for its own imports
+  ///    (messages are charged to their destination), and the bulk-
+  ///    synchronous phase ends when the busiest rank finishes --
+  ///    max-over-ranks(msgs * alpha_p2p + bytes * beta).
+  double network_time(const std::vector<OpProfile>& rank_profiles,
+                      int total_ranks) const {
+    if (total_ranks <= 1) return 0.0;
+    count_t reds = 0;
+    double p2p = 0.0;
+    for (const auto& p : rank_profiles) {
+      reds = std::max(reds, p.reductions);
+      p2p = std::max(p2p, static_cast<double>(p.neighbor_msgs) *
+                              cfg_.net.p2p_alpha +
+                          p.msg_bytes * cfg_.net.beta);
+    }
+    return static_cast<double>(reds) * cfg_.net.allreduce_alpha *
+               std::log2(static_cast<double>(total_ranks)) +
+           p2p;
+  }
+
+  /// Legacy aggregate-profile overload (reductions only; p2p is charged
+  /// inside local_time on this path).  Kept for profiles recorded outside
+  /// the comm layer.
   double network_time(const OpProfile& aggregate, int total_ranks) const {
     if (total_ranks <= 1) return 0.0;
     return static_cast<double>(aggregate.reductions) *
@@ -127,5 +168,10 @@ OpProfile split_across_ranks(const OpProfile& global, int num_ranks);
 
 /// Extracts the collective/halo-only view of a profile.
 OpProfile network_part(const OpProfile& p);
+
+/// Complement of network_part: the compute-only view (network fields
+/// zeroed), used to price a measured per-rank profile's device time
+/// without re-charging its wire traffic.
+OpProfile compute_part(const OpProfile& p);
 
 }  // namespace frosch::perf

@@ -37,6 +37,7 @@ SolverConfig SolverConfig::from_parameters(const ParameterList& p,
   if (p.has("preconditioner"))
     c.preconditioner = p.get<std::string>("preconditioner");
   read_int(p, "num-parts", c.num_parts);
+  read_int(p, "ranks", c.ranks);
   read_int(p, "threads", c.threads);
 
   // Krylov side.
@@ -86,6 +87,8 @@ SolverConfig SolverConfig::from_parameters(const ParameterList& p,
                "SolverConfig: max-iters must be non-negative");
   FROSCH_CHECK(c.krylov.tol > 0.0, "SolverConfig: tol must be positive");
   FROSCH_CHECK(c.num_parts > 0, "SolverConfig: num-parts must be positive");
+  FROSCH_CHECK(c.ranks >= 0,
+               "SolverConfig: ranks must be non-negative (0 = one per part)");
   FROSCH_CHECK(c.threads > 0, "SolverConfig: threads must be positive");
   FROSCH_CHECK(c.schwarz.overlap >= 0,
                "SolverConfig: overlap must be non-negative");
@@ -110,6 +113,8 @@ std::vector<SolverConfig::ParameterDoc> SolverConfig::parameter_docs() {
       {"preconditioner", "schwarz, schwarz-float, none",
        "preconditioner registry name"},
       {"num-parts", "int", "subdomain count for algebraic setup(A, Z)"},
+      {"ranks", "int",
+       "virtual distributed-memory ranks (0 = one per subdomain)"},
       {"threads", "int", "exec-layer thread count (1 = serial)"},
       {"solver", enum_names<KrylovMethod>(), "Krylov method"},
       {"ortho", enum_names<OrthoKind>(), "GMRES orthogonalization"},

@@ -24,6 +24,14 @@ struct SolverConfig {
   /// (ignored when a decomposition or owner vector is supplied).
   index_t num_parts = 8;
 
+  /// Virtual-rank count of the distributed runtime (the "ranks" key and
+  /// the benches' --ranks flag).  0 (default) = one virtual rank per
+  /// subdomain, the paper's topology; 1 = SelfComm; R < subdomains
+  /// block-maps several subdomains onto each rank.  Iteration counts and
+  /// results are bitwise identical at EVERY value (see DESIGN.md section
+  /// 7); only the measured communication profile changes.
+  index_t ranks = 0;
+
   /// Thread count of the execution layer (1 = serial).  The facade copies
   /// it into every subsystem policy (Schwarz phases, local solvers, Krylov
   /// vector kernels, the operator SpMV) via propagate_exec() -- the single

@@ -1,5 +1,6 @@
 #include "solver/solver.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/timer.hpp"
@@ -30,10 +31,10 @@ std::string SolveReport::str() const {
                 initial_residual, final_residual);
   s += buf;
   std::snprintf(buf, sizeof(buf),
-                "\ncoarse dim %d; threads %d; wall: symbolic %.3fs, "
-                "numeric %.3fs, solve %.3fs",
-                int(coarse_dim), int(threads), wall_symbolic_s, wall_numeric_s,
-                wall_solve_s);
+                "\ncoarse dim %d; ranks %d (imbalance %.2f); threads %d; "
+                "wall: symbolic %.3fs, numeric %.3fs, solve %.3fs",
+                int(coarse_dim), int(ranks), solve_imbalance, int(threads),
+                wall_symbolic_s, wall_numeric_s, wall_solve_s);
   s += buf;
   return s;
 }
@@ -56,7 +57,28 @@ void Solver::configure(const ParameterList& params) {
 }
 
 void Solver::setup_phases(const la::DenseMatrix<double>& Z) {
-  if (!krylov_) krylov_ = krylov::make_krylov<double>(cfg_.krylov);
+  // Stand up the virtual distributed runtime for this decomposition: R
+  // ranks (default: one per subdomain, the paper's topology), the dof ->
+  // rank ownership derived from the subdomain -> rank block map, and the
+  // rank-sharded matrix with its ghost plan.
+  const index_t R =
+      cfg_.ranks > 0 ? cfg_.ranks : std::max<index_t>(1, decomp_.num_parts);
+  const auto policy = exec::ExecPolicy::with_threads(static_cast<int>(cfg_.threads));
+  if (R == 1) {
+    comm_ = std::make_unique<comm::SelfComm>(policy);
+  } else {
+    comm_ = std::make_unique<comm::SimComm>(static_cast<int>(R), policy);
+  }
+  IndexVector rank_of(decomp_.owner.size());
+  for (size_t i = 0; i < decomp_.owner.size(); ++i)
+    rank_of[i] = comm_->block_owner(decomp_.num_parts, decomp_.owner[i]);
+  plan_ = std::make_unique<la::HaloPlan>(
+      la::build_halo_plan(A_, rank_of, static_cast<int>(R)));
+  dist_A_.build(A_, *plan_, policy);
+
+  cfg_.schwarz.comm = comm_.get();
+  cfg_.krylov.dist = la::DistContext{comm_.get(), plan_.get()};
+  krylov_ = krylov::make_krylov<double>(cfg_.krylov);
   prec_ = preconditioner_registry().create(cfg_.preconditioner, cfg_, decomp_);
   wall_symbolic_s_ = wall_numeric_s_ = 0.0;
   if (prec_) {
@@ -67,6 +89,8 @@ void Solver::setup_phases(const la::DenseMatrix<double>& Z) {
     prec_->numeric_setup(A_, Z);
     wall_numeric_s_ = tn.seconds();
   }
+  // Everything the communicator measured so far is setup-phase traffic.
+  setup_comm_ = comm_->rank_profiles();
   setup_done_ = true;
 }
 
@@ -100,14 +124,18 @@ void Solver::setup(const la::CsrMatrix<double>& A,
 SolveReport Solver::solve(const std::vector<double>& b,
                           std::vector<double>& x) {
   FROSCH_CHECK(setup_done_, "Solver: setup() before solve()");
-  krylov::CsrOperator<double> op(A_, 0, 0.0, cfg_.krylov.exec);
+  // The rank-sharded operator: every application performs the measured
+  // ghost import and the per-rank local SpMVs (bitwise identical to the
+  // global CsrOperator at every rank count).
+  krylov::DistCsrOperator<double> op(dist_A_, *comm_, cfg_.krylov.exec);
 
-  // The preconditioner accumulates its solve-phase profiles across apply()
-  // calls; snapshot them so the report stays PER-SOLVE even when solve()
-  // is called repeatedly on one setup.
+  // The preconditioner and the communicator accumulate their solve-phase
+  // profiles across apply() calls; snapshot both so the report stays
+  // PER-SOLVE even when solve() is called repeatedly on one setup.
   const dd::SchwarzProfiles* sp = prec_ ? prec_->schwarz_profiles() : nullptr;
   dd::SchwarzProfiles before;
   if (sp) before = *sp;
+  const std::vector<OpProfile> comm_before = comm_->rank_profiles();
 
   Timer t;
   auto sr = krylov_->solve(op, prec_.get(), b, x);
@@ -119,10 +147,18 @@ SolveReport Solver::solve(const std::vector<double>& b,
   rep.final_residual = sr.final_residual;
   rep.residual_history = std::move(sr.residual_history);
   rep.threads = cfg_.threads;
+  rep.ranks = static_cast<index_t>(comm_->size());
   rep.wall_symbolic_s = wall_symbolic_s_;
   rep.wall_numeric_s = wall_numeric_s_;
   rep.wall_solve_s = t.seconds();
   rep.krylov = sr.profile;
+  rep.rank_setup_comm = setup_comm_;
+  // This solve's measured per-rank runtime profile: Krylov compute shares
+  // plus every communication event (all-reduces, halos, coarse
+  // collectives) the virtual ranks performed under the Krylov solve.
+  rep.rank_krylov = comm_->rank_profiles();
+  for (size_t r = 0; r < rep.rank_krylov.size(); ++r)
+    rep.rank_krylov[r] -= comm_before[r];
   if (prec_) rep.coarse_dim = prec_->coarse_dim();
   if (sp) {
     rep.schwarz = *sp;
@@ -138,6 +174,21 @@ SolveReport Solver::solve(const std::vector<double>& b,
     // Schwarz share (charged per rank through rep.schwarz) to leave the
     // pure Krylov work.
     rep.krylov -= schwarz_solve_total(rep.schwarz);
+  }
+  // Measured per-rank load imbalance of the solve phase: Schwarz local
+  // solves + Krylov share, in flops.
+  {
+    double maxw = 0.0, sum = 0.0;
+    const size_t R = rep.rank_krylov.size();
+    for (size_t r = 0; r < R; ++r) {
+      double w = rep.rank_krylov[r].flops;
+      if (r < rep.schwarz.ranks.size()) w += rep.schwarz.ranks[r].solve.flops;
+      maxw = std::max(maxw, w);
+      sum += w;
+    }
+    rep.solve_imbalance = (R > 0 && sum > 0.0)
+                              ? maxw / (sum / static_cast<double>(R))
+                              : 1.0;
   }
   report_ = rep;
   return rep;

@@ -35,6 +35,7 @@ struct SolveReport {
   std::vector<double> residual_history;  ///< [0] = initial, one per iteration
   index_t coarse_dim = 0;
   index_t threads = 1;  ///< exec-layer thread count the solve ran with
+  index_t ranks = 1;    ///< virtual distributed-memory ranks the solve ran on
 
   double wall_symbolic_s = 0.0;  ///< host wall-clock of the setup phases
   double wall_numeric_s = 0.0;
@@ -44,8 +45,22 @@ struct SolveReport {
   /// reductions): the preconditioner's share is subtracted out because it
   /// is charged per rank through `schwarz`.
   OpProfile krylov;
-  /// Per-phase, per-rank Schwarz profiles (empty for "none").
+  /// Per-phase, per-rank Schwarz COMPUTE profiles (empty for "none").
   dd::SchwarzProfiles schwarz;
+
+  /// MEASURED per-rank profiles of this solve from the virtual distributed
+  /// runtime: each rank's Krylov compute share plus every communication
+  /// event it took part in (SpMV halo imports, fused all-reduces, Schwarz
+  /// overlap halos, coarse gathers/broadcasts).
+  std::vector<OpProfile> rank_krylov;
+  /// Measured per-rank communication of the setup phases (overlap-matrix
+  /// row imports, coarse-matrix gather).
+  std::vector<OpProfile> rank_setup_comm;
+
+  /// Per-rank load imbalance of the solve phase: max over ranks of the
+  /// measured per-rank work (Schwarz local solves + Krylov share, in
+  /// flops) divided by the mean.  1.0 = perfectly balanced.
+  double solve_imbalance = 1.0;
 
   /// Multi-line human-readable summary (examples print this).
   std::string str() const;
@@ -89,12 +104,24 @@ class Solver {
   }
   const dd::Decomposition& decomposition() const { return decomp_; }
 
+  /// The virtual-rank communicator of the current setup (null before
+  /// setup()): SelfComm for ranks=1, SimComm otherwise.
+  const comm::Communicator* communicator() const { return comm_.get(); }
+  /// The row-distribution/ghost plan of the current setup.
+  const la::HaloPlan& halo_plan() const { return *plan_; }
+
  private:
   void setup_phases(const la::DenseMatrix<double>& Z);
 
   SolverConfig cfg_;
   la::CsrMatrix<double> A_;
   dd::Decomposition decomp_;
+  std::unique_ptr<comm::Communicator> comm_;
+  // Heap-held so its address stays stable under Solver moves: the Krylov
+  // options' DistContext and dist_A_ point into it.
+  std::unique_ptr<la::HaloPlan> plan_;
+  la::DistCsrMatrix<double> dist_A_;
+  std::vector<OpProfile> setup_comm_;  ///< measured setup-phase comm snapshot
   std::unique_ptr<dd::Preconditioner<double>> prec_;
   std::unique_ptr<krylov::KrylovSolver<double>> krylov_;
   SolveReport report_;
