@@ -54,7 +54,7 @@ Measurement measure(const la::CsrMatrix<double>& A,
 
   const auto* prec = solver.preconditioner();
   FROSCH_CHECK(prec != nullptr, "bench_speedup: needs a preconditioner");
-  std::vector<double> y;
+  std::vector<double> y(b.size());
   prec->apply(b, y, nullptr);  // warm-up
   m.apply_s = 1e30;
   for (int trial = 0; trial < 3; ++trial) {

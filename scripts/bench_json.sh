@@ -14,6 +14,8 @@
 #   BENCH_SCALE     --scale for bench_table2 (default: 4)
 #   BENCH_NODES     --nodes for bench_table2 (default: 4)
 #   BENCH_PARTS     --parts (rank-ladder cap) for bench_scaling (default: 32)
+#   BENCH_TP_ELEMS  brick elements per axis for bench_throughput (default: 20)
+#   BENCH_NRHS      right-hand sides per width point (default: 8)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,6 +27,8 @@ ELEMS="${BENCH_ELEMS:-32}"
 SCALE="${BENCH_SCALE:-4}"
 NODES="${BENCH_NODES:-4}"
 PARTS="${BENCH_PARTS:-32}"
+TP_ELEMS="${BENCH_TP_ELEMS:-20}"
+NRHS="${BENCH_NRHS:-8}"
 
 if [[ ! -x "$BUILD_DIR/bench/bench_speedup" ]]; then
   echo "error: $BUILD_DIR/bench/bench_speedup not built (run cmake --build $BUILD_DIR first)" >&2
@@ -42,6 +46,11 @@ echo "== bench_scaling (rank ladder, measured communication) =="
 "$BUILD_DIR/bench/bench_scaling" \
   --parts "$PARTS" --scale "$SCALE" \
   --json "$OUT_DIR/BENCH_scaling.json"
+
+echo "== bench_throughput (multi-RHS solves/sec vs block width) =="
+"$BUILD_DIR/bench/bench_throughput" \
+  --elems "$TP_ELEMS" --nrhs "$NRHS" \
+  --json "$OUT_DIR/BENCH_throughput.json"
 
 echo "== bench_table2 (weak scaling, modeled Summit times) =="
 "$BUILD_DIR/bench/bench_table2" \

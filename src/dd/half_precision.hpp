@@ -21,12 +21,12 @@ class HalfPrecisionOperator final : public krylov::LinearOperator<Scalar> {
   index_t rows() const override { return inner_.rows(); }
   index_t cols() const override { return inner_.cols(); }
 
-  void apply(const std::vector<Scalar>& x, std::vector<Scalar>& y,
-             OpProfile* prof) const override {
+  void apply_impl(const std::vector<Scalar>& x, std::vector<Scalar>& y,
+                  OpProfile* prof) const override {
     xh_.resize(x.size());
     for (size_t i = 0; i < x.size(); ++i) xh_[i] = static_cast<Half>(x[i]);
+    yh_.resize(static_cast<size_t>(inner_.rows()));
     inner_.apply(xh_, yh_, prof);
-    y.resize(yh_.size());
     for (size_t i = 0; i < yh_.size(); ++i) y[i] = static_cast<Scalar>(yh_[i]);
     if (prof) {
       // Type-casting overhead: stream both vectors twice.
@@ -68,8 +68,8 @@ class HalfPrecisionPreconditioner final : public Preconditioner<Scalar> {
     inner_.numeric_setup(A.template convert<Half>(), Z);
   }
 
-  void apply(const std::vector<Scalar>& x, std::vector<Scalar>& y,
-             OpProfile* prof) const override {
+  void apply_impl(const std::vector<Scalar>& x, std::vector<Scalar>& y,
+                  OpProfile* prof) const override {
     cast_.apply(x, y, prof);
   }
 

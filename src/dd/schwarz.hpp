@@ -269,8 +269,8 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
   /// identical at every (ranks, threads) combination.  The off-rank
   /// restriction entries and the mirrored additive export are posted as
   /// measured halo traffic once per application.
-  void apply(const std::vector<Scalar>& x, std::vector<Scalar>& y,
-             OpProfile* prof) const override {
+  void apply_impl(const std::vector<Scalar>& x, std::vector<Scalar>& y,
+                  OpProfile* prof) const override {
     FROSCH_CHECK(numeric_done_, "SchwarzPreconditioner: numeric first");
     y.assign(static_cast<size_t>(n_), Scalar(0));
     std::vector<std::vector<Scalar>> yls(

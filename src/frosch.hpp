@@ -37,6 +37,7 @@
 #include "fem/assembly.hpp"
 #include "fem/mesh.hpp"
 #include "graph/partition.hpp"
+#include "krylov/block.hpp"
 #include "krylov/cg.hpp"
 #include "krylov/gmres.hpp"
 #include "krylov/solver.hpp"
@@ -49,4 +50,5 @@
 #include "solver/config.hpp"
 #include "solver/parameter_list.hpp"
 #include "solver/registry.hpp"
+#include "solver/session.hpp"
 #include "solver/solver.hpp"

@@ -21,6 +21,9 @@ struct CgOptions {
   la::DistContext dist;   ///< measured distributed reductions (as in GMRES)
 };
 
+/// Initial-guess CONTRACT (same as gmres, see krylov/solver.hpp): an EMPTY
+/// `x` requests the zero initial guess; an `x` of the system size is taken
+/// as a warm start; any other size is an error.
 template <class Scalar>
 SolveResult cg(const LinearOperator<Scalar>& A,
                const LinearOperator<Scalar>* prec,
@@ -29,13 +32,19 @@ SolveResult cg(const LinearOperator<Scalar>& A,
   FROSCH_CHECK(A.rows() == A.cols(), "cg: square operator required");
   const index_t n = A.rows();
   FROSCH_CHECK(static_cast<index_t>(b.size()) == n, "cg: rhs size mismatch");
+  FROSCH_CHECK(x.empty() || static_cast<index_t>(x.size()) == n,
+               "cg: x must be empty (zero initial guess) or sized like the "
+               "system (warm start); got " << x.size() << " for n = " << n);
   x.resize(static_cast<size_t>(n), Scalar(0));
   SolveResult res;
   OpProfile* prof = &res.profile;
   const exec::ExecPolicy& ex = opts.exec;
   const la::DistContext& dc = opts.dist;
 
-  std::vector<Scalar> r(static_cast<size_t>(n)), z, p, Ap(static_cast<size_t>(n));
+  // Caller-sizes-the-output contract of LinearOperator::apply: every
+  // target, including the preconditioned residual z, is sized up front.
+  std::vector<Scalar> r(static_cast<size_t>(n)), z(static_cast<size_t>(n)),
+      p, Ap(static_cast<size_t>(n));
   A.apply(x, r, prof);
   exec::parallel_for(ex, n, [&](index_t i) { r[i] = b[i] - r[i]; });
   const double beta0 = static_cast<double>(la::dist_norm2(dc, r, prof, ex));

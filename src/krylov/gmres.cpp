@@ -107,6 +107,11 @@ SolveResult gmres(const LinearOperator<Scalar>& A,
   FROSCH_CHECK(opts.restart > 0, "gmres: restart must be positive");
   const index_t n = A.rows();
   FROSCH_CHECK(static_cast<index_t>(b.size()) == n, "gmres: rhs size mismatch");
+  // Initial-guess contract (krylov/solver.hpp): empty x = zero guess; a
+  // system-sized x is a warm start; anything else is a caller bug.
+  FROSCH_CHECK(x.empty() || static_cast<index_t>(x.size()) == n,
+               "gmres: x must be empty (zero initial guess) or sized like "
+               "the system (warm start); got " << x.size() << " for n = " << n);
   x.resize(static_cast<size_t>(n), Scalar(0));
   const index_t m = opts.restart;
 
@@ -155,6 +160,15 @@ SolveResult gmres(const LinearOperator<Scalar>& A,
       }
       if (!orthogonalize(V, j, w, h, opts.ortho, prof, ex, dc)) {
         // Breakdown: the Krylov space is invariant; solution is exact in it.
+        // The back-substitution below solves against g, which lives in the
+        // basis rotated by the accumulated Givens rotations -- the breakdown
+        // column must be rotated into that basis too (its subdiagonal h[j+1]
+        // is zero, so no new rotation is needed).
+        for (index_t i = 0; i < j; ++i) {
+          const Scalar t = cs[i] * h[i] + sn[i] * h[i + 1];
+          h[i + 1] = -sn[i] * h[i] + cs[i] * h[i + 1];
+          h[i] = t;
+        }
         for (index_t i = 0; i <= j + 1; ++i) H(i, j) = i <= j ? h[i] : Scalar(0);
         ++res.iterations;
         // No Givens update happened; record the pre-step estimate (the true

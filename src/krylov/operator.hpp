@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/op_profile.hpp"
+#include "la/block.hpp"
 #include "la/dist.hpp"
 #include "la/spmv.hpp"
 
@@ -17,10 +18,71 @@ class LinearOperator {
   virtual ~LinearOperator() = default;
   virtual index_t rows() const = 0;
   virtual index_t cols() const = 0;
+
   /// y = Op(x).  `prof` accumulates the operation profile of the
   /// application (may be nullptr).
-  virtual void apply(const std::vector<Scalar>& x, std::vector<Scalar>& y,
-                     OpProfile* prof) const = 0;
+  ///
+  /// Output-sizing CONTRACT (enforced): the CALLER sizes `y` to rows()
+  /// before the call; implementations overwrite its entries and never
+  /// resize.  This keeps every application allocation-free on the Krylov
+  /// hot path and is checked here, once, for all implementations.
+  void apply(const std::vector<Scalar>& x, std::vector<Scalar>& y,
+             OpProfile* prof) const {
+    FROSCH_CHECK(static_cast<index_t>(x.size()) == cols(),
+                 "LinearOperator::apply: input size " << x.size()
+                     << " != cols() " << cols());
+    FROSCH_CHECK(static_cast<index_t>(y.size()) == rows(),
+                 "LinearOperator::apply: output must be pre-sized to rows() "
+                     << rows() << " by the caller (got " << y.size() << ")");
+    apply_impl(x, y, prof);
+  }
+
+  /// Multi-column application: *Y[c] = Op(*X[c]) for every column.  Same
+  /// sizing contract per column (the caller sizes every output column).
+  /// Pointer-based so block solvers can batch scattered columns without
+  /// copying them into a contiguous block.  The default loops apply_impl;
+  /// operators with a cheaper fused path (one ghost import serving the
+  /// whole block) override apply_columns_impl.
+  void apply_columns(const std::vector<const std::vector<Scalar>*>& X,
+                     const std::vector<std::vector<Scalar>*>& Y,
+                     OpProfile* prof) const {
+    FROSCH_CHECK(X.size() == Y.size(),
+                 "LinearOperator::apply_columns: block width mismatch");
+    for (size_t c = 0; c < X.size(); ++c) {
+      FROSCH_CHECK(static_cast<index_t>(X[c]->size()) == cols(),
+                   "LinearOperator::apply_columns: input column size "
+                       << X[c]->size() << " != cols() " << cols());
+      FROSCH_CHECK(static_cast<index_t>(Y[c]->size()) == rows(),
+                   "LinearOperator::apply_columns: output column must be "
+                   "pre-sized to rows() by the caller");
+    }
+    if (!X.empty()) apply_columns_impl(X, Y, prof);
+  }
+
+  /// Value-based convenience overload over whole blocks.
+  void apply_columns(const std::vector<std::vector<Scalar>>& X,
+                     std::vector<std::vector<Scalar>>& Y,
+                     OpProfile* prof) const {
+    FROSCH_CHECK(X.size() == Y.size(),
+                 "LinearOperator::apply_columns: block width mismatch");
+    std::vector<const std::vector<Scalar>*> xs(X.size());
+    std::vector<std::vector<Scalar>*> ys(Y.size());
+    for (size_t c = 0; c < X.size(); ++c) {
+      xs[c] = &X[c];
+      ys[c] = &Y[c];
+    }
+    apply_columns(xs, ys, prof);
+  }
+
+ protected:
+  virtual void apply_impl(const std::vector<Scalar>& x, std::vector<Scalar>& y,
+                          OpProfile* prof) const = 0;
+
+  virtual void apply_columns_impl(
+      const std::vector<const std::vector<Scalar>*>& X,
+      const std::vector<std::vector<Scalar>*>& Y, OpProfile* prof) const {
+    for (size_t c = 0; c < X.size(); ++c) apply_impl(*X[c], *Y[c], prof);
+  }
 };
 
 /// CSR matrix as an operator; the halo exchange of a distributed SpMV is
@@ -38,8 +100,9 @@ class CsrOperator final : public LinearOperator<Scalar> {
   index_t rows() const override { return A_.num_rows(); }
   index_t cols() const override { return A_.num_cols(); }
 
-  void apply(const std::vector<Scalar>& x, std::vector<Scalar>& y,
-             OpProfile* prof) const override {
+ protected:
+  void apply_impl(const std::vector<Scalar>& x, std::vector<Scalar>& y,
+                  OpProfile* prof) const override {
     la::spmv(A_, x, y, Scalar(1), Scalar(0), prof, policy_);
     if (prof) {
       prof->neighbor_msgs += halo_msgs_;
@@ -70,12 +133,32 @@ class DistCsrOperator final : public LinearOperator<Scalar> {
   index_t rows() const override { return A_.plan->n; }
   index_t cols() const override { return A_.plan->n; }
 
-  void apply(const std::vector<Scalar>& x, std::vector<Scalar>& y,
-             OpProfile* prof) const override {
+ protected:
+  void apply_impl(const std::vector<Scalar>& x, std::vector<Scalar>& y,
+                  OpProfile* prof) const override {
     x_.scatter_owned(x, policy_);
     la::halo_import(comm_, *A_.plan, halo_msgs_, x_);
     la::dist_spmv(comm_, A_, x_, y_, prof);
     y_.gather_owned(y, policy_);
+  }
+
+  /// Fused block application: ONE ghost import (one message per transfer,
+  /// width-scaled payload) serves every column, and the local matrices are
+  /// streamed once for the whole block.  Column results are bitwise
+  /// identical to apply() on each column separately.
+  void apply_columns_impl(const std::vector<const std::vector<Scalar>*>& X,
+                          const std::vector<std::vector<Scalar>*>& Y,
+                          OpProfile* prof) const override {
+    const index_t w = static_cast<index_t>(X.size());
+    if (xb_.width != w) {
+      xb_.init(*A_.plan, w);
+      yb_.init(*A_.plan, w);
+      block_msgs_ = A_.plan->messages(sizeof(Scalar) * static_cast<double>(w));
+    }
+    xb_.scatter_owned(X, policy_);
+    la::halo_import(comm_, *A_.plan, block_msgs_, xb_);
+    la::dist_spmv_multi(comm_, A_, xb_, yb_, prof);
+    yb_.gather_owned(Y, policy_);
   }
 
  private:
@@ -83,6 +166,8 @@ class DistCsrOperator final : public LinearOperator<Scalar> {
   comm::Communicator& comm_;
   exec::ExecPolicy policy_;
   mutable la::DistVector<Scalar> x_, y_;
+  mutable la::DistMultiVector<Scalar> xb_, yb_;  ///< block-apply staging
+  mutable std::vector<comm::Message> block_msgs_;
   std::vector<comm::Message> halo_msgs_;  ///< cached off the hot path
 };
 

@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "krylov/block.hpp"
 #include "krylov/cg.hpp"
 #include "krylov/gmres.hpp"
 
@@ -56,6 +57,14 @@ struct KrylovOptions {
 
 /// A configured iterative method: solves A x = b with an optional right
 /// preconditioner (nullptr for none); x serves as initial guess and result.
+///
+/// INITIAL-GUESS CONTRACT (gmres and cg, enforced by both): an EMPTY `x`
+/// requests the zero initial guess; an `x` sized like the system is used as
+/// a WARM START (the solve continues from it, and the tolerance is relative
+/// to the residual AT that guess); any other size is an error.  The facade
+/// passes `x` through unchanged, so frosch::Solver::solve has the same
+/// semantics -- warm starts are what SolveSession amortizes across a stream
+/// of related right-hand sides.
 template <class Scalar>
 class KrylovSolver {
  public:
@@ -66,6 +75,15 @@ class KrylovSolver {
                             const LinearOperator<Scalar>* prec,
                             const std::vector<Scalar>& b,
                             std::vector<Scalar>& x) const = 0;
+
+  /// Batched multi-RHS solve (see krylov/block.hpp): B.size() systems in
+  /// lockstep with per-iteration reductions fused into one collective.
+  /// Column c of the result is bitwise identical to solve(A, prec, B[c],
+  /// X[c]) at every (ranks, threads) and any batch composition.
+  virtual BlockSolveResult solve_block(
+      const LinearOperator<Scalar>& A, const LinearOperator<Scalar>* prec,
+      const std::vector<std::vector<Scalar>>& B,
+      std::vector<std::vector<Scalar>>& X) const = 0;
 };
 
 template <class Scalar>
@@ -79,6 +97,12 @@ class GmresSolver final : public KrylovSolver<Scalar> {
                     const std::vector<Scalar>& b,
                     std::vector<Scalar>& x) const override {
     return gmres<Scalar>(A, prec, b, x, opts_.gmres_options());
+  }
+  BlockSolveResult solve_block(
+      const LinearOperator<Scalar>& A, const LinearOperator<Scalar>* prec,
+      const std::vector<std::vector<Scalar>>& B,
+      std::vector<std::vector<Scalar>>& X) const override {
+    return block_gmres<Scalar>(A, prec, B, X, opts_.gmres_options());
   }
 
  private:
@@ -96,6 +120,12 @@ class CgSolver final : public KrylovSolver<Scalar> {
                     const std::vector<Scalar>& b,
                     std::vector<Scalar>& x) const override {
     return cg<Scalar>(A, prec, b, x, opts_.cg_options());
+  }
+  BlockSolveResult solve_block(
+      const LinearOperator<Scalar>& A, const LinearOperator<Scalar>* prec,
+      const std::vector<std::vector<Scalar>>& B,
+      std::vector<std::vector<Scalar>>& X) const override {
+    return block_cg<Scalar>(A, prec, B, X, opts_.cg_options());
   }
 
  private:

@@ -1,0 +1,274 @@
+// Multi-column (block) extensions of the rank-sharded linear algebra in
+// la/dist.hpp -- the kernels behind the batched multi-RHS solve service:
+//
+//   DistMultiVector   per-rank packed storage of a WIDTH-column block over a
+//                     HaloPlan's local column spaces, column-major per rank.
+//   halo_import       block overload: ONE ghost exchange (one message per
+//                     transfer) moves every column's ghosts -- the payload
+//                     scales with the width, the message count does not.
+//   dist_spmv_multi   Y = A X for all columns in one pass over the matrix.
+//   dist_fused_dots   arbitrary list of dot products fused into ONE measured
+//                     all-reduce -- the kernel that lets a block Krylov
+//                     iteration perform a single collective for all columns.
+//
+// Determinism: each column's results are computed with exactly the kernels,
+// chunk grids, and summation orders of the single-vector path (dist.hpp /
+// vector_ops.hpp), so a width-1 block operation is bitwise identical to its
+// scalar twin, and a column's values never depend on which other columns
+// share the block (fused all-reduce slots fold independently).
+#pragma once
+
+#include "la/dist.hpp"
+
+namespace frosch::la {
+
+/// Per-rank packed block vector: `width` columns over the plan's local
+/// column spaces, column-major within each rank (column c of rank r starts
+/// at vals[r][c * cols[r].size()]).
+template <class Scalar>
+struct DistMultiVector {
+  const HaloPlan* plan = nullptr;
+  index_t width = 0;
+  std::vector<std::vector<Scalar>> vals;  ///< per rank, cols[r].size()*width
+
+  DistMultiVector() = default;
+  DistMultiVector(const HaloPlan& p, index_t w) { init(p, w); }
+
+  void init(const HaloPlan& p, index_t w) {
+    plan = &p;
+    width = w;
+    vals.assign(static_cast<size_t>(p.nranks), {});
+    for (int r = 0; r < p.nranks; ++r)
+      vals[static_cast<size_t>(r)].assign(
+          p.cols[static_cast<size_t>(r)].size() * static_cast<size_t>(w),
+          Scalar(0));
+  }
+
+  index_t local_len(int r) const {
+    return static_cast<index_t>(plan->cols[static_cast<size_t>(r)].size());
+  }
+
+  /// Copies each rank's OWNED entries of every column out of the replicated
+  /// global columns (bookkeeping, not communication).  Pointer-based so
+  /// solvers can hand in scattered columns without assembling a block.
+  void scatter_owned(const std::vector<const std::vector<Scalar>*>& X,
+                     const exec::ExecPolicy& policy = {}) {
+    FROSCH_CHECK(static_cast<index_t>(X.size()) == width,
+                 "DistMultiVector: scatter width mismatch");
+    exec::parallel_for(
+        policy, plan->nranks,
+        [&](index_t r) {
+          const auto& own = plan->owned[static_cast<size_t>(r)];
+          const auto& slot = plan->owned_slot[static_cast<size_t>(r)];
+          const size_t len = plan->cols[static_cast<size_t>(r)].size();
+          auto& v = vals[static_cast<size_t>(r)];
+          for (index_t c = 0; c < width; ++c) {
+            Scalar* vc = v.data() + static_cast<size_t>(c) * len;
+            const auto& xc = *X[static_cast<size_t>(c)];
+            for (size_t q = 0; q < own.size(); ++q) vc[slot[q]] = xc[own[q]];
+          }
+        },
+        /*grain=*/1);
+  }
+
+  void scatter_owned(const std::vector<std::vector<Scalar>>& X,
+                     const exec::ExecPolicy& policy = {}) {
+    std::vector<const std::vector<Scalar>*> xs(X.size());
+    for (size_t c = 0; c < X.size(); ++c) xs[c] = &X[c];
+    scatter_owned(xs, policy);
+  }
+
+  /// Writes each rank's OWNED entries of every column back into the
+  /// replicated global columns (disjoint writes).  Every target column must
+  /// be pre-sized to plan->n by the caller.
+  void gather_owned(const std::vector<std::vector<Scalar>*>& X,
+                    const exec::ExecPolicy& policy = {}) const {
+    FROSCH_CHECK(static_cast<index_t>(X.size()) == width,
+                 "DistMultiVector: gather width mismatch");
+    for (const auto* xc : X)
+      FROSCH_CHECK(static_cast<index_t>(xc->size()) == plan->n,
+                   "DistMultiVector: gather target not sized to plan->n");
+    exec::parallel_for(
+        policy, plan->nranks,
+        [&](index_t r) {
+          const auto& own = plan->owned[static_cast<size_t>(r)];
+          const auto& slot = plan->owned_slot[static_cast<size_t>(r)];
+          const size_t len = plan->cols[static_cast<size_t>(r)].size();
+          const auto& v = vals[static_cast<size_t>(r)];
+          for (index_t c = 0; c < width; ++c) {
+            const Scalar* vc = v.data() + static_cast<size_t>(c) * len;
+            auto& xc = *X[static_cast<size_t>(c)];
+            for (size_t q = 0; q < own.size(); ++q) xc[own[q]] = vc[slot[q]];
+          }
+        },
+        /*grain=*/1);
+  }
+
+  void gather_owned(std::vector<std::vector<Scalar>>& X,
+                    const exec::ExecPolicy& policy = {}) const {
+    for (auto& xc : X) xc.resize(static_cast<size_t>(plan->n));
+    std::vector<std::vector<Scalar>*> xs(X.size());
+    for (size_t c = 0; c < X.size(); ++c) xs[c] = &X[c];
+    gather_owned(xs, policy);
+  }
+};
+
+/// Block ghost exchange: ONE message per transfer carries every column's
+/// ghost entries.  `msgs` must be plan.messages(sizeof(Scalar) * width) --
+/// the width-scaled payload of the fused import (cache it on the hot path).
+template <class Scalar>
+void halo_import(comm::Communicator& comm, const HaloPlan& plan,
+                 const std::vector<comm::Message>& msgs,
+                 DistMultiVector<Scalar>& x) {
+  comm.exchange(msgs, [&](size_t m) {
+    const auto& t = plan.transfers[m];
+    const auto& src = x.vals[static_cast<size_t>(t.src)];
+    auto& dst = x.vals[static_cast<size_t>(t.dst)];
+    const size_t slen = plan.cols[static_cast<size_t>(t.src)].size();
+    const size_t dlen = plan.cols[static_cast<size_t>(t.dst)].size();
+    for (index_t c = 0; c < x.width; ++c) {
+      const Scalar* sc = src.data() + static_cast<size_t>(c) * slen;
+      Scalar* dc = dst.data() + static_cast<size_t>(c) * dlen;
+      for (size_t q = 0; q < t.ids.size(); ++q)
+        dc[t.dst_slots[q]] = sc[t.src_slots[q]];
+    }
+  });
+}
+
+/// Rank-sharded Y = A X over an ALREADY-IMPORTED block X: one pass over
+/// each rank's local matrix serves every column, so the matrix is streamed
+/// once per block application instead of once per column.  Each column's
+/// row sums use exactly dist_spmv's traversal order (bitwise identical to
+/// the single-vector kernel, column by column).
+template <class Scalar>
+void dist_spmv_multi(comm::Communicator& comm, const DistCsrMatrix<Scalar>& A,
+                     const DistMultiVector<Scalar>& x,
+                     DistMultiVector<Scalar>& y, OpProfile* prof = nullptr) {
+  const HaloPlan& plan = *A.plan;
+  const index_t w = x.width;
+  FROSCH_CHECK(y.width == w, "dist_spmv_multi: width mismatch");
+  auto local_profile = [w](const CsrMatrix<Scalar>& Al) {
+    OpProfile p;
+    p.flops = 2.0 * static_cast<double>(Al.num_entries()) *
+              static_cast<double>(w);
+    // The matrix is streamed ONCE for the whole block; the vectors w times.
+    p.bytes = Al.storage_bytes() +
+              static_cast<double>(Al.num_rows() + Al.num_cols()) *
+                  static_cast<double>(w) * sizeof(Scalar);
+    p.launches = 1;
+    p.critical_path = 1;
+    p.work_items = static_cast<double>(Al.num_rows()) * static_cast<double>(w);
+    return p;
+  };
+  const exec::ExecPolicy& pol = comm.policy();
+  const int R = comm.size();
+  index_t sub = 1;
+  if (pol.parallel() && R < pol.threads)
+    sub = (pol.threads + static_cast<index_t>(R) - 1) / R;
+  exec::parallel_for(
+      pol, static_cast<index_t>(R) * sub,
+      [&](index_t task) {
+        const size_t r = static_cast<size_t>(task / sub);
+        const auto& Al = A.local[r];
+        const auto& xl = x.vals[r];
+        auto& yl = y.vals[r];
+        const auto& slot = plan.owned_slot[r];
+        const size_t len = plan.cols[r].size();
+        const auto [b, e] = exec::chunk_range(Al.num_rows(), sub, task % sub);
+        for (index_t c = 0; c < w; ++c) {
+          const Scalar* xc = xl.data() + static_cast<size_t>(c) * len;
+          Scalar* yc = yl.data() + static_cast<size_t>(c) * len;
+          for (index_t i = b; i < e; ++i) {
+            Scalar sum(0);
+            for (index_t k = Al.row_begin(i); k < Al.row_end(i); ++k)
+              sum += Al.val(k) * xc[Al.col(k)];
+            yc[slot[i]] = sum;
+          }
+        }
+      },
+      /*grain=*/1);
+  for (int r = 0; r < R; ++r)
+    comm.prof(r) += local_profile(A.local[static_cast<size_t>(r)]);
+  if (prof) {
+    OpProfile agg;
+    for (const auto& Al : A.local) {
+      OpProfile p = local_profile(Al);
+      agg.flops += p.flops;
+      agg.bytes += p.bytes;
+      agg.work_items += p.work_items;
+    }
+    agg.launches = 1;
+    agg.critical_path = 1;
+    *prof += agg;
+  }
+}
+
+/// One dot product x . y inside a fused batch.
+template <class Scalar>
+struct DotJob {
+  const std::vector<Scalar>* x = nullptr;
+  const std::vector<Scalar>* y = nullptr;
+};
+
+/// Fused batched dot products: every job's chunk partials are computed with
+/// the problem-size-only chunk grid and ALL jobs travel in ONE measured
+/// all-reduce (inactive context: folded locally in chunk order).  Job j's
+/// result depends only on job j's vectors -- the slot-ordered fold keeps
+/// each output bitwise identical to a solo dist_dot / dist_multi_dot of the
+/// same vectors, which is what makes block-width-1 Krylov solves bitwise
+/// identical to the single-vector path.
+template <class Scalar>
+void dist_fused_dots(const DistContext& d,
+                     const std::vector<DotJob<Scalar>>& jobs,
+                     std::vector<Scalar>& out, OpProfile* prof = nullptr,
+                     const exec::ExecPolicy& policy = {}) {
+  const size_t K = jobs.size();
+  out.assign(K, Scalar(0));
+  if (K == 0) return;
+  const index_t n = static_cast<index_t>(jobs[0].x->size());
+  for (const auto& jb : jobs) {
+    (void)jb;
+    FROSCH_ASSERT(static_cast<index_t>(jb.x->size()) == n &&
+                      static_cast<index_t>(jb.y->size()) == n,
+                  "dist_fused_dots: size mismatch");
+  }
+  const index_t nc = exec::chunk_count(n);
+  std::vector<Scalar> partial(static_cast<size_t>(nc) * K, Scalar(0));
+  exec::parallel_for(
+      policy, nc,
+      [&](index_t c) {
+        Scalar* pc = partial.data() + static_cast<size_t>(c) * K;
+        const auto [b, e] = exec::chunk_range(n, nc, c);
+        for (size_t j = 0; j < K; ++j) {
+          const Scalar* xj = jobs[j].x->data();
+          const Scalar* yj = jobs[j].y->data();
+          Scalar s(0);
+          for (index_t i = b; i < e; ++i) s += xj[i] * yj[i];
+          pc[j] = s;
+        }
+      },
+      /*grain=*/1);
+  if (d.active()) {
+    d.comm->allreduce_slots(partial.data(), nc, static_cast<int>(K),
+                            out.data());
+    detail::attribute_elementwise(d, 2.0 * static_cast<double>(K),
+                                  2.0 * static_cast<double>(K),
+                                  sizeof(Scalar));
+  } else {
+    // Shared-memory fold: chunk order, exactly la::dot / la::multi_dot.
+    for (index_t c = 0; c < nc; ++c)
+      for (size_t j = 0; j < K; ++j)
+        out[j] += partial[static_cast<size_t>(c) * K + j];
+  }
+  if (prof) {
+    prof->flops += 2.0 * static_cast<double>(K) * static_cast<double>(n);
+    prof->bytes +=
+        2.0 * static_cast<double>(K) * static_cast<double>(n) * sizeof(Scalar);
+    prof->launches += 1;
+    prof->critical_path += 1;
+    prof->work_items += static_cast<double>(n);
+    prof->reductions += 1;  // the whole batch travels in ONE all-reduce
+  }
+}
+
+}  // namespace frosch::la

@@ -39,6 +39,8 @@ SolverConfig SolverConfig::from_parameters(const ParameterList& p,
   read_int(p, "num-parts", c.num_parts);
   read_int(p, "ranks", c.ranks);
   read_int(p, "threads", c.threads);
+  read_int(p, "block-size", c.block_size);
+  read_int(p, "batch", c.batch);
 
   // Krylov side.
   read_enum(p, "solver", c.krylov.method);
@@ -90,6 +92,11 @@ SolverConfig SolverConfig::from_parameters(const ParameterList& p,
   FROSCH_CHECK(c.ranks >= 0,
                "SolverConfig: ranks must be non-negative (0 = one per part)");
   FROSCH_CHECK(c.threads > 0, "SolverConfig: threads must be positive");
+  FROSCH_CHECK(c.block_size > 0,
+               "SolverConfig: block-size must be positive");
+  FROSCH_CHECK(c.batch >= 0,
+               "SolverConfig: batch must be non-negative (0 = explicit "
+               "flush only)");
   FROSCH_CHECK(c.schwarz.overlap >= 0,
                "SolverConfig: overlap must be non-negative");
   FROSCH_CHECK(c.schwarz.subdomain.ilu_level >= 0,
@@ -116,6 +123,10 @@ std::vector<SolverConfig::ParameterDoc> SolverConfig::parameter_docs() {
       {"ranks", "int",
        "virtual distributed-memory ranks (0 = one per subdomain)"},
       {"threads", "int", "exec-layer thread count (1 = serial)"},
+      {"block-size", "int",
+       "multi-RHS block width of SolveSession batched solves"},
+      {"batch", "int",
+       "SolveSession auto-flush threshold (0 = explicit flush only)"},
       {"solver", enum_names<KrylovMethod>(), "Krylov method"},
       {"ortho", enum_names<OrthoKind>(), "GMRES orthogonalization"},
       {"restart", "int", "GMRES cycle length"},

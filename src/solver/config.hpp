@@ -39,6 +39,17 @@ struct SolverConfig {
   /// --threads flag.
   index_t threads = 1;
 
+  /// Width of one block solve: SolveSession (and Solver::solve_batch via
+  /// the session) splits a batch of right-hand sides into blocks of at most
+  /// this many columns, each block solved in lockstep with its reductions
+  /// fused into one collective per iteration (the "block-size" key).
+  index_t block_size = 4;
+
+  /// SolveSession auto-flush threshold: enqueue() triggers a flush once
+  /// this many right-hand sides are pending; 0 (default) means batches are
+  /// solved only on an explicit flush() (the "batch" key).
+  index_t batch = 0;
+
   dd::SchwarzConfig schwarz;
   krylov::KrylovOptions krylov;
 

@@ -1,0 +1,72 @@
+#include "solver/session.hpp"
+
+#include "common/error.hpp"
+
+namespace frosch {
+
+SolveSession::SolveSession(Solver& solver)
+    : solver_(solver),
+      block_size_(solver.config().block_size),
+      batch_(solver.config().batch) {
+  FROSCH_CHECK(block_size_ > 0, "SolveSession: block-size must be positive");
+  FROSCH_CHECK(batch_ >= 0, "SolveSession: batch must be non-negative");
+}
+
+size_t SolveSession::enqueue(std::vector<double> b) {
+  return enqueue(std::move(b), {});
+}
+
+size_t SolveSession::enqueue(std::vector<double> b, std::vector<double> x0) {
+  Item it;
+  it.b = std::move(b);
+  it.x = std::move(x0);
+  items_.push_back(std::move(it));
+  const size_t ticket = items_.size() - 1;
+  if (batch_ > 0 && pending() >= static_cast<size_t>(batch_)) flush();
+  return ticket;
+}
+
+void SolveSession::flush() {
+  while (next_ < items_.size()) {
+    const size_t w = std::min(static_cast<size_t>(block_size_),
+                              items_.size() - next_);
+    std::vector<std::vector<double>> B(w), X(w);
+    for (size_t c = 0; c < w; ++c) {
+      B[c] = std::move(items_[next_ + c].b);
+      X[c] = std::move(items_[next_ + c].x);
+    }
+    auto reps = solver_.solve_batch(B, X);
+    for (size_t c = 0; c < w; ++c) {
+      auto& it = items_[next_ + c];
+      it.b = std::move(B[c]);
+      it.x = std::move(X[c]);
+      it.rep = std::move(reps[c]);
+      it.solved = true;
+    }
+    next_ += w;
+  }
+}
+
+const std::vector<double>& SolveSession::solution(size_t ticket) const {
+  FROSCH_CHECK(ticket < items_.size(),
+               "SolveSession: ticket " << ticket << " out of range");
+  FROSCH_CHECK(items_[ticket].solved,
+               "SolveSession: ticket " << ticket << " not flushed yet");
+  return items_[ticket].x;
+}
+
+const SolveReport& SolveSession::report(size_t ticket) const {
+  FROSCH_CHECK(ticket < items_.size(),
+               "SolveSession: ticket " << ticket << " out of range");
+  FROSCH_CHECK(items_[ticket].solved,
+               "SolveSession: ticket " << ticket << " not flushed yet");
+  return items_[ticket].rep;
+}
+
+bool SolveSession::solved(size_t ticket) const {
+  FROSCH_CHECK(ticket < items_.size(),
+               "SolveSession: ticket " << ticket << " out of range");
+  return items_[ticket].solved;
+}
+
+}  // namespace frosch

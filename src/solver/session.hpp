@@ -1,0 +1,78 @@
+// frosch::SolveSession -- the batched multi-RHS solve service.  One setup
+// (decomposition, factorizations, coarse space, halo plan) is amortized
+// over a STREAM of right-hand sides:
+//
+//   frosch::Solver solver(params);        // "block-size" / "batch" keys
+//   solver.setup(A, Z);
+//   frosch::SolveSession session(solver);
+//   auto t0 = session.enqueue(b0);        // tickets index results
+//   auto t1 = session.enqueue(b1, x1_guess);   // optional warm start
+//   ...
+//   session.flush();                      // solve everything pending
+//   session.solution(t0); session.report(t0);  // per-rhs results
+//
+// flush() splits the pending right-hand sides into blocks of at most
+// `block-size` columns and drives Solver::solve_batch on each: the block's
+// columns advance in LOCKSTEP, one fused collective per block iteration
+// carrying every column's reduction slots, one ghost import per block
+// operator application, and converged columns DEFLATING out of the
+// lockstep while the rest continue.  When the config's `batch` key is
+// positive, enqueue() auto-flushes whenever that many rhs are pending.
+//
+// Determinism: a ticket's solution, iteration count, and residual history
+// are bitwise identical to a solo Solver::solve() of the same rhs -- at
+// every block size, batch composition, and (ranks, threads) combination
+// (fused all-reduce slots fold independently; see krylov/block.hpp).  The
+// per-ticket report's measured profile fields cover the whole block the
+// ticket was solved in (shared across its block's tickets).
+#pragma once
+
+#include <vector>
+
+#include "solver/solver.hpp"
+
+namespace frosch {
+
+class SolveSession {
+ public:
+  /// Binds the session to a set-up solver; block width and auto-flush
+  /// threshold come from solver.config() (block_size / batch).  The solver
+  /// must outlive the session and stay set up while it is used.
+  explicit SolveSession(Solver& solver);
+
+  /// Queue one rhs for the next flush; returns the ticket that indexes its
+  /// solution and report.  The optional x0 is a warm start under the
+  /// initial-guess contract (empty = zero guess).  Auto-flushes when the
+  /// config's `batch` threshold is reached.
+  size_t enqueue(std::vector<double> b);
+  size_t enqueue(std::vector<double> b, std::vector<double> x0);
+
+  /// Solves every pending rhs in blocks of at most block_size columns.
+  /// No-op when nothing is pending.
+  void flush();
+
+  size_t pending() const { return items_.size() - next_; }
+  size_t size() const { return items_.size(); }
+  index_t block_size() const { return block_size_; }
+
+  /// Results by ticket; both require the ticket's batch to have been
+  /// flushed.
+  const std::vector<double>& solution(size_t ticket) const;
+  const SolveReport& report(size_t ticket) const;
+  bool solved(size_t ticket) const;
+
+ private:
+  struct Item {
+    std::vector<double> b, x;
+    SolveReport rep;
+    bool solved = false;
+  };
+
+  Solver& solver_;
+  index_t block_size_;
+  index_t batch_;
+  std::vector<Item> items_;
+  size_t next_ = 0;  ///< first unsolved ticket
+};
+
+}  // namespace frosch

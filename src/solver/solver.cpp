@@ -121,37 +121,18 @@ void Solver::setup(const la::CsrMatrix<double>& A,
   setup_phases(Z);
 }
 
-SolveReport Solver::solve(const std::vector<double>& b,
-                          std::vector<double>& x) {
-  FROSCH_CHECK(setup_done_, "Solver: setup() before solve()");
-  // The rank-sharded operator: every application performs the measured
-  // ghost import and the per-rank local SpMVs (bitwise identical to the
-  // global CsrOperator at every rank count).
-  krylov::DistCsrOperator<double> op(dist_A_, *comm_, cfg_.krylov.exec);
-
-  // The preconditioner and the communicator accumulate their solve-phase
-  // profiles across apply() calls; snapshot both so the report stays
-  // PER-SOLVE even when solve() is called repeatedly on one setup.
-  const dd::SchwarzProfiles* sp = prec_ ? prec_->schwarz_profiles() : nullptr;
-  dd::SchwarzProfiles before;
-  if (sp) before = *sp;
-  const std::vector<OpProfile> comm_before = comm_->rank_profiles();
-
-  Timer t;
-  auto sr = krylov_->solve(op, prec_.get(), b, x);
-
+SolveReport Solver::finish_report(const OpProfile& solver_prof,
+                                  const std::vector<OpProfile>& comm_before,
+                                  const dd::SchwarzProfiles* sp,
+                                  const dd::SchwarzProfiles& before,
+                                  double wall_s) {
   SolveReport rep;
-  rep.converged = sr.converged;
-  rep.iterations = sr.iterations;
-  rep.initial_residual = sr.initial_residual;
-  rep.final_residual = sr.final_residual;
-  rep.residual_history = std::move(sr.residual_history);
   rep.threads = cfg_.threads;
   rep.ranks = static_cast<index_t>(comm_->size());
   rep.wall_symbolic_s = wall_symbolic_s_;
   rep.wall_numeric_s = wall_numeric_s_;
-  rep.wall_solve_s = t.seconds();
-  rep.krylov = sr.profile;
+  rep.wall_solve_s = wall_s;
+  rep.krylov = solver_prof;
   rep.rank_setup_comm = setup_comm_;
   // This solve's measured per-rank runtime profile: Krylov compute shares
   // plus every communication event (all-reduces, halos, coarse
@@ -190,8 +171,74 @@ SolveReport Solver::solve(const std::vector<double>& b,
                               ? maxw / (sum / static_cast<double>(R))
                               : 1.0;
   }
+  return rep;
+}
+
+SolveReport Solver::solve(const std::vector<double>& b,
+                          std::vector<double>& x) {
+  FROSCH_CHECK(setup_done_, "Solver: setup() before solve()");
+  // The rank-sharded operator: every application performs the measured
+  // ghost import and the per-rank local SpMVs (bitwise identical to the
+  // global CsrOperator at every rank count).
+  krylov::DistCsrOperator<double> op(dist_A_, *comm_, cfg_.krylov.exec);
+
+  // The preconditioner and the communicator accumulate their solve-phase
+  // profiles across apply() calls; snapshot both so the report stays
+  // PER-SOLVE even when solve() is called repeatedly on one setup.
+  const dd::SchwarzProfiles* sp = prec_ ? prec_->schwarz_profiles() : nullptr;
+  dd::SchwarzProfiles before;
+  if (sp) before = *sp;
+  const std::vector<OpProfile> comm_before = comm_->rank_profiles();
+
+  Timer t;
+  auto sr = krylov_->solve(op, prec_.get(), b, x);
+
+  SolveReport rep = finish_report(sr.profile, comm_before, sp, before,
+                                  t.seconds());
+  rep.converged = sr.converged;
+  rep.iterations = sr.iterations;
+  rep.initial_residual = sr.initial_residual;
+  rep.final_residual = sr.final_residual;
+  rep.residual_history = std::move(sr.residual_history);
   report_ = rep;
   return rep;
+}
+
+std::vector<SolveReport> Solver::solve_batch(
+    const std::vector<std::vector<double>>& B,
+    std::vector<std::vector<double>>& X) {
+  FROSCH_CHECK(setup_done_, "Solver: setup() before solve_batch()");
+  std::vector<SolveReport> reps;
+  if (B.empty()) {
+    X.clear();
+    return reps;
+  }
+  krylov::DistCsrOperator<double> op(dist_A_, *comm_, cfg_.krylov.exec);
+
+  const dd::SchwarzProfiles* sp = prec_ ? prec_->schwarz_profiles() : nullptr;
+  dd::SchwarzProfiles before;
+  if (sp) before = *sp;
+  const std::vector<OpProfile> comm_before = comm_->rank_profiles();
+
+  Timer t;
+  auto br = krylov_->solve_block(op, prec_.get(), B, X);
+
+  // Measured profiles cover the WHOLE batch (fused block operations are
+  // not separable per column) and are shared by every report; the
+  // per-column convergence data match solo solve() calls bitwise.
+  const SolveReport shared = finish_report(br.profile, comm_before, sp,
+                                           before, t.seconds());
+  reps.assign(B.size(), shared);
+  for (size_t c = 0; c < B.size(); ++c) {
+    const auto& sr = br.columns[c];
+    reps[c].converged = sr.converged;
+    reps[c].iterations = sr.iterations;
+    reps[c].initial_residual = sr.initial_residual;
+    reps[c].final_residual = sr.final_residual;
+    reps[c].residual_history = sr.residual_history;
+  }
+  report_ = reps.back();
+  return reps;
 }
 
 index_t Solver::coarse_dim() const {

@@ -95,6 +95,20 @@ class Solver {
   /// storing, see report() -- the consolidated report.
   SolveReport solve(const std::vector<double>& b, std::vector<double>& x);
 
+  /// Batched multi-RHS solve over one setup: all columns advance in
+  /// lockstep with their per-iteration reductions fused into ONE measured
+  /// collective (krylov/block.hpp), converged columns deflating out.  Each
+  /// column's solution, iteration count, and residual history are bitwise
+  /// identical to a solve() of that rhs alone.  One report per rhs; the
+  /// measured profile fields (krylov, schwarz, rank_krylov, wall_solve_s,
+  /// solve_imbalance) cover the WHOLE batch and are shared by every
+  /// returned report -- fused block operations are not separable per
+  /// column.  X may be empty (zero guesses) or hold per-column warm
+  /// starts under the initial-guess contract.
+  std::vector<SolveReport> solve_batch(
+      const std::vector<std::vector<double>>& B,
+      std::vector<std::vector<double>>& X);
+
   /// The report of the most recent solve().
   const SolveReport& report() const { return report_; }
 
@@ -112,6 +126,13 @@ class Solver {
 
  private:
   void setup_phases(const la::DenseMatrix<double>& Z);
+  /// Assembles the shared (whole-solve or whole-batch) report fields from
+  /// the snapshot deltas; per-column convergence fields are filled by the
+  /// callers.
+  SolveReport finish_report(const OpProfile& solver_prof,
+                            const std::vector<OpProfile>& comm_before,
+                            const dd::SchwarzProfiles* sp,
+                            const dd::SchwarzProfiles& before, double wall_s);
 
   SolverConfig cfg_;
   la::CsrMatrix<double> A_;

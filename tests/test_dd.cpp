@@ -322,7 +322,8 @@ TEST(Schwarz, ApplyIsLinear) {
     u[i] = std::sin(0.1 * i);
     v[i] = std::cos(0.2 * i);
   }
-  std::vector<double> Mu, Mv, Muv, upv(static_cast<size_t>(n));
+  std::vector<double> Mu(static_cast<size_t>(n)), Mv(static_cast<size_t>(n)),
+      Muv(static_cast<size_t>(n)), upv(static_cast<size_t>(n));
   for (index_t i = 0; i < n; ++i) upv[i] = 2.0 * u[i] - 3.0 * v[i];
   prec.apply(u, Mu, nullptr);
   prec.apply(v, Mv, nullptr);
@@ -363,7 +364,7 @@ TEST(Schwarz, PhaseOrderingIsEnforced) {
   auto d = build_decomposition(p.A, p.owner, p.num_parts, 1);
   SchwarzConfig cfg;
   SchwarzPreconditioner<double> prec(cfg, d);
-  std::vector<double> x(p.A.num_rows(), 1.0), y;
+  std::vector<double> x(p.A.num_rows(), 1.0), y(p.A.num_rows());
   EXPECT_THROW(prec.numeric_setup(p.A, p.Z), Error);  // symbolic first
   prec.symbolic_setup(p.A);
   EXPECT_THROW(prec.apply(x, y, nullptr), Error);  // numeric first
@@ -422,10 +423,10 @@ TEST(HalfPrecision, CastOverheadIsRecorded) {
   prec.symbolic_setup(Af);
   prec.numeric_setup(Af, p.Z);
   HalfPrecisionOperator<double, float> half(prec);
-  std::vector<double> x(p.A.num_rows(), 1.0), y;
+  std::vector<double> x(p.A.num_rows(), 1.0), y(p.A.num_rows());
   OpProfile with_cast, bare;
   half.apply(x, y, &with_cast);
-  std::vector<float> xf(x.begin(), x.end()), yf;
+  std::vector<float> xf(x.begin(), x.end()), yf(p.A.num_rows());
   prec.apply(xf, yf, &bare);
   EXPECT_GT(with_cast.bytes, bare.bytes);  // the type-cast traffic
   EXPECT_EQ(with_cast.launches, bare.launches + 2);
@@ -465,7 +466,8 @@ TEST(ParallelSchwarz, ThreadedSetupAndApplyMatchSerial) {
   prec.numeric_setup(p.A, p.Z);
 
   EXPECT_EQ(prec.coarse_dim(), serial_prec.coarse_dim());
-  std::vector<double> x(p.A.num_rows(), 1.0), y, y_serial;
+  std::vector<double> x(p.A.num_rows(), 1.0), y(p.A.num_rows()),
+      y_serial(p.A.num_rows());
   serial_prec.apply(x, y_serial, nullptr);
   prec.apply(x, y, nullptr);
   ASSERT_EQ(y.size(), y_serial.size());

@@ -295,7 +295,7 @@ TEST_P(FacadeThreads, SchwarzApplyMatchesSerial) {
 
   EXPECT_EQ(prec.coarse_dim(), serial_prec.coarse_dim());
   auto x = random_vector(p.A.num_rows(), 21);
-  std::vector<double> y_serial, y;
+  std::vector<double> y_serial(x.size()), y(x.size());
   serial_prec.apply(x, y_serial, nullptr);
   prec.apply(x, y, nullptr);
   ASSERT_EQ(y.size(), y_serial.size());

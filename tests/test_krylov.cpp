@@ -4,6 +4,7 @@
 
 #include "direct/multifrontal.hpp"
 #include "ilu/iluk.hpp"
+#include "krylov/block.hpp"
 #include "krylov/cg.hpp"
 #include "krylov/gmres.hpp"
 #include "la/ops.hpp"
@@ -28,8 +29,10 @@ class DirectPrec final : public LinearOperator<double> {
   }
   index_t rows() const override { return n_; }
   index_t cols() const override { return n_; }
-  void apply(const std::vector<double>& x, std::vector<double>& y,
-             OpProfile* prof) const override {
+
+ protected:
+  void apply_impl(const std::vector<double>& x, std::vector<double>& y,
+                  OpProfile* prof) const override {
     engine_.solve(x, y, prof);
   }
 
@@ -82,6 +85,72 @@ TEST(Gmres, RespectsZeroInitialResidual) {
   for (double v : x) EXPECT_EQ(v, 0.0);
 }
 
+/// A matrix whose leading 3x3 block maps coordinate vectors to exact
+/// (dyadic) combinations of coordinate vectors, diagonal elsewhere:
+///   A e0 = e0 + 2 e1,  A e1 = e1 + 2 e2,  A e2 = e0 + e2.
+/// With b = e0 the Arnoldi basis is exactly {e0, e1, e2} and the
+/// orthogonalization at step j=2 cancels w to EXACTLY zero -- a mid-cycle
+/// breakdown with two accumulated Givens rotations, in every ortho variant.
+la::CsrMatrix<double> invariant_subspace_matrix(index_t n) {
+  la::TripletBuilder<double> bb(n, n);
+  bb.add(0, 0, 1.0);
+  bb.add(0, 2, 1.0);
+  bb.add(1, 0, 2.0);
+  bb.add(1, 1, 1.0);
+  bb.add(2, 1, 2.0);
+  bb.add(2, 2, 1.0);
+  for (index_t i = 3; i < n; ++i) bb.add(i, i, double(i + 1));
+  return bb.build();
+}
+
+class BreakdownVariants : public ::testing::TestWithParam<OrthoKind> {};
+
+TEST_P(BreakdownVariants, MidCycleBreakdownYieldsExactSolution) {
+  // Regression for the breakdown-path Givens corruption: the final
+  // Hessenberg column used to enter the least-squares solve UNROTATED while
+  // g lives in the rotated basis, so the x update after a breakdown at
+  // j >= 1 was wrong and only repeated restarts papered over it.  The fix
+  // must deliver the exact solution within the first cycle: 3 iterations,
+  // true residual at rounding level.
+  auto A = invariant_subspace_matrix(8);
+  CsrOperator<double> op(A);
+  std::vector<double> b(8, 0.0);
+  b[0] = 1.0;
+  GmresOptions opts;
+  opts.ortho = GetParam();
+  std::vector<double> x;
+  auto res = gmres<double>(op, nullptr, b, x, opts);
+  EXPECT_TRUE(res.converged);
+  // The breakdown ends the first cycle after exactly 3 Arnoldi steps; any
+  // further iteration means the post-breakdown update was not exact.
+  EXPECT_EQ(res.iterations, 3);
+  EXPECT_LE(la::residual_norm(A, x, b), 1e-12 * res.initial_residual);
+  // The invariant-subspace solution: x = (0.2, -0.4, 0.8, 0, ...).
+  EXPECT_NEAR(x[0], 0.2, 1e-12);
+  EXPECT_NEAR(x[1], -0.4, 1e-12);
+  EXPECT_NEAR(x[2], 0.8, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, BreakdownVariants,
+                         ::testing::Values(OrthoKind::MGS, OrthoKind::CGS2,
+                                           OrthoKind::SingleReduce));
+
+TEST(Gmres, FirstIterationBreakdownOnEigenvectorRhs) {
+  // Breakdown at j=0 (no accumulated rotations): rhs is an eigenvector.
+  la::TripletBuilder<double> bb(6, 6);
+  for (index_t i = 0; i < 6; ++i) bb.add(i, i, double(i + 2));
+  auto A = bb.build();
+  CsrOperator<double> op(A);
+  std::vector<double> b(6, 0.0);
+  b[0] = 4.0;  // power of two: V[0] = e0 exactly
+  std::vector<double> x;
+  auto res = gmres<double>(op, nullptr, b, x);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 1);
+  EXPECT_NEAR(x[0], 2.0, 1e-14);
+  EXPECT_LE(la::residual_norm(A, x, b), 1e-13 * res.initial_residual);
+}
+
 TEST(Gmres, RestartLimitsBasisSize) {
   // With restart=5 on a problem needing more iterations, the solver must
   // still converge through multiple cycles.
@@ -95,6 +164,90 @@ TEST(Gmres, RestartLimitsBasisSize) {
   EXPECT_TRUE(res.converged);
   EXPECT_GT(res.iterations, 5);
   EXPECT_LT(la::residual_norm(A, x, b), 1e-6 * res.initial_residual);
+}
+
+// ---------------------------------------------------------------------------
+// Initial-guess contract: empty x = zero guess, system-sized x = warm start,
+// anything else = error (see krylov/solver.hpp).
+
+TEST(Gmres, WarmStartContinuesFromCallerIterate) {
+  auto A = laplace2d(12, 12);
+  CsrOperator<double> op(A);
+  auto b = random_vector(A.num_rows(), 14);
+  GmresOptions part;
+  part.max_iters = 4;
+  std::vector<double> x;
+  auto partial = gmres<double>(op, nullptr, b, x, part);
+  ASSERT_FALSE(partial.converged);
+  // A warm-started solve must pick up EXACTLY where the partial solve left
+  // off: its initial residual is the partial solve's true final residual,
+  // bitwise (same operator, same kernels, same summation order).
+  std::vector<double> xw = x;
+  auto warm = gmres<double>(op, nullptr, b, xw);
+  EXPECT_EQ(warm.initial_residual, partial.final_residual);
+  EXPECT_TRUE(warm.converged);
+  EXPECT_LT(la::residual_norm(A, xw, b), 1e-6 * partial.initial_residual);
+}
+
+TEST(Gmres, WarmStartAtExactSolutionTakesZeroIterations) {
+  auto A = laplace2d(10, 10);
+  CsrOperator<double> op(A);
+  auto xref = random_vector(A.num_rows(), 15);
+  std::vector<double> b;
+  la::spmv(A, xref, b);
+  // b was produced by the same deterministic SpMV the solver applies, so
+  // the warm-start residual is exactly zero.
+  std::vector<double> x = xref;
+  auto res = gmres<double>(op, nullptr, b, x);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 0);
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_EQ(x[i], xref[i]);
+}
+
+TEST(Gmres, EmptyGuessMatchesExplicitZeroGuessBitwise) {
+  auto A = laplace2d(9, 9);
+  CsrOperator<double> op(A);
+  auto b = random_vector(A.num_rows(), 16);
+  std::vector<double> x_empty;
+  auto r1 = gmres<double>(op, nullptr, b, x_empty);
+  std::vector<double> x_zero(b.size(), 0.0);
+  auto r2 = gmres<double>(op, nullptr, b, x_zero);
+  EXPECT_EQ(r1.iterations, r2.iterations);
+  ASSERT_EQ(r1.residual_history.size(), r2.residual_history.size());
+  for (size_t i = 0; i < r1.residual_history.size(); ++i)
+    EXPECT_EQ(r1.residual_history[i], r2.residual_history[i]);
+  for (size_t i = 0; i < x_empty.size(); ++i)
+    EXPECT_EQ(x_empty[i], x_zero[i]);
+}
+
+TEST(Gmres, RejectsWrongSizedInitialGuess) {
+  auto A = laplace2d(4, 4);
+  CsrOperator<double> op(A);
+  std::vector<double> b(16, 1.0);
+  std::vector<double> x(7, 0.0);  // neither empty nor n
+  EXPECT_THROW(gmres<double>(op, nullptr, b, x), Error);
+}
+
+TEST(Cg, WarmStartContractMatchesGmres) {
+  auto A = laplace2d(10, 10);
+  CsrOperator<double> op(A);
+  auto xref = random_vector(A.num_rows(), 17);
+  std::vector<double> b;
+  la::spmv(A, xref, b);
+  std::vector<double> x = xref;
+  auto res = cg<double>(op, nullptr, b, x);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 0);
+  std::vector<double> bad(5, 0.0);
+  EXPECT_THROW(cg<double>(op, nullptr, b, bad), Error);
+  // Partial solve + warm continuation, as for GMRES.
+  CgOptions part;
+  part.max_iters = 4;
+  std::vector<double> xp;
+  auto partial = cg<double>(op, nullptr, b, xp, part);
+  ASSERT_FALSE(partial.converged);
+  auto warm = cg<double>(op, nullptr, b, xp);
+  EXPECT_TRUE(warm.converged);
 }
 
 class OrthoVariants : public ::testing::TestWithParam<OrthoKind> {};
@@ -172,8 +325,8 @@ TEST(Gmres, IlukPreconditionerCutsIterations) {
     index_t n;
     index_t rows() const override { return n; }
     index_t cols() const override { return n; }
-    void apply(const std::vector<double>& x, std::vector<double>& y,
-               OpProfile* prof) const override {
+    void apply_impl(const std::vector<double>& x, std::vector<double>& y,
+                    OpProfile* prof) const override {
       e->solve(x, y, prof);
     }
   } prec;
@@ -260,6 +413,127 @@ TEST(Gmres, FloatInstantiationConverges) {
   opts.tol = 1e-5;
   auto res = gmres<float>(op, nullptr, b, x, opts);
   EXPECT_TRUE(res.converged);
+}
+
+// ---------------------------------------------------------------------------
+// Batched block solvers (krylov/block.hpp): column-vs-solo bitwise identity,
+// deflation of early finishers (including breakdown columns), contracts.
+
+void expect_column_matches_solo(const SolveResult& solo,
+                                const std::vector<double>& x_solo,
+                                const SolveResult& col,
+                                const std::vector<double>& x_col,
+                                const std::string& what) {
+  EXPECT_EQ(col.converged, solo.converged) << what;
+  EXPECT_EQ(col.iterations, solo.iterations) << what;
+  ASSERT_EQ(col.residual_history.size(), solo.residual_history.size()) << what;
+  for (size_t i = 0; i < solo.residual_history.size(); ++i)
+    EXPECT_EQ(col.residual_history[i], solo.residual_history[i])
+        << what << " history[" << i << "]";
+  ASSERT_EQ(x_col.size(), x_solo.size()) << what;
+  for (size_t i = 0; i < x_solo.size(); ++i)
+    EXPECT_EQ(x_col[i], x_solo[i]) << what << " x[" << i << "]";
+}
+
+TEST(BlockGmres, ColumnsMatchSoloSolvesWithPreconditioner) {
+  auto A = laplace2d(14, 14);
+  CsrOperator<double> op(A);
+  DirectPrec prec(A);
+  const size_t w = 3;
+  std::vector<std::vector<double>> B(w);
+  for (size_t c = 0; c < w; ++c)
+    B[c] = random_vector(A.num_rows(), static_cast<unsigned>(31 + c));
+  std::vector<std::vector<double>> solo_x(w);
+  std::vector<SolveResult> solo(w);
+  for (size_t c = 0; c < w; ++c)
+    solo[c] = gmres<double>(op, &prec, B[c], solo_x[c]);
+  std::vector<std::vector<double>> X;
+  auto br = block_gmres<double>(op, &prec, B, X);
+  ASSERT_EQ(br.columns.size(), w);
+  EXPECT_TRUE(br.all_converged());
+  for (size_t c = 0; c < w; ++c)
+    expect_column_matches_solo(solo[c], solo_x[c], br.columns[c], X[c],
+                               "gmres column " + std::to_string(c));
+}
+
+TEST(BlockGmres, BreakdownColumnDeflatesOthersContinue) {
+  // Column 0 breaks down exactly (rhs spans a 3-dim invariant subspace,
+  // see MidCycleBreakdownYieldsExactSolution) and deflates after 3
+  // iterations; column 1 is a general rhs that keeps iterating.  Both must
+  // reproduce their solo trajectories bit for bit.
+  auto A = invariant_subspace_matrix(8);
+  CsrOperator<double> op(A);
+  std::vector<std::vector<double>> B(2);
+  B[0].assign(8, 0.0);
+  B[0][0] = 1.0;
+  B[1] = random_vector(8, 7);
+  std::vector<std::vector<double>> solo_x(2);
+  std::vector<SolveResult> solo(2);
+  for (size_t c = 0; c < 2; ++c)
+    solo[c] = gmres<double>(op, nullptr, B[c], solo_x[c]);
+  ASSERT_EQ(solo[0].iterations, 3);  // the breakdown path
+  std::vector<std::vector<double>> X;
+  auto br = block_gmres<double>(op, nullptr, B, X);
+  EXPECT_TRUE(br.all_converged());
+  for (size_t c = 0; c < 2; ++c)
+    expect_column_matches_solo(solo[c], solo_x[c], br.columns[c], X[c],
+                               "breakdown batch column " + std::to_string(c));
+}
+
+TEST(BlockGmres, HonorsPerColumnInitialGuessContract) {
+  auto A = laplace2d(10, 10);
+  CsrOperator<double> op(A);
+  const index_t n = A.num_rows();
+  std::vector<double> xref = random_vector(n, 3);
+  std::vector<double> b(static_cast<size_t>(n));
+  la::spmv(A, xref, b, 1.0, 0.0, nullptr, {});
+  // Column 0: warm start at the exact solution (0 iterations); column 1:
+  // zero guess on the same rhs (works for the solution).
+  std::vector<std::vector<double>> B{b, b};
+  std::vector<std::vector<double>> X{xref, {}};
+  auto br = block_gmres<double>(op, nullptr, B, X);
+  EXPECT_TRUE(br.all_converged());
+  EXPECT_EQ(br.columns[0].iterations, 0);
+  EXPECT_GT(br.columns[1].iterations, 0);
+  for (size_t i = 0; i < xref.size(); ++i)
+    EXPECT_EQ(X[0][i], xref[i]) << "warm-start column must stay untouched";
+  // A wrong-sized column is a caller bug.
+  std::vector<std::vector<double>> Xbad{std::vector<double>(7, 0.0), {}};
+  EXPECT_THROW(block_gmres<double>(op, nullptr, B, Xbad), Error);
+}
+
+TEST(BlockGmres, RejectsWidthDependentOrthogonalizations) {
+  auto A = laplace2d(6, 6);
+  CsrOperator<double> op(A);
+  std::vector<std::vector<double>> B{random_vector(A.num_rows(), 5)}, X;
+  for (OrthoKind k : {OrthoKind::MGS, OrthoKind::CGS2}) {
+    GmresOptions opts;
+    opts.ortho = k;
+    EXPECT_THROW(block_gmres<double>(op, nullptr, B, X, opts), Error);
+  }
+}
+
+TEST(BlockCg, ColumnsMatchSoloSolves) {
+  auto A = laplace2d(12, 12);
+  CsrOperator<double> op(A);
+  DirectPrec prec(A);
+  const size_t w = 3;
+  std::vector<std::vector<double>> B(w);
+  for (size_t c = 0; c < w; ++c)
+    B[c] = random_vector(A.num_rows(), static_cast<unsigned>(91 + c));
+  B[2].assign(B[2].size(), 0.0);  // zero rhs: converges (deflates) at once
+  std::vector<std::vector<double>> solo_x(w);
+  std::vector<SolveResult> solo(w);
+  for (size_t c = 0; c < w; ++c)
+    solo[c] = cg<double>(op, &prec, B[c], solo_x[c]);
+  std::vector<std::vector<double>> X;
+  auto br = block_cg<double>(op, &prec, B, X);
+  ASSERT_EQ(br.columns.size(), w);
+  EXPECT_TRUE(br.all_converged());
+  EXPECT_EQ(br.columns[2].iterations, 0);
+  for (size_t c = 0; c < w; ++c)
+    expect_column_matches_solo(solo[c], solo_x[c], br.columns[c], X[c],
+                               "cg column " + std::to_string(c));
 }
 
 }  // namespace

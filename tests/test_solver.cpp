@@ -457,5 +457,135 @@ TEST(FacadeGolden, MatchesHandWiredOnElasticity) {
   EXPECT_DOUBLE_EQ(got.final_residual, ref.final_residual);
 }
 
+// ---------------------------------------------------------------------------
+// SolveSession: the batched multi-RHS service on top of Solver::solve_batch.
+
+TEST(SolverConfig, ParsesBlockSizeAndBatchKeys) {
+  ParameterList p;
+  p.set("block-size", 8).set("batch", 3);
+  auto c = SolverConfig::from_parameters(p);
+  EXPECT_EQ(c.block_size, 8);
+  EXPECT_EQ(c.batch, 3);
+  ParameterList bad;
+  bad.set("block-size", 0);
+  EXPECT_THROW(SolverConfig::from_parameters(bad), Error);
+}
+
+TEST(SolveSession, BatchedSolutionsMatchSoloSolvesBitwise) {
+  auto p = test::algebraic_laplace(8, 4, 1);
+  const index_t n = p.A.num_rows();
+  SolverConfig cfg;
+  cfg.block_size = 2;  // 5 rhs -> blocks of 2, 2, 1
+  // Solo references on an identically-configured, identically-set-up
+  // solver.
+  Solver ref(cfg);
+  ref.setup(p.A, p.Z, p.decomp);
+  std::vector<std::vector<double>> B(5);
+  std::vector<std::vector<double>> solo_x(5);
+  std::vector<SolveReport> solo(5);
+  for (size_t c = 0; c < 5; ++c) {
+    B[c] = random_vector(n, static_cast<unsigned>(40 + c));
+    solo[c] = ref.solve(B[c], solo_x[c]);
+    ASSERT_TRUE(solo[c].converged);
+  }
+  Solver solver(cfg);
+  solver.setup(p.A, p.Z, p.decomp);
+  SolveSession session(solver);
+  EXPECT_EQ(session.block_size(), 2);
+  std::vector<size_t> tickets;
+  for (size_t c = 0; c < 5; ++c) tickets.push_back(session.enqueue(B[c]));
+  EXPECT_EQ(session.pending(), 5u);
+  EXPECT_FALSE(session.solved(tickets[0]));
+  EXPECT_THROW(session.solution(tickets[0]), Error);
+  session.flush();
+  EXPECT_EQ(session.pending(), 0u);
+  for (size_t c = 0; c < 5; ++c) {
+    const auto& rep = session.report(tickets[c]);
+    const auto& x = session.solution(tickets[c]);
+    EXPECT_TRUE(rep.converged) << "ticket " << c;
+    EXPECT_EQ(rep.iterations, solo[c].iterations) << "ticket " << c;
+    ASSERT_EQ(rep.residual_history.size(), solo[c].residual_history.size());
+    for (size_t i = 0; i < solo[c].residual_history.size(); ++i)
+      EXPECT_EQ(rep.residual_history[i], solo[c].residual_history[i])
+          << "ticket " << c << " history[" << i << "]";
+    ASSERT_EQ(x.size(), solo_x[c].size());
+    for (size_t i = 0; i < x.size(); ++i)
+      EXPECT_EQ(x[i], solo_x[c][i]) << "ticket " << c << " x[" << i << "]";
+  }
+}
+
+TEST(SolveSession, AutoFlushesAtBatchThreshold) {
+  auto p = test::algebraic_laplace(6, 4, 1);
+  const index_t n = p.A.num_rows();
+  SolverConfig cfg;
+  cfg.block_size = 2;
+  cfg.batch = 2;
+  Solver solver(cfg);
+  solver.setup(p.A, p.Z, p.decomp);
+  SolveSession session(solver);
+  const auto t0 = session.enqueue(random_vector(n, 1));
+  EXPECT_EQ(session.pending(), 1u);
+  EXPECT_FALSE(session.solved(t0));
+  const auto t1 = session.enqueue(random_vector(n, 2));
+  // The second enqueue reached the batch threshold: both solved, nothing
+  // pending, no explicit flush needed.
+  EXPECT_EQ(session.pending(), 0u);
+  EXPECT_TRUE(session.solved(t0));
+  EXPECT_TRUE(session.solved(t1));
+  EXPECT_TRUE(session.report(t0).converged);
+  EXPECT_TRUE(session.report(t1).converged);
+}
+
+TEST(SolveSession, DeflatesTrivialColumnAndKeepsOthersExact) {
+  // Mixed difficulty in one block: a zero rhs converges (and deflates) at
+  // iteration 0 while its block mate runs a full solve -- which must still
+  // match its solo trajectory bitwise.
+  auto p = test::algebraic_laplace(8, 4, 1);
+  const index_t n = p.A.num_rows();
+  SolverConfig cfg;
+  cfg.block_size = 2;
+  Solver ref(cfg);
+  ref.setup(p.A, p.Z, p.decomp);
+  auto b = random_vector(n, 9);
+  std::vector<double> x_solo;
+  auto solo = ref.solve(b, x_solo);
+  Solver solver(cfg);
+  solver.setup(p.A, p.Z, p.decomp);
+  SolveSession session(solver);
+  const auto tz = session.enqueue(std::vector<double>(
+      static_cast<size_t>(n), 0.0));
+  const auto tb = session.enqueue(b);
+  session.flush();
+  EXPECT_TRUE(session.report(tz).converged);
+  EXPECT_EQ(session.report(tz).iterations, 0);
+  EXPECT_EQ(session.report(tb).iterations, solo.iterations);
+  const auto& x = session.solution(tb);
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_EQ(x[i], x_solo[i]);
+}
+
+TEST(SolveSession, WarmStartTicketContinuesFromGuess) {
+  // The facade-level initial-guess contract: a warm-started ticket resumes
+  // exactly at the caller's iterate (its initial residual is the previous
+  // report's true final residual, bitwise).
+  auto p = test::algebraic_laplace(8, 4, 1);
+  const index_t n = p.A.num_rows();
+  SolverConfig cfg;
+  cfg.krylov.max_iters = 3;  // force a partial first solve
+  Solver solver(cfg);
+  solver.setup(p.A, p.Z, p.decomp);
+  auto b = random_vector(n, 21);
+  std::vector<double> x;
+  auto rep1 = solver.solve(b, x);
+  ASSERT_FALSE(rep1.converged);
+  cfg.krylov.max_iters = 2000;
+  Solver solver2(cfg);
+  solver2.setup(p.A, p.Z, p.decomp);
+  SolveSession session(solver2);
+  const auto t = session.enqueue(b, x);
+  session.flush();
+  EXPECT_EQ(session.report(t).initial_residual, rep1.final_residual);
+  EXPECT_TRUE(session.report(t).converged);
+}
+
 }  // namespace
 }  // namespace frosch
