@@ -1,68 +1,87 @@
 // Reproduces Table VII: weak-scaling TOTAL ITERATION (solve) TIME and
-// iteration count with the preconditioner in single vs double precision,
-// GMRES staying in double (HalfPrecisionOperator).
+// iteration count with the preconditioner in reduced precision, GMRES
+// staying in double (HalfPrecisionOperator).  The paper's study covers
+// single vs double; the fp16 rung (frosch::half) extends the ladder.
 //
 // Expected shape (paper): iteration counts are essentially unchanged by the
 // single-precision preconditioner; solve times barely move (the solve phase
 // is dominated by kernels whose traffic halves but whose launch structure
-// is unchanged, plus the cast overhead) -- speedups ~0.9-1.4x.
+// is unchanged, plus the cast overhead) -- speedups ~0.9-1.4x.  The fp16
+// preconditioner again halves the preconditioner-side traffic but costs
+// extra iterations AND attainable accuracy: it solves to 1e-4 relative (the
+// fp16 cast-noise stagnation floor sits near 1e-5 on the elasticity
+// problem, so the default 1e-7 target would spin to the iteration cap).
 #include "bench_common.hpp"
 
 using namespace frosch;
 using namespace frosch::bench;
 
+namespace {
+void apply_rung(ExperimentSpec& spec, Precision rung) {
+  spec.precision = rung;
+  if (rung == Precision::Half)
+    spec.solver.krylov.tol = std::max(spec.solver.krylov.tol, 1e-4);
+}
+}  // namespace
+
 int main(int argc, char** argv) {
   auto opt = parse_options(argc, argv);
   SummitModel model(perf::miniature_summit());
   const auto nodes = node_ladder(opt.max_nodes);
+  const Precision rungs[3] = {Precision::Double, Precision::Float,
+                              Precision::Half};
+  const char* rung_names[3] = {"double", "single", "half"};
 
   for (DirectPreset preset : {DirectPreset::SuperLU, DirectPreset::Tacho}) {
     std::vector<std::string> size_row;
-    double t[2][2][8] = {};
-    index_t it[2][2][8] = {};
+    double t[2][3][8] = {};
+    index_t it[2][3][8] = {};
     for (size_t ni = 0; ni < nodes.size(); ++ni) {
-      for (int fp32 = 0; fp32 <= 1; ++fp32) {
+      for (int pr = 0; pr < 3; ++pr) {
         auto spec = weak_spec(nodes[ni], kCoresPerNode, opt);
         apply_preset(spec, preset);
-        spec.single_precision = fp32;
+        apply_rung(spec, rungs[pr]);
         auto res = perf::run_experiment(spec);
-        t[0][fp32][ni] = perf::model_times(res, model, Execution::CpuCores, 1,
-                                           factor_on_cpu(preset))
-                             .solve;
-        it[0][fp32][ni] = res.iterations;
-        if (fp32 == 0)
+        t[0][pr][ni] = perf::model_times(res, model, Execution::CpuCores, 1,
+                                         factor_on_cpu(preset))
+                           .solve;
+        it[0][pr][ni] = res.iterations;
+        if (pr == 0)
           size_row.push_back(std::to_string(res.n) + " dof");
         auto gspec = weak_spec(nodes[ni], kGpusPerNode * 7, opt);
         apply_preset(gspec, preset);
-        gspec.single_precision = fp32;
+        apply_rung(gspec, rungs[pr]);
         auto gres = perf::run_experiment(gspec);
-        t[1][fp32][ni] = perf::model_times(gres, model, Execution::Gpu, 7,
-                                           factor_on_cpu(preset))
-                             .solve;
-        it[1][fp32][ni] = gres.iterations;
+        t[1][pr][ni] = perf::model_times(gres, model, Execution::Gpu, 7,
+                                         factor_on_cpu(preset))
+                           .solve;
+        it[1][pr][ni] = gres.iterations;
       }
     }
     print_header(std::string("Table VII(") + preset_name(preset) +
-                     "): solve time, single vs double precision, modeled ms "
+                     "): solve time by preconditioner precision, modeled ms "
                      "(iters)",
                  nodes);
     print_row("matrix size", size_row);
     const char* execs[2] = {"CPU", "GPU np/gpu=7"};
     for (int e = 0; e < 2; ++e) {
-      for (int fp32 = 0; fp32 <= 1; ++fp32) {
+      for (int pr = 0; pr < 3; ++pr) {
         std::vector<std::string> cells;
         for (size_t ni = 0; ni < nodes.size(); ++ni)
-          cells.push_back(cell(t[e][fp32][ni], it[e][fp32][ni]));
-        print_row(std::string(execs[e]) + (fp32 ? " single" : " double"),
-                  cells);
+          cells.push_back(cell(t[e][pr][ni], it[e][pr][ni]));
+        print_row(std::string(execs[e]) + " " + rung_names[pr], cells);
       }
-      std::vector<std::string> spd;
-      for (size_t ni = 0; ni < nodes.size(); ++ni) {
-        char buf[32];
-        std::snprintf(buf, sizeof(buf), "%.1fx", t[e][0][ni] / t[e][1][ni]);
-        spd.push_back(buf);
+      for (int pr = 1; pr < 3; ++pr) {
+        std::vector<std::string> spd;
+        for (size_t ni = 0; ni < nodes.size(); ++ni) {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%.1fx",
+                        t[e][0][ni] / t[e][pr][ni]);
+          spd.push_back(buf);
+        }
+        print_row(std::string(execs[e]) + " " + rung_names[pr] + " speedup",
+                  spd);
       }
-      print_row(std::string(execs[e]) + " speedup", spd);
     }
   }
   return 0;

@@ -1,7 +1,14 @@
 // HalfPrecisionOperator demo (Section V-A2, Tables VI/VII): build the ENTIRE
 // GDSW preconditioner in single precision and apply it inside a
 // double-precision GMRES.  The iteration count stays essentially unchanged
-// while every bandwidth-bound setup kernel moves half the bytes.
+// while every bandwidth-bound setup kernel moves half the bytes.  The fp16
+// rung (frosch::half) extends the ladder: another halving of the
+// preconditioner traffic, paid for in iterations AND attainable accuracy --
+// the ~5e-4 relative rounding of every fp16 cast perturbs each
+// preconditioner application, so GMRES stagnates at a problem-dependent
+// floor (measured: ~1.4e-7 relative on Laplace, ~1e-5 on this elasticity
+// problem, tracking the preconditioned condition number); the fp16 row
+// therefore solves to ITS attainable tolerance, 1e-4.
 #include <cstdio>
 
 #include "dd/half_precision.hpp"
@@ -12,26 +19,35 @@ using namespace frosch::perf;
 
 int main() {
   SummitModel model(miniature_summit());
-  const auto mesh = weak_scaling_mesh(42, 4);
+  const auto mesh = weak_scaling_mesh(8, 4);
 
-  std::printf("%-22s %8s %8s %14s %14s\n", "preconditioner", "conv", "iters",
-              "setup(ms,CPU)", "solve(ms,CPU)");
-  for (bool single : {false, true}) {
+  std::printf("%-22s %8s %8s %8s %14s %14s\n", "preconditioner", "tol",
+              "conv", "iters", "setup(ms,CPU)", "solve(ms,CPU)");
+  const Precision rungs[3] = {Precision::Double, Precision::Float,
+                              Precision::Half};
+  const char* names[3] = {"double", "float (HalfPrecision)",
+                          "half (fp16)"};
+  for (int pr = 0; pr < 3; ++pr) {
     ExperimentSpec spec;
     spec.global_ex = mesh[0];
     spec.global_ey = mesh[1];
     spec.global_ez = mesh[2];
-    spec.ranks = 42;
-    spec.single_precision = single;
+    spec.ranks = 8;
+    spec.precision = rungs[pr];
+    // fp16 attainable accuracy: GMRES stagnates near 1e-5 relative on this
+    // elasticity problem, so the fp16 rung targets 1e-4 (see header).
+    if (rungs[pr] == Precision::Half) spec.solver.krylov.tol = 1e-4;
     auto res = run_experiment(spec);
     auto t = model_times(res, model, Execution::CpuCores, 1);
-    std::printf("%-22s %8s %8d %14.2f %14.2f\n",
-                single ? "float (HalfPrecision)" : "double",
-                res.converged ? "yes" : "NO", int(res.iterations),
-                1e3 * t.setup, 1e3 * t.solve);
+    std::printf("%-22s %8.0e %8s %8d %14.2f %14.2f\n", names[pr],
+                spec.solver.krylov.tol, res.converged ? "yes" : "NO",
+                int(res.iterations), 1e3 * t.setup, 1e3 * t.solve);
   }
-  std::printf("\nExpected: same convergence to the double-precision GMRES\n"
-              "tolerance with a similar iteration count, and a ~1.3-1.5x\n"
-              "cheaper setup (half the memory traffic) -- Tables VI/VII.\n");
+  std::printf("\nExpected: the float preconditioner converges to the\n"
+              "double-precision GMRES tolerance with a similar iteration\n"
+              "count and a ~1.3-1.5x cheaper setup (half the memory\n"
+              "traffic) -- Tables VI/VII.  The fp16 rung quarters the\n"
+              "setup traffic at the cost of extra iterations and a looser\n"
+              "attainable tolerance.\n");
   return 0;
 }

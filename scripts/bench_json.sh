@@ -52,6 +52,11 @@ echo "== bench_throughput (multi-RHS solves/sec vs block width) =="
   --elems "$TP_ELEMS" --nrhs "$NRHS" \
   --json "$OUT_DIR/BENCH_throughput.json"
 
+echo "== bench_transfer (measured PCIe traffic vs ranks per GPU) =="
+"$BUILD_DIR/bench/bench_transfer" \
+  --scale "$SCALE" \
+  --json "$OUT_DIR/BENCH_transfer.json"
+
 echo "== bench_table2 (weak scaling, modeled Summit times) =="
 "$BUILD_DIR/bench/bench_table2" \
   --scale "$SCALE" --nodes "$NODES" \

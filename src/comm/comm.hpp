@@ -39,6 +39,7 @@
 
 #include "common/error.hpp"
 #include "common/op_profile.hpp"
+#include "device/arena.hpp"
 #include "exec/exec.hpp"
 
 namespace frosch::comm {
@@ -119,7 +120,10 @@ class Communicator {
     for (int j = 0; j < k; ++j) out[j] = Scalar(0);
     for (index_t s = 0; s < nslots; ++s)
       for (int j = 0; j < k; ++j) out[j] += slots[s * k + j];
-    record_collective(static_cast<double>(k) * sizeof(Scalar));
+    // Each rank's partial is dense in the k fused values: full payload
+    // across PCIe each way (contrast gather/broadcast's sliced payloads).
+    const double payload = static_cast<double>(k) * sizeof(Scalar);
+    record_collective(payload, payload);
   }
 
   /// Fused all-reduce of per-rank contributions (contrib[r] has k values),
@@ -136,7 +140,8 @@ class Communicator {
                     "Communicator::allreduce: ragged contributions");
       for (size_t j = 0; j < k; ++j) out[j] += contrib[r][j];
     }
-    record_collective(static_cast<double>(k) * sizeof(Scalar));
+    const double payload = static_cast<double>(k) * sizeof(Scalar);
+    record_collective(payload, payload);
   }
 
   /// Point-to-point exchange: copy(m) performs message m's actual payload
@@ -156,13 +161,25 @@ class Communicator {
 
   /// Records an exchange whose payload the CALLER already moved (irregular
   /// payloads like CSR row imports).  Same charging rule as exchange().
+  ///
+  /// Device backend: ghost payloads live in device memory on both ends, so
+  /// every wire message is ALSO a measured PCIe round trip -- D2H at the
+  /// source, network, H2D at the destination (the paper's Summit nodes have
+  /// no GPUDirect path in these runs).  An exchange is a host
+  /// synchronization point: the launch queues drain.
   void post(const std::vector<Message>& msgs) {
+    device::DeviceArena* arena = device::arena_of(policy_);
     for (const auto& m : msgs) {
       if (m.src == m.dst) continue;
       auto& p = prof_[static_cast<size_t>(m.dst)];
       p.neighbor_msgs += 1;
       p.msg_bytes += m.bytes;
+      if (arena != nullptr) {
+        arena->transfer(m.src, device::Dir::D2H, m.bytes, device::Xfer::Halo);
+        arena->transfer(m.dst, device::Dir::H2D, m.bytes, device::Xfer::Halo);
+      }
     }
+    if (arena != nullptr) arena->sync_all();
   }
 
   /// Reduction-to-root collective (the coarse-problem gather): a dense
@@ -170,11 +187,18 @@ class Communicator {
   /// the object being assembled (the coarse restriction r0 = sum_r
   /// Phi_r^T x_r sums full-length partial vectors; the Galerkin gather
   /// sums locally supported coarse-matrix contributions).  Bulk-
-  /// synchronous: one reduction + the full payload on every rank.
-  void gather(double bytes) { record_collective(bytes); }
+  /// synchronous: one reduction + the full payload on every rank.  PCIe:
+  /// each rank stages only the locally supported SLICE of the object it
+  /// contributes (bytes/P each way) -- the full payload is a wire-side
+  /// quantity assembled by the reduction tree, never one rank's transfer.
+  void gather(double bytes) {
+    record_collective(bytes, bytes / static_cast<double>(nranks_));
+  }
 
   /// Root-to-all broadcast of `bytes` (the coarse-solution replication).
-  void broadcast(double bytes) { record_collective(bytes); }
+  void broadcast(double bytes) {
+    record_collective(bytes, bytes / static_cast<double>(nranks_));
+  }
 
  protected:
   Communicator(int nranks, exec::ExecPolicy policy)
@@ -183,12 +207,29 @@ class Communicator {
   }
 
   /// One bulk-synchronous collective: every rank participates, every rank
-  /// ships `bytes` of payload.
-  void record_collective(double bytes) {
-    for (auto& p : prof_) {
+  /// ships `bytes` of payload on the wire.  Device backend: each rank's
+  /// contribution must leave device memory and the combined result must
+  /// return, so a WIRE collective is also a measured PCIe round trip of
+  /// `pcie_bytes_per_rank` each way on every rank, and a host sync point.
+  /// When nranks == 1 the "collective" degenerates to a host-side fold of
+  /// local partials -- no wire message, no staging (matching the msg_bytes
+  /// rule), which is what keeps a single-rank Krylov iteration's steady
+  /// state transfer-free.
+  void record_collective(double bytes, double pcie_bytes_per_rank) {
+    device::DeviceArena* arena =
+        nranks_ > 1 ? device::arena_of(policy_) : nullptr;
+    for (int r = 0; r < nranks_; ++r) {
+      auto& p = prof_[static_cast<size_t>(r)];
       p.reductions += 1;
       p.msg_bytes += nranks_ > 1 ? bytes : 0.0;
+      if (arena != nullptr) {
+        arena->transfer(r, device::Dir::D2H, pcie_bytes_per_rank,
+                        device::Xfer::Collective);
+        arena->transfer(r, device::Dir::H2D, pcie_bytes_per_rank,
+                        device::Xfer::Collective);
+      }
     }
+    if (arena != nullptr) arena->sync_all();
   }
 
  private:

@@ -1,0 +1,123 @@
+// frosch::half -- a trivially-convertible IEEE 754 binary16 scalar.
+//
+// Storage is a raw uint16; ALL arithmetic happens in float (the paper's
+// half-precision preconditioner computes in single precision on V100 tensor
+// and FP32 cores -- fp16 is a STORAGE format that halves every payload:
+// matrix values, halo ghosts, PCIe staging).  Conversions round to nearest
+// even, the IEEE default, including the subnormal range; overflow saturates
+// to infinity and NaN stays NaN (quiet bit forced so payloads survive the
+// narrowing).
+//
+// Conversion design: `half` has ONE implicit outgoing conversion
+// (operator float).  That keeps overload resolution unambiguous --
+// std::sqrt(h)/std::abs(h) pick the float overload (identity beats the
+// float->double promotion), and mixed half/float expressions promote to
+// float.  Incoming conversions accept float, double, and int implicitly so
+// generic kernels written against `Scalar` (Scalar(0), Scalar(1), casts
+// from double input data) instantiate unchanged.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <ostream>
+
+namespace frosch {
+
+namespace detail_half {
+
+/// float -> binary16 bits, round to nearest even (subnormals, inf, NaN).
+inline std::uint16_t float_to_half_bits(float f) {
+  std::uint32_t x;
+  std::memcpy(&x, &f, sizeof(x));
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  x &= 0x7fffffffu;
+  if (x >= 0x7f800000u) {  // inf or NaN (quiet the NaN, keep top payload bits)
+    const std::uint32_t payload = x > 0x7f800000u ? (0x0200u | ((x >> 13) & 0x3ffu)) : 0u;
+    return static_cast<std::uint16_t>(sign | 0x7c00u | payload);
+  }
+  if (x >= 0x47800000u)  // >= 2^16: every such value rounds to +-inf
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  if (x < 0x38800000u) {  // |f| < 2^-14: subnormal half or zero
+    if (x < 0x33000000u) return static_cast<std::uint16_t>(sign);  // < 2^-25
+    // value = mant * 2^(exp-150); half subnormal unit is 2^-24, so the
+    // result is round_rne(mant >> (126 - exp)) with the implicit bit set.
+    const std::uint32_t exp = x >> 23;            // biased, in [102, 112]
+    const std::uint32_t mant = (x & 0x7fffffu) | 0x800000u;
+    const std::uint32_t s = 126u - exp;           // shift in [14, 24]
+    std::uint32_t q = mant >> s;
+    const std::uint32_t rem = mant & ((1u << s) - 1u);
+    const std::uint32_t halfway = 1u << (s - 1u);
+    if (rem > halfway || (rem == halfway && (q & 1u))) ++q;
+    // q may carry to 0x400 -- exactly the smallest normal encoding.
+    return static_cast<std::uint16_t>(sign | q);
+  }
+  // Normal half: 13 mantissa bits are dropped with round-to-nearest-even;
+  // a full carry propagates into the exponent (up to inf) correctly.
+  const std::uint32_t exp = x >> 23;  // biased float exponent, in [113, 142]
+  std::uint32_t h = ((exp - 112u) << 10) | ((x & 0x7fffffu) >> 13);
+  const std::uint32_t rem = x & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (h & 1u))) ++h;
+  return static_cast<std::uint16_t>(sign | h);
+}
+
+/// binary16 bits -> float (exact: every half value is representable).
+inline float half_bits_to_float(std::uint16_t hb) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(hb) & 0x8000u) << 16;
+  std::uint32_t exp = (static_cast<std::uint32_t>(hb) >> 10) & 0x1fu;
+  std::uint32_t mant = static_cast<std::uint32_t>(hb) & 0x3ffu;
+  std::uint32_t u;
+  if (exp == 0u) {
+    if (mant == 0u) {
+      u = sign;  // +-0
+    } else {
+      // Subnormal: normalize by shifting the leading bit into position 10.
+      std::uint32_t e = 113u;  // biased float exponent of 2^-14
+      while (!(mant & 0x400u)) {
+        mant <<= 1;
+        --e;
+      }
+      u = sign | (e << 23) | ((mant & 0x3ffu) << 13);
+    }
+  } else if (exp == 31u) {
+    u = sign | 0x7f800000u | (mant << 13);  // inf / NaN, payload preserved
+  } else {
+    u = sign | ((exp + 112u) << 23) | (mant << 13);
+  }
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+
+}  // namespace detail_half
+
+struct half {
+  std::uint16_t bits = 0;
+
+  half() = default;
+  half(float f) : bits(detail_half::float_to_half_bits(f)) {}
+  half(double d) : half(static_cast<float>(d)) {}
+  half(int i) : half(static_cast<float>(i)) {}
+
+  /// The single implicit outgoing conversion (see header comment).
+  operator float() const { return detail_half::half_bits_to_float(bits); }
+
+  static half from_bits(std::uint16_t b) {
+    half h;
+    h.bits = b;
+    return h;
+  }
+
+  half operator-() const { return from_bits(static_cast<std::uint16_t>(bits ^ 0x8000u)); }
+  half& operator+=(half o) { return *this = half(float(*this) + float(o)); }
+  half& operator-=(half o) { return *this = half(float(*this) - float(o)); }
+  half& operator*=(half o) { return *this = half(float(*this) * float(o)); }
+  half& operator/=(half o) { return *this = half(float(*this) / float(o)); }
+};
+
+static_assert(sizeof(half) == 2, "frosch::half must be 2 bytes");
+
+inline std::ostream& operator<<(std::ostream& os, half h) {
+  return os << static_cast<float>(h);
+}
+
+}  // namespace frosch

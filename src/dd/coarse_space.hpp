@@ -177,7 +177,8 @@ la::CsrMatrix<Scalar> extend_basis(const la::CsrMatrix<Scalar>& A,
                                    const la::CsrMatrix<Scalar>& phi_gamma,
                                    const LocalSolverConfig& ext_cfg,
                                    CoarseSpaceProfile* prof = nullptr,
-                                   const exec::ExecPolicy& policy = {}) {
+                                   const exec::ExecPolicy& policy = {},
+                                   const IndexVector* part_ranks = nullptr) {
   const index_t n = A.num_rows();
   const index_t nc = phi_gamma.num_cols();
   if (prof) prof->per_part_extension.assign(static_cast<size_t>(d.num_parts), {});
@@ -207,9 +208,13 @@ la::CsrMatrix<Scalar> extend_basis(const la::CsrMatrix<Scalar>& A,
         const IndexVector& I = interior_of[p];
         if (I.empty()) return;
         OpProfile* pprof = prof ? &part_prof[p] : nullptr;
-        // Local interior matrix and its factorization.
+        // Local interior matrix and its factorization.  The extension solve
+        // stages and launches on the GPU of the part's owning virtual rank.
         auto App = la::extract_submatrix(A, I, I);
-        LocalSolver<Scalar> solver(ext_cfg);
+        LocalSolverConfig pcfg = ext_cfg;
+        if (part_ranks != nullptr)
+          pcfg.exec.device_rank = static_cast<int>((*part_ranks)[p]);
+        LocalSolver<Scalar> solver(pcfg);
         solver.symbolic(App, pprof);
         solver.numeric(App, pprof, pprof);
         // Which coarse columns touch this interior?  Walk W rows of I.

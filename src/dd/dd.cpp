@@ -1,4 +1,5 @@
 // Enum printers and explicit instantiations for the DD core.
+#include "common/half.hpp"
 #include "dd/half_precision.hpp"
 #include "dd/schwarz.hpp"
 
@@ -41,9 +42,13 @@ const char* to_string(Ordering k) {
 
 template class LocalSolver<double>;
 template class LocalSolver<float>;
+template class LocalSolver<half>;
 template class SchwarzPreconditioner<double>;
 template class SchwarzPreconditioner<float>;
+template class SchwarzPreconditioner<half>;
 template class HalfPrecisionOperator<double, float>;
+template class HalfPrecisionOperator<double, half>;
 template class HalfPrecisionPreconditioner<double, float>;
+template class HalfPrecisionPreconditioner<double, half>;
 
 }  // namespace frosch::dd

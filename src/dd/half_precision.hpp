@@ -29,12 +29,17 @@ class HalfPrecisionOperator final : public krylov::LinearOperator<Scalar> {
     inner_.apply(xh_, yh_, prof);
     for (size_t i = 0; i < yh_.size(); ++i) y[i] = static_cast<Scalar>(yh_[i]);
     if (prof) {
-      // Type-casting overhead: stream both vectors twice.
-      prof->bytes += static_cast<double>(x.size()) *
-                     (sizeof(Scalar) + sizeof(Half)) * 2.0;
+      // Type-casting overhead: the downcast streams the cols()-sized input,
+      // the upcast streams the rows()-sized output (they differ for a
+      // rectangular inner operator); each element is read in one precision
+      // and written in the other.
+      prof->bytes += (static_cast<double>(x.size()) +
+                      static_cast<double>(inner_.rows())) *
+                     (sizeof(Scalar) + sizeof(Half));
       prof->launches += 2;
       prof->critical_path += 2;
-      prof->work_items += 2.0 * static_cast<double>(x.size());
+      prof->work_items += static_cast<double>(x.size()) +
+                          static_cast<double>(inner_.rows());
     }
   }
 
@@ -60,12 +65,22 @@ class HalfPrecisionPreconditioner final : public Preconditioner<Scalar> {
   index_t cols() const override { return inner_.cols(); }
 
   void symbolic_setup(const la::CsrMatrix<Scalar>& A) override {
-    inner_.symbolic_setup(A.template convert<Half>());
+    // Convert once; the numeric phase only refreshes the values (the
+    // pattern is fixed after symbolic, exactly like the Tpetra transfer).
+    Ah_ = A.template convert<Half>();
+    inner_.symbolic_setup(Ah_);
   }
 
   void numeric_setup(const la::CsrMatrix<Scalar>& A,
                      const la::DenseMatrix<double>& Z) override {
-    inner_.numeric_setup(A.template convert<Half>(), Z);
+    FROSCH_CHECK(A.num_entries() == Ah_.num_entries() &&
+                     A.num_rows() == Ah_.num_rows(),
+                 "HalfPrecisionPreconditioner: numeric pattern differs from "
+                 "symbolic");
+    const auto& v = A.values();
+    auto& vh = Ah_.values();
+    for (size_t i = 0; i < v.size(); ++i) vh[i] = static_cast<Half>(v[i]);
+    inner_.numeric_setup(Ah_, Z);
   }
 
   void apply_impl(const std::vector<Scalar>& x, std::vector<Scalar>& y,
@@ -80,6 +95,7 @@ class HalfPrecisionPreconditioner final : public Preconditioner<Scalar> {
   const SchwarzPreconditioner<Half>& inner() const { return inner_; }
 
  private:
+  la::CsrMatrix<Half> Ah_;  ///< cached downcast; values refreshed per numeric
   SchwarzPreconditioner<Half> inner_;
   HalfPrecisionOperator<Scalar, Half> cast_;
 };

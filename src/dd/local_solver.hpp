@@ -15,6 +15,7 @@
 #include <string>
 
 #include "common/enum_parse.hpp"
+#include "device/arena.hpp"
 #include "direct/gp_lu.hpp"
 #include "exec/exec.hpp"
 #include "direct/multifrontal.hpp"
@@ -159,6 +160,7 @@ class LocalSolver {
         engine_->setup(fast_.factorization(), trisolve_setup_prof);
         break;
     }
+    stage_factor();
     numeric_done_ = true;
   }
 
@@ -190,6 +192,44 @@ class LocalSolver {
   }
 
  private:
+  const trisolve::Factorization<Scalar>& factorization() const {
+    switch (cfg_.kind) {
+      case LocalSolverKind::SuperLULike: return lu_.factorization();
+      case LocalSolverKind::TachoLike: return chol_.factorization();
+      case LocalSolverKind::Iluk: return iluk_.factorization();
+      case LocalSolverKind::FastIlu: break;
+    }
+    return fast_.factorization();
+  }
+
+  /// Device placement of the numeric phase (the paper's Table I split):
+  /// the pivoting SuperLU backend factors on the HOST, so its factor (and
+  /// the freshly rebuilt trisolve schedule) crosses PCIe after EVERY
+  /// numeric refresh; the device-native backends (Tacho, SpILU, FastILU)
+  /// consume the subdomain matrix on the device -- it is staged up once --
+  /// and their factor is device-born, never transferred.  The mirror key
+  /// is the factorization object the engines touch in solve().
+  void stage_factor() {
+    device::DeviceArena* arena = device::arena_of(cfg_.exec);
+    if (arena == nullptr) return;
+    const int r = cfg_.exec.device_rank;
+    const trisolve::Factorization<Scalar>& f = factorization();
+    const double fbytes = f.L.storage_bytes() + f.U.storage_bytes();
+    if (cfg_.kind == LocalSolverKind::SuperLULike) {
+      arena->invalidate(r, &f);  // host refactorization stales the mirror
+      arena->to_device(r, &f, fbytes, device::Xfer::Factor);
+    } else {
+      if (staged_input_ != nullptr && staged_input_ != Aord_.values().data())
+        arena->invalidate(r, staged_input_);
+      if (Aord_.num_entries() > 0) {
+        arena->to_device(r, Aord_.values().data(), Aord_.storage_bytes(),
+                         device::Xfer::Matrix);
+        staged_input_ = Aord_.values().data();
+      }
+      arena->produced(r, &f, fbytes);
+    }
+  }
+
   /// ND permutation, computed on the node-compressed quotient graph when
   /// dof_block_size divides the dimension and the dof blocks are intact.
   IndexVector nd_ordering(const la::CsrMatrix<Scalar>& A) const {
@@ -211,6 +251,7 @@ class LocalSolver {
   }
 
   LocalSolverConfig cfg_;
+  const void* staged_input_ = nullptr;  ///< device mirror key of Aord_
   IndexVector perm_;  ///< new -> old fill-reducing permutation
   la::CsrMatrix<Scalar> Aord_;
   direct::GilbertPeierlsLu<Scalar> lu_;

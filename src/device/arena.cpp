@@ -1,0 +1,123 @@
+#include "device/arena.hpp"
+
+#include "common/error.hpp"
+
+namespace frosch::device {
+
+const char* to_string(Xfer op) {
+  switch (op) {
+    case Xfer::Matrix: return "matrix";
+    case Xfer::Factor: return "factor";
+    case Xfer::CoarseOp: return "coarse-op";
+    case Xfer::Rhs: return "rhs";
+    case Xfer::Halo: return "halo";
+    case Xfer::Collective: return "collective";
+    case Xfer::Other: return "other";
+  }
+  return "?";
+}
+
+DeviceArena::DeviceArena(int nranks) {
+  FROSCH_CHECK(nranks > 0, "DeviceArena: nranks must be positive, got "
+                               << nranks);
+  mirrors_.resize(static_cast<size_t>(nranks));
+  ledgers_.resize(static_cast<size_t>(nranks));
+}
+
+bool DeviceArena::to_device(int rank, const void* key, double bytes,
+                            Xfer op) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& space = mirrors_[static_cast<size_t>(rank)];
+  auto it = space.find(key);
+  if (it != space.end() && it->second.bytes == bytes) return false;
+  space[key] = Mirror{bytes, false};
+  auto& led = ledgers_[static_cast<size_t>(rank)];
+  led.total.h2d_count += 1;
+  led.total.h2d_bytes += bytes;
+  led.of(op).h2d_count += 1;
+  led.of(op).h2d_bytes += bytes;
+  return true;
+}
+
+void DeviceArena::produced(int rank, const void* key, double bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  mirrors_[static_cast<size_t>(rank)][key] = Mirror{bytes, true};
+}
+
+bool DeviceArena::to_host(int rank, const void* key, Xfer op) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& space = mirrors_[static_cast<size_t>(rank)];
+  auto it = space.find(key);
+  if (it == space.end() || !it->second.device_newer) return false;
+  it->second.device_newer = false;
+  auto& led = ledgers_[static_cast<size_t>(rank)];
+  led.total.d2h_count += 1;
+  led.total.d2h_bytes += it->second.bytes;
+  led.of(op).d2h_count += 1;
+  led.of(op).d2h_bytes += it->second.bytes;
+  return true;
+}
+
+void DeviceArena::invalidate(int rank, const void* key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  mirrors_[static_cast<size_t>(rank)].erase(key);
+}
+
+bool DeviceArena::resident(int rank, const void* key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto& space = mirrors_[static_cast<size_t>(rank)];
+  return space.find(key) != space.end();
+}
+
+void DeviceArena::transfer(int rank, Dir dir, double bytes, Xfer op) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& led = ledgers_[static_cast<size_t>(rank)];
+  if (dir == Dir::H2D) {
+    led.total.h2d_count += 1;
+    led.total.h2d_bytes += bytes;
+    led.of(op).h2d_count += 1;
+    led.of(op).h2d_bytes += bytes;
+  } else {
+    led.total.d2h_count += 1;
+    led.total.d2h_bytes += bytes;
+    led.of(op).d2h_count += 1;
+    led.of(op).d2h_bytes += bytes;
+  }
+}
+
+void DeviceArena::launch(int rank, count_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& led = ledgers_[static_cast<size_t>(rank)];
+  led.launches += n;
+  led.queue_depth += n;
+  if (led.queue_depth > led.max_queue_depth)
+    led.max_queue_depth = led.queue_depth;
+}
+
+void DeviceArena::sync(int rank) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ledgers_[static_cast<size_t>(rank)].queue_depth = 0;
+}
+
+void DeviceArena::sync_all() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& led : ledgers_) led.queue_depth = 0;
+}
+
+TransferLedger DeviceArena::ledger(int rank) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ledgers_[static_cast<size_t>(rank)];
+}
+
+std::vector<TransferLedger> DeviceArena::ledgers() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ledgers_;
+}
+
+void DeviceArena::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& s : mirrors_) s.clear();
+  for (auto& led : ledgers_) led = TransferLedger{};
+}
+
+}  // namespace frosch::device

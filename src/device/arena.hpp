@@ -1,0 +1,120 @@
+// DeviceArena -- the virtual device-memory runtime.  It does for PCIe what
+// src/comm does for the network: each virtual rank owns a GPU memory space
+// holding mirrors of host objects (CSR matrices, factors, vectors), and the
+// arena tracks which mirror is current so a kernel touching a STALE mirror
+// MEASURES the staging it forces.  No bytes are actually copied (the host
+// data is the single physical copy, which is what keeps Device-backend
+// results bitwise identical to Serial/Threads); what the arena moves is
+// bookkeeping -- measured H2D/D2H events in per-rank TransferLedgers that
+// perf/ prices with the Summit PCIe model.
+//
+// Residency protocol (DESIGN.md section 8):
+//   * a host object is keyed by its data pointer within a rank's space;
+//   * to_device(key): absent or size-changed -> record one H2D of `bytes`
+//     and mark the mirror in-sync; already mirrored -> free (the measured
+//     steady state);
+//   * produced(key): a device kernel wrote the object -- mirror exists and
+//     is device-newer, NO transfer (device-resident results never cross
+//     PCIe until a host op asks for them);
+//   * to_host(key): device-newer -> record one D2H and mark in-sync;
+//     otherwise free;
+//   * invalidate(key): host mutated the object -- drop the mirror so the
+//     next device touch re-stages it.
+// Vectors whose host buffers are recycled every call (rhs upload, result
+// download, halo ghosts) bypass residency through transfer(): each event is
+// charged unconditionally.
+//
+// Thread safety: subdomains of one rank run on pool threads in parallel, so
+// every mutating entry point takes the arena mutex.  The arena never calls
+// user code under the lock.
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "device/ledger.hpp"
+#include "exec/exec.hpp"
+
+namespace frosch::device {
+
+class DeviceArena {
+ public:
+  explicit DeviceArena(int nranks);
+
+  int ranks() const { return static_cast<int>(ledgers_.size()); }
+
+  /// Ensure `key` (a host object of `bytes` bytes) is device-resident on
+  /// `rank`, recording the H2D staging this forces if the mirror is absent
+  /// or its size changed.  Returns true if a transfer was recorded.
+  bool to_device(int rank, const void* key, double bytes, Xfer op);
+
+  /// A device kernel produced/overwrote the object: mirror becomes current
+  /// on the device side with NO transfer.
+  void produced(int rank, const void* key, double bytes);
+
+  /// Ensure the host copy is current: records one D2H only if the mirror
+  /// is device-newer.  Returns true if a transfer was recorded.
+  bool to_host(int rank, const void* key, Xfer op);
+
+  /// Host mutated (or freed) the object: drop the mirror.
+  void invalidate(int rank, const void* key);
+
+  bool resident(int rank, const void* key) const;
+
+  /// Unconditional transfer event (recycled buffers: rhs, ghosts, slices).
+  void transfer(int rank, Dir dir, double bytes, Xfer op);
+
+  /// Device kernel launches enqueued by `rank` since the last sync.
+  void launch(int rank, count_t n = 1);
+
+  /// Host synchronization point: the launch queue drains.
+  void sync(int rank);
+  void sync_all();
+
+  TransferLedger ledger(int rank) const;
+  std::vector<TransferLedger> ledgers() const;
+
+  /// Drops every mirror and zeroes every ledger (new setup).
+  void reset();
+
+ private:
+  struct Mirror {
+    double bytes = 0.0;
+    bool device_newer = false;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<std::unordered_map<const void*, Mirror>> mirrors_;
+  std::vector<TransferLedger> ledgers_;
+};
+
+/// The arena a policy routes through, or null when the policy is not the
+/// Device backend (every helper below is a no-op then, so instrumented
+/// kernels stay zero-cost on Serial/Threads).
+inline DeviceArena* arena_of(const exec::ExecPolicy& p) {
+  return p.backend == exec::ExecBackend::Device ? p.arena : nullptr;
+}
+
+/// Kernel-side hook: the kernel is about to READ `key` on the policy's
+/// device rank -- stage it if stale.
+inline void touch(const exec::ExecPolicy& p, const void* key, double bytes,
+                  Xfer op) {
+  if (DeviceArena* a = arena_of(p))
+    if (key != nullptr && bytes > 0.0) a->to_device(p.device_rank, key, bytes, op);
+}
+
+/// Kernel-side hook: the kernel WROTE `key` device-side.
+inline void produced(const exec::ExecPolicy& p, const void* key,
+                     double bytes) {
+  if (DeviceArena* a = arena_of(p))
+    if (key != nullptr && bytes > 0.0) a->produced(p.device_rank, key, bytes);
+}
+
+/// Kernel-side hook: `n` device launches on the policy's rank.
+inline void launches(const exec::ExecPolicy& p, count_t n) {
+  if (DeviceArena* a = arena_of(p))
+    if (n > 0) a->launch(p.device_rank, n);
+}
+
+}  // namespace frosch::device

@@ -1,0 +1,92 @@
+// Measured PCIe transfer ledgers -- the device-side counterpart of
+// common/op_profile.hpp.  Every host<->device staging event the DeviceArena
+// performs is recorded here as a REAL measured quantity (bytes moved, the
+// direction, the operation family that forced it) together with the launch
+// queue the device backend accumulated between host synchronization points.
+// perf/machine.hpp prices these ledgers with the Summit PCIe model exactly
+// the way the network model prices the comm layer's measured OpProfiles --
+// no field of a TransferLedger is ever estimated.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace frosch::device {
+
+/// Operation family that triggered a transfer -- the "why" of each event.
+enum class Xfer {
+  Matrix,      ///< operator / subdomain matrix staging
+  Factor,      ///< host-built factors + trisolve schedules
+  CoarseOp,    ///< coarse basis (phi) and coarse-operator staging
+  Rhs,         ///< solve inputs b/x and the result download
+  Halo,        ///< ghost exchange: D2H at the source, H2D at the destination
+  Collective,  ///< reduction partials and coarse gather/broadcast shares
+  Other,
+};
+inline constexpr std::size_t kXferKinds = 7;
+
+const char* to_string(Xfer op);
+
+enum class Dir { H2D, D2H };
+
+/// Transfer counters for one operation family (or the whole ledger).
+struct TransferStats {
+  count_t h2d_count = 0;
+  count_t d2h_count = 0;
+  double h2d_bytes = 0.0;
+  double d2h_bytes = 0.0;
+
+  double bytes() const { return h2d_bytes + d2h_bytes; }
+  count_t count() const { return h2d_count + d2h_count; }
+
+  TransferStats& operator+=(const TransferStats& o) {
+    h2d_count += o.h2d_count;
+    d2h_count += o.d2h_count;
+    h2d_bytes += o.h2d_bytes;
+    d2h_bytes += o.d2h_bytes;
+    return *this;
+  }
+  TransferStats& operator-=(const TransferStats& o) {
+    h2d_count -= o.h2d_count;
+    d2h_count -= o.d2h_count;
+    h2d_bytes -= o.h2d_bytes;
+    d2h_bytes -= o.d2h_bytes;
+    return *this;
+  }
+};
+
+/// One rank's measured PCIe traffic: totals, a per-family breakdown, and
+/// the device launch-queue depth between host sync points.
+struct TransferLedger {
+  TransferStats total;
+  std::array<TransferStats, kXferKinds> by_op{};
+  count_t launches = 0;         ///< device kernels enqueued by this rank
+  count_t queue_depth = 0;      ///< launches since the last host sync
+  count_t max_queue_depth = 0;  ///< high-water mark of queue_depth
+
+  TransferStats& of(Xfer op) { return by_op[static_cast<std::size_t>(op)]; }
+  const TransferStats& of(Xfer op) const {
+    return by_op[static_cast<std::size_t>(op)];
+  }
+
+  TransferLedger& operator+=(const TransferLedger& o) {
+    total += o.total;
+    for (std::size_t i = 0; i < kXferKinds; ++i) by_op[i] += o.by_op[i];
+    launches += o.launches;
+    queue_depth += o.queue_depth;
+    if (o.max_queue_depth > max_queue_depth) max_queue_depth = o.max_queue_depth;
+    return *this;
+  }
+  /// Snapshot delta (phase isolation).  max_queue_depth stays the whole-run
+  /// high-water mark: a maximum has no meaningful difference.
+  TransferLedger& operator-=(const TransferLedger& o) {
+    total -= o.total;
+    for (std::size_t i = 0; i < kXferKinds; ++i) by_op[i] -= o.by_op[i];
+    launches -= o.launches;
+    return *this;
+  }
+};
+
+}  // namespace frosch::device

@@ -1,6 +1,7 @@
 // Explicit instantiations of the factorization backends for the two scalar
 // precisions used across the study (double working precision, float for the
 // HalfPrecisionOperator path).
+#include "common/half.hpp"
 #include "direct/gp_lu.hpp"
 #include "direct/multifrontal.hpp"
 
@@ -8,7 +9,9 @@ namespace frosch::direct {
 
 template class GilbertPeierlsLu<double>;
 template class GilbertPeierlsLu<float>;
+template class GilbertPeierlsLu<half>;
 template class MultifrontalCholesky<double>;
 template class MultifrontalCholesky<float>;
+template class MultifrontalCholesky<half>;
 
 }  // namespace frosch::direct

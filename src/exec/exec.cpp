@@ -6,6 +6,7 @@ const char* to_string(ExecBackend b) {
   switch (b) {
     case ExecBackend::Serial: return "serial";
     case ExecBackend::Threads: return "threads";
+    case ExecBackend::Device: return "device";
   }
   return "unknown";
 }

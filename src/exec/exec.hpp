@@ -28,11 +28,20 @@
 #include "common/enum_parse.hpp"
 #include "exec/thread_pool.hpp"
 
+namespace frosch::device {
+class DeviceArena;  // device/arena.hpp -- the device layer sits ABOVE exec
+}  // namespace frosch::device
+
 namespace frosch::exec {
 
 enum class ExecBackend {
   Serial,   ///< plain loops on the calling thread
   Threads,  ///< chunked execution on the persistent global ThreadPool
+  Device,   ///< Threads execution routed through the device-memory arena:
+            ///< kernels touch mirrors in device/DeviceArena and every
+            ///< staging they force is MEASURED (see device/arena.hpp).
+            ///< Bitwise identical to Serial/Threads -- the arena only
+            ///< moves bytes, never reorders arithmetic.
 };
 
 const char* to_string(ExecBackend b);
@@ -43,7 +52,16 @@ struct ExecPolicy {
   ExecBackend backend = ExecBackend::Serial;
   int threads = 1;  ///< max threads per region (caller included)
 
-  bool parallel() const { return backend == ExecBackend::Threads && threads > 1; }
+  /// Device backend only: the arena recording this policy's transfers (not
+  /// owned; null on Serial/Threads) and the virtual rank whose device
+  /// memory space the kernels touch.
+  device::DeviceArena* arena = nullptr;
+  int device_rank = 0;
+
+  bool parallel() const {
+    return backend != ExecBackend::Serial && threads > 1;
+  }
+  bool device() const { return backend == ExecBackend::Device; }
 
   static ExecPolicy serial() { return {}; }
   static ExecPolicy with_threads(int t) {
@@ -133,8 +151,9 @@ namespace frosch {
 template <>
 struct EnumTraits<exec::ExecBackend> {
   static constexpr const char* type_name = "ExecBackend";
-  static constexpr std::array<exec::ExecBackend, 2> all = {
-      exec::ExecBackend::Serial, exec::ExecBackend::Threads};
+  static constexpr std::array<exec::ExecBackend, 3> all = {
+      exec::ExecBackend::Serial, exec::ExecBackend::Threads,
+      exec::ExecBackend::Device};
 };
 
 }  // namespace frosch

@@ -15,6 +15,7 @@
 // parallel result is bitwise identical to serial at every thread count.
 #pragma once
 
+#include "device/arena.hpp"
 #include "exec/exec.hpp"
 #include "ilu/iluk.hpp"
 
@@ -101,8 +102,9 @@ class FastIlu {
                 const Scalar aij = A.at(i, j);
                 if (j < i) {
                   const Scalar ujj = uvals_[udiag_[j]];
-                  lnew[lpos_[p]] =
-                      (ujj != Scalar(0)) ? (aij - sum) / ujj : lvals_[lpos_[p]];
+                  lnew[lpos_[p]] = (ujj != Scalar(0))
+                                       ? Scalar((aij - sum) / ujj)
+                                       : lvals_[lpos_[p]];
                 } else {
                   unew[upos_[p]] = aij - sum;
                 }
@@ -115,6 +117,13 @@ class FastIlu {
       std::swap(uvals_, unew);
     }
     pack();
+    // Device backend: the sweeps read A on the device (stage if stale) and
+    // enqueue one entry-parallel kernel per sweep; the resulting factor is
+    // device-born (LocalSolver marks it produced).
+    if (A.num_entries() > 0)
+      device::touch(policy, A.values().data(), A.storage_bytes(),
+                    device::Xfer::Matrix);
+    device::launches(policy, static_cast<count_t>(sweeps));
     if (prof) {
       prof->flops += flops;
       prof->bytes += static_cast<double>(sweeps) *

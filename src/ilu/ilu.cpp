@@ -1,6 +1,7 @@
 // Explicit instantiations of the incomplete-factorization backends.
 // FastSpTRSV -- the paper's iterative triangular solve companion to FastILU
 // -- is implemented as trisolve::JacobiSweepsEngine and aliased here.
+#include "common/half.hpp"
 #include "ilu/fastilu.hpp"
 #include "ilu/iluk.hpp"
 
@@ -8,7 +9,9 @@ namespace frosch::ilu {
 
 template class IlukFactorization<double>;
 template class IlukFactorization<float>;
+template class IlukFactorization<half>;
 template class FastIlu<double>;
 template class FastIlu<float>;
+template class FastIlu<half>;
 
 }  // namespace frosch::ilu

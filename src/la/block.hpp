@@ -187,8 +187,17 @@ void dist_spmv_multi(comm::Communicator& comm, const DistCsrMatrix<Scalar>& A,
         }
       },
       /*grain=*/1);
-  for (int r = 0; r < R; ++r)
-    comm.prof(r) += local_profile(A.local[static_cast<size_t>(r)]);
+  device::DeviceArena* arena = device::arena_of(pol);
+  for (int r = 0; r < R; ++r) {
+    const auto& Al = A.local[static_cast<size_t>(r)];
+    comm.prof(r) += local_profile(Al);
+    if (arena != nullptr) {
+      if (Al.num_entries() > 0)
+        arena->to_device(r, Al.values().data(), Al.storage_bytes(),
+                         device::Xfer::Matrix);
+      arena->launch(r, 1);
+    }
+  }
   if (prof) {
     OpProfile agg;
     for (const auto& Al : A.local) {

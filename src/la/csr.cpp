@@ -1,6 +1,7 @@
 // Anchor TU for the header-templated CSR types; provides explicit
 // instantiations for the two precisions used by the solver stack so template
 // code is compiled (and its warnings surfaced) when the library builds.
+#include "common/half.hpp"
 #include "la/csr.hpp"
 #include "la/ops.hpp"
 #include "la/spmv.hpp"
@@ -10,7 +11,9 @@ namespace frosch::la {
 
 template class CsrMatrix<double>;
 template class CsrMatrix<float>;
+template class CsrMatrix<half>;
 template class TripletBuilder<double>;
 template class TripletBuilder<float>;
+template class TripletBuilder<half>;
 
 }  // namespace frosch::la

@@ -1,8 +1,10 @@
+#include "common/half.hpp"
 #include "la/dense.hpp"
 
 namespace frosch::la {
 
 template class DenseMatrix<double>;
 template class DenseMatrix<float>;
+template class DenseMatrix<half>;
 
 }  // namespace frosch::la

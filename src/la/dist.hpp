@@ -39,6 +39,7 @@
 #include <array>
 
 #include "comm/comm.hpp"
+#include "device/arena.hpp"
 #include "la/csr.hpp"
 #include "la/vector_ops.hpp"
 
@@ -351,8 +352,20 @@ void dist_spmv(comm::Communicator& comm, const DistCsrMatrix<Scalar>& A,
         }
       },
       /*grain=*/1);
-  for (int r = 0; r < R; ++r)
-    comm.prof(r) += local_profile(A.local[static_cast<size_t>(r)]);
+  device::DeviceArena* arena = device::arena_of(pol);
+  for (int r = 0; r < R; ++r) {
+    const auto& Al = A.local[static_cast<size_t>(r)];
+    comm.prof(r) += local_profile(Al);
+    if (arena != nullptr) {
+      // The SpMV kernel reads the rank's local matrix on the device: a
+      // stale mirror measures the staging it forces; the steady state of a
+      // Krylov loop is a no-op here (the matrix was staged at setup).
+      if (Al.num_entries() > 0)
+        arena->to_device(r, Al.values().data(), Al.storage_bytes(),
+                         device::Xfer::Matrix);
+      arena->launch(r, 1);
+    }
+  }
   if (prof) {
     // Aggregate view: the per-rank shares summed, as ONE bulk-synchronous
     // launch (matching la::spmv's whole-matrix accounting).
@@ -395,6 +408,7 @@ namespace detail {
 /// `vecs` vectors with `flops_per_elem` flops per element.
 inline void attribute_elementwise(const DistContext& d, double flops_per_elem,
                                   double vecs, double elem_bytes) {
+  device::DeviceArena* arena = device::arena_of(d.comm->policy());
   for (int r = 0; r < d.comm->size(); ++r) {
     const double share = static_cast<double>(d.plan->owned_count(r));
     OpProfile& p = d.comm->prof(r);
@@ -403,6 +417,9 @@ inline void attribute_elementwise(const DistContext& d, double flops_per_elem,
     p.launches += 1;
     p.critical_path += 1;
     p.work_items += share;
+    // Elementwise vector kernels run device-resident: one launch, no
+    // transfer (the operands never leave device memory between kernels).
+    if (arena != nullptr) arena->launch(r, 1);
   }
 }
 

@@ -11,6 +11,7 @@
 #include <algorithm>
 
 #include "common/op_profile.hpp"
+#include "device/arena.hpp"
 #include "exec/exec.hpp"
 #include "la/csr.hpp"
 
@@ -28,8 +29,12 @@ void spmv(const CsrMatrix<Scalar>& A, const Scalar* x, Scalar* y,
     for (index_t k = A.row_begin(i); k < A.row_end(i); ++k) {
       sum += A.val(k) * x[A.col(k)];
     }
-    y[i] = alpha * sum + (beta == Scalar(0) ? Scalar(0) : beta * y[i]);
+    y[i] = alpha * sum + (beta == Scalar(0) ? Scalar(0) : Scalar(beta * y[i]));
   });
+  if (A.num_entries() > 0)
+    device::touch(policy, A.values().data(), A.storage_bytes(),
+                  device::Xfer::Matrix);
+  device::launches(policy, 1);
   if (prof) {
     prof->flops += 2.0 * static_cast<double>(A.num_entries());
     prof->bytes += A.storage_bytes() +
@@ -116,6 +121,10 @@ void spmv_transpose(const CsrMatrix<Scalar>& A, const std::vector<Scalar>& x,
       y[static_cast<size_t>(j)] = s;
     });
   }
+  if (A.num_entries() > 0)
+    device::touch(policy, A.values().data(), A.storage_bytes(),
+                  device::Xfer::Matrix);
+  device::launches(policy, 1);
   if (prof) {
     prof->flops += 2.0 * static_cast<double>(A.num_entries());
     prof->bytes += A.storage_bytes() +

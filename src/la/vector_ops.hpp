@@ -18,6 +18,7 @@
 #include "common/error.hpp"
 #include "common/op_profile.hpp"
 #include "common/types.hpp"
+#include "device/arena.hpp"
 #include "exec/exec.hpp"
 
 namespace frosch::la {
@@ -28,6 +29,7 @@ void axpy(Scalar alpha, const std::vector<Scalar>& x, std::vector<Scalar>& y,
   FROSCH_ASSERT(x.size() == y.size(), "axpy: size mismatch");
   exec::parallel_for(policy, static_cast<index_t>(x.size()),
                      [&](index_t i) { y[i] += alpha * x[i]; });
+  device::launches(policy, 1);
   if (prof) {
     prof->flops += 2.0 * static_cast<double>(x.size());
     prof->bytes += 3.0 * static_cast<double>(x.size()) * sizeof(Scalar);
@@ -42,6 +44,7 @@ void scale(std::vector<Scalar>& x, Scalar alpha, OpProfile* prof = nullptr,
            const exec::ExecPolicy& policy = {}) {
   exec::parallel_for(policy, static_cast<index_t>(x.size()),
                      [&](index_t i) { x[i] *= alpha; });
+  device::launches(policy, 1);
   if (prof) {
     prof->flops += static_cast<double>(x.size());
     prof->bytes += 2.0 * static_cast<double>(x.size()) * sizeof(Scalar);
@@ -62,6 +65,7 @@ Scalar dot(const std::vector<Scalar>& x, const std::vector<Scalar>& y,
         for (index_t i = b; i < e; ++i) p += x[i] * y[i];
         return p;
       });
+  device::launches(policy, 1);
   if (prof) {
     prof->flops += 2.0 * static_cast<double>(x.size());
     prof->bytes += 2.0 * static_cast<double>(x.size()) * sizeof(Scalar);
@@ -111,6 +115,7 @@ void multi_dot(const std::vector<std::vector<Scalar>>& vs,
   out.assign(k, Scalar(0));
   for (index_t c = 0; c < nc; ++c)
     for (size_t j = 0; j < k; ++j) out[j] += partial[c][j];
+  device::launches(policy, 1);
   if (prof) {
     prof->flops += 2.0 * static_cast<double>(vs.size()) *
                    static_cast<double>(w.size());

@@ -31,8 +31,11 @@ struct ExperimentSpec {
   index_t global_ex = 0, global_ey = 0, global_ez = 0;
 
   bool elasticity = true;      ///< 3D elasticity vs Laplace
-  bool single_precision = false;  ///< whole preconditioner in float
-                                  ///< (selects the "schwarz-float" entry)
+
+  /// Preconditioner precision rung (Tables VI/VII plus the fp16 rung):
+  /// selects the "schwarz" / "schwarz-float" / "schwarz-half" registry
+  /// entry unless the solver config names a non-schwarz preconditioner.
+  Precision precision = Precision::Double;
   /// Preconditioner + Krylov configuration; run_experiment drives the
   /// frosch::Solver facade with exactly this config.  Defaults mirror the
   /// paper: two-level rGDSW + single-reduce GMRES(30) at 1e-7.
@@ -59,6 +62,13 @@ struct ExperimentResult {
   /// Measured per-rank setup-phase communication (overlap row imports,
   /// coarse gather).
   std::vector<OpProfile> rank_setup_comm;
+  /// MEASURED per-rank PCIe transfer ledgers from the device arena
+  /// (run_experiment always runs the Device backend -- results are bitwise
+  /// identical to Serial/Threads, so every experiment carries them):
+  /// setup-phase staging (matrix, factors, coarse basis) and solve-phase
+  /// staging (rhs/solution, halo round trips, collective slices).
+  std::vector<device::TransferLedger> setup_transfers;
+  std::vector<device::TransferLedger> solve_transfers;
   double solve_imbalance = 1.0;  ///< measured per-rank load imbalance
   double wall_setup_s = 0.0;     ///< actual host wall-clock (transparency)
   double wall_solve_s = 0.0;

@@ -16,6 +16,7 @@
 #include <cmath>
 
 #include "common/op_profile.hpp"
+#include "device/ledger.hpp"
 
 namespace frosch::perf {
 
@@ -46,6 +47,17 @@ struct GpuModel {
     return (exec + launch) * (k > 1 ? mps_overhead : 1.0);
   }
 
+  /// PCIe staging time of MEASURED transfers (device/arena.hpp ledgers):
+  /// the recorded H2D + D2H bytes at staging bandwidth.  This replaced the
+  /// former `host_staged_time` estimate (`p.bytes / pcie_bw`, which charged
+  /// a kernel's whole memory traffic to the bus whether or not the operands
+  /// actually crossed it); the arena records what a run really moves.
+  double transfer_time(const device::TransferStats& t) const {
+    return t.bytes() / pcie_bw;
+  }
+  double transfer_time(const device::TransferLedger& l) const {
+    return transfer_time(l.total);
+  }
 };
 
 /// One Power9 core with its fair share of node memory bandwidth.
@@ -61,15 +73,6 @@ struct CpuCoreModel {
            static_cast<double>(p.launches) * loop_overhead;
   }
 };
-
-/// Time for work that stays on the host in a GPU run but whose operands live
-/// in (or must reach) device memory: host compute plus PCIe staging.  Models
-/// the "black bar" of Fig. 4 (sparse-sparse product for the coarse matrix,
-/// halo assembly) being SLOWER in GPU runs than in CPU runs.
-inline double host_staged_time(const GpuModel& gpu, const CpuCoreModel& cpu,
-                               const OpProfile& p, bool fp32 = false) {
-  return cpu.time(p, fp32) + p.bytes / gpu.pcie_bw;
-}
 
 /// MPI collectives and halo exchange (EDR InfiniBand, binomial trees).
 struct NetworkModel {

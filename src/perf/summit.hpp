@@ -67,15 +67,18 @@ class SummitModel {
 
   /// Local (rank-parallel) part: max over ranks of the single-rank model,
   /// including that rank's own halo traffic.  `ranks_per_gpu` applies only
-  /// to Execution::Gpu.  `host_staged` prices the profile on the host with
-  /// PCIe staging even in GPU runs (see machine.hpp).
+  /// to Execution::Gpu.  `host_resident` prices the profile on the host
+  /// even in GPU runs (SuperLU's factorization, halo assembly, the coarse
+  /// RAP); the PCIe crossings such work forces are no longer estimated
+  /// here -- they are MEASURED by the device arena and priced once per
+  /// phase through transfer_time() below.
   double local_time(const std::vector<OpProfile>& rank_profiles,
                     Execution exec, int ranks_per_gpu, bool fp32 = false,
-                    bool host_staged = false) const {
+                    bool host_resident = false) const {
     double worst = 0.0;
     for (const auto& p : rank_profiles) {
       const double t =
-          rank_time(p, exec, ranks_per_gpu, fp32, host_staged) +
+          rank_time(p, exec, ranks_per_gpu, fp32, host_resident) +
           static_cast<double>(p.neighbor_msgs) * cfg_.net.p2p_alpha +
           p.msg_bytes * cfg_.net.beta;
       worst = std::max(worst, t);
@@ -87,12 +90,24 @@ class SummitModel {
   /// wire traffic (the measured-per-rank pricing path zeroes the network
   /// fields before calling this; see network_time below).
   double rank_time(const OpProfile& p, Execution exec, int ranks_per_gpu,
-                   bool fp32 = false, bool host_staged = false) const {
+                   bool fp32 = false, bool host_resident = false) const {
     if (exec == Execution::Gpu) {
-      return host_staged ? host_staged_time(cfg_.gpu, cfg_.cpu, p, fp32)
-                         : cfg_.gpu.time(p, ranks_per_gpu, fp32);
+      return host_resident ? cfg_.cpu.time(p, fp32)
+                           : cfg_.gpu.time(p, ranks_per_gpu, fp32);
     }
     return cfg_.cpu.time(p, fp32);
+  }
+
+  /// PCIe staging of one bulk-synchronous phase from the MEASURED per-rank
+  /// transfer ledgers (device/arena.hpp): every rank stages over its own
+  /// PCIe links concurrently, so the phase pays max-over-ranks.  Zero for
+  /// CPU runs (no ledgers are recorded there).
+  double transfer_time(
+      const std::vector<device::TransferLedger>& ledgers) const {
+    double worst = 0.0;
+    for (const auto& l : ledgers)
+      worst = std::max(worst, cfg_.gpu.transfer_time(l));
+    return worst;
   }
 
   /// Network pricing of MEASURED per-rank profiles -- the unified rule.

@@ -18,13 +18,46 @@ void read_int(const ParameterList& p, const std::string& key, index_t& out) {
 
 }  // namespace
 
+const char* to_string(ExecMode m) {
+  switch (m) {
+    case ExecMode::Auto: return "auto";
+    case ExecMode::Serial: return "serial";
+    case ExecMode::Threads: return "threads";
+    case ExecMode::Device: return "device";
+  }
+  return "unknown";
+}
+
+const char* to_string(Precision p) {
+  switch (p) {
+    case Precision::Double: return "double";
+    case Precision::Float: return "float";
+    case Precision::Half: return "half";
+  }
+  return "unknown";
+}
+
 void SolverConfig::propagate_exec() {
-  const auto policy = exec::ExecPolicy::with_threads(static_cast<int>(threads));
+  auto policy = exec::ExecPolicy::with_threads(static_cast<int>(threads));
+  switch (exec_mode) {
+    case ExecMode::Auto: break;  // with_threads already chose the backend
+    case ExecMode::Serial: policy.backend = exec::ExecBackend::Serial; break;
+    case ExecMode::Threads: policy.backend = exec::ExecBackend::Threads; break;
+    case ExecMode::Device: policy.backend = exec::ExecBackend::Device; break;
+  }
   schwarz.exec = policy;
   schwarz.subdomain.exec = policy;
   schwarz.extension.exec = policy;
   schwarz.coarse.exec = policy;
   krylov.exec = policy;
+}
+
+void SolverConfig::attach_arena(device::DeviceArena* arena) {
+  schwarz.exec.arena = arena;
+  schwarz.subdomain.exec.arena = arena;
+  schwarz.extension.exec.arena = arena;
+  schwarz.coarse.exec.arena = arena;
+  krylov.exec.arena = arena;
 }
 
 SolverConfig SolverConfig::from_parameters(const ParameterList& p) {
@@ -36,9 +69,22 @@ SolverConfig SolverConfig::from_parameters(const ParameterList& p,
   SolverConfig c = std::move(base);
   if (p.has("preconditioner"))
     c.preconditioner = p.get<std::string>("preconditioner");
+  if (p.has("precision")) {
+    // Precision rung shorthand: maps onto the schwarz registry names.  An
+    // explicit "preconditioner" key wins ("none" stays "none").
+    const auto prec = from_string<Precision>(p.get<std::string>("precision"));
+    if (!p.has("preconditioner") && c.preconditioner != "none") {
+      switch (prec) {
+        case Precision::Double: c.preconditioner = "schwarz"; break;
+        case Precision::Float: c.preconditioner = "schwarz-float"; break;
+        case Precision::Half: c.preconditioner = "schwarz-half"; break;
+      }
+    }
+  }
   read_int(p, "num-parts", c.num_parts);
   read_int(p, "ranks", c.ranks);
   read_int(p, "threads", c.threads);
+  read_enum(p, "exec", c.exec_mode);
   read_int(p, "block-size", c.block_size);
   read_int(p, "batch", c.batch);
 
@@ -117,12 +163,18 @@ std::vector<SolverConfig::ParameterDoc> SolverConfig::parameter_docs() {
   using krylov::OrthoKind;
   using trisolve::TrisolveKind;
   return {
-      {"preconditioner", "schwarz, schwarz-float, none",
+      {"preconditioner", "schwarz, schwarz-float, schwarz-half, none",
        "preconditioner registry name"},
+      {"precision", enum_names<Precision>(),
+       "preconditioner precision rung (shorthand for the schwarz registry "
+       "names; explicit preconditioner key wins)"},
       {"num-parts", "int", "subdomain count for algebraic setup(A, Z)"},
       {"ranks", "int",
        "virtual distributed-memory ranks (0 = one per subdomain)"},
       {"threads", "int", "exec-layer thread count (1 = serial)"},
+      {"exec", enum_names<ExecMode>(),
+       "execution backend (auto = threads iff threads > 1; device measures "
+       "all PCIe staging in SolveReport::rank_transfers)"},
       {"block-size", "int",
        "multi-RHS block width of SolveSession batched solves"},
       {"batch", "int",

@@ -14,10 +14,50 @@
 
 namespace frosch {
 
+/// Execution-backend selection behind the "exec" ParameterList key.
+/// `Auto` (the default) keeps the historical behavior: Threads when
+/// threads > 1, Serial otherwise.  `Device` routes every kernel through the
+/// device-memory arena (exec::ExecBackend::Device) so all host<->device
+/// staging is MEASURED; results stay bitwise identical (DESIGN.md sec. 6).
+enum class ExecMode {
+  Auto,
+  Serial,
+  Threads,
+  Device,
+};
+
+const char* to_string(ExecMode m);
+
+/// Preconditioner precision rung behind the "precision" ParameterList key:
+/// a shorthand that maps onto the registry names "schwarz" (double),
+/// "schwarz-float", and "schwarz-half" (Tables VI/VII plus the fp16 rung).
+enum class Precision {
+  Double,
+  Float,
+  Half,
+};
+
+const char* to_string(Precision p);
+
+template <>
+struct EnumTraits<ExecMode> {
+  static constexpr const char* type_name = "ExecMode";
+  static constexpr std::array<ExecMode, 4> all = {
+      ExecMode::Auto, ExecMode::Serial, ExecMode::Threads, ExecMode::Device};
+};
+
+template <>
+struct EnumTraits<Precision> {
+  static constexpr const char* type_name = "Precision";
+  static constexpr std::array<Precision, 3> all = {
+      Precision::Double, Precision::Float, Precision::Half};
+};
+
 struct SolverConfig {
   /// Preconditioner registry name: "schwarz" (working precision),
   /// "schwarz-float" (whole preconditioner in single precision behind a
-  /// half-precision cast, Tables VI/VII), or "none".
+  /// half-precision cast, Tables VI/VII), "schwarz-half" (fp16 rung), or
+  /// "none".
   std::string preconditioner = "schwarz";
 
   /// Subdomain count for the fully algebraic Solver::setup(A, Z) overload
@@ -39,6 +79,11 @@ struct SolverConfig {
   /// --threads flag.
   index_t threads = 1;
 
+  /// Execution backend (the "exec" key).  Auto = Threads iff threads > 1;
+  /// Device additionally records every PCIe staging event in the facade's
+  /// DeviceArena and reports it in SolveReport::rank_transfers.
+  ExecMode exec_mode = ExecMode::Auto;
+
   /// Width of one block solve: SolveSession (and Solver::solve_batch via
   /// the session) splits a batch of right-hand sides into blocks of at most
   /// this many columns, each block solved in lockstep with its reductions
@@ -53,10 +98,15 @@ struct SolverConfig {
   dd::SchwarzConfig schwarz;
   krylov::KrylovOptions krylov;
 
-  /// Copies `threads` into the exec policies of every subsystem config.
-  /// Called by Solver::configure; call it directly when driving subsystem
-  /// structs by hand after changing `threads`.
+  /// Copies `threads` and the `exec_mode` backend into the exec policies of
+  /// every subsystem config.  Called by Solver::configure; call it directly
+  /// when driving subsystem structs by hand after changing `threads`.
   void propagate_exec();
+
+  /// Points every subsystem policy at the device arena (Device mode only;
+  /// pass nullptr to detach).  The facade owns the arena and calls this
+  /// during setup, after the virtual-rank count is known.
+  void attach_arena(device::DeviceArena* arena);
 
   /// Populates a config from string-driven parameters on top of `base`:
   /// keys present in `p` override the corresponding `base` fields, all

@@ -1,6 +1,7 @@
 #include "solver/registry.hpp"
 
 #include "common/error.hpp"
+#include "common/half.hpp"
 #include "common/strings.hpp"
 #include "dd/half_precision.hpp"
 #include "dd/schwarz.hpp"
@@ -49,6 +50,11 @@ PreconditionerRegistry& preconditioner_registry() {
             return std::make_unique<
                 dd::HalfPrecisionPreconditioner<double, float>>(cfg.schwarz,
                                                                 d);
+          });
+    r.add("schwarz-half",
+          [](const SolverConfig& cfg, const dd::Decomposition& d) {
+            return std::make_unique<
+                dd::HalfPrecisionPreconditioner<double, half>>(cfg.schwarz, d);
           });
     r.add("none", [](const SolverConfig&, const dd::Decomposition&) {
       return std::unique_ptr<dd::Preconditioner<double>>();

@@ -63,7 +63,18 @@ void Solver::setup_phases(const la::DenseMatrix<double>& Z) {
   // rank-sharded matrix with its ghost plan.
   const index_t R =
       cfg_.ranks > 0 ? cfg_.ranks : std::max<index_t>(1, decomp_.num_parts);
-  const auto policy = exec::ExecPolicy::with_threads(static_cast<int>(cfg_.threads));
+  // Device mode: stand up the device-memory runtime FIRST so every policy
+  // handed to the subsystems (comm, dist matrix, Schwarz, Krylov) carries
+  // the arena and its transfers are measured from the first staging on.
+  cfg_.propagate_exec();
+  if (cfg_.exec_mode == ExecMode::Device) {
+    arena_ = std::make_unique<device::DeviceArena>(static_cast<int>(R));
+  } else {
+    arena_.reset();
+  }
+  setup_transfers_.clear();
+  cfg_.attach_arena(arena_.get());
+  exec::ExecPolicy policy = cfg_.krylov.exec;
   if (R == 1) {
     comm_ = std::make_unique<comm::SelfComm>(policy);
   } else {
@@ -75,6 +86,16 @@ void Solver::setup_phases(const la::DenseMatrix<double>& Z) {
   plan_ = std::make_unique<la::HaloPlan>(
       la::build_halo_plan(A_, rank_of, static_cast<int>(R)));
   dist_A_.build(A_, *plan_, policy);
+  if (arena_) {
+    // Stage each rank's shard of the operator once -- the setup-phase bulk
+    // H2D; every Krylov-loop SpMV then finds its matrix resident.
+    for (int r = 0; r < static_cast<int>(R); ++r) {
+      const auto& Al = dist_A_.local[static_cast<size_t>(r)];
+      if (Al.num_entries() > 0)
+        arena_->to_device(r, Al.values().data(), Al.storage_bytes(),
+                          device::Xfer::Matrix);
+    }
+  }
 
   cfg_.schwarz.comm = comm_.get();
   cfg_.krylov.dist = la::DistContext{comm_.get(), plan_.get()};
@@ -89,9 +110,27 @@ void Solver::setup_phases(const la::DenseMatrix<double>& Z) {
     prec_->numeric_setup(A_, Z);
     wall_numeric_s_ = tn.seconds();
   }
-  // Everything the communicator measured so far is setup-phase traffic.
+  // Everything the communicator measured so far is setup-phase traffic;
+  // likewise the arena's ledgers hold the setup-phase staging.
   setup_comm_ = comm_->rank_profiles();
+  if (arena_) setup_transfers_ = arena_->ledgers();
   setup_done_ = true;
+}
+
+void Solver::stage_vectors(double num_vectors, device::Dir dir) {
+  if (!arena_) return;
+  // The rhs/solution vectors live in recycled host buffers, so residency
+  // tracking never applies: every solve pays the H2D of each rank's owned
+  // shares, and the owned solution returns D2H afterwards -- the only
+  // per-solve staging a well-formed device run performs besides halos and
+  // collective slices.
+  for (int r = 0; r < comm_->size(); ++r) {
+    const double owned =
+        static_cast<double>(plan_->owned_count(r)) * sizeof(double);
+    if (owned == 0.0) continue;
+    arena_->transfer(r, dir, owned * num_vectors, device::Xfer::Rhs);
+  }
+  arena_->sync_all();
 }
 
 void Solver::setup(const la::CsrMatrix<double>& A,
@@ -121,11 +160,11 @@ void Solver::setup(const la::CsrMatrix<double>& A,
   setup_phases(Z);
 }
 
-SolveReport Solver::finish_report(const OpProfile& solver_prof,
-                                  const std::vector<OpProfile>& comm_before,
-                                  const dd::SchwarzProfiles* sp,
-                                  const dd::SchwarzProfiles& before,
-                                  double wall_s) {
+SolveReport Solver::finish_report(
+    const OpProfile& solver_prof, const std::vector<OpProfile>& comm_before,
+    const dd::SchwarzProfiles* sp, const dd::SchwarzProfiles& before,
+    double wall_s,
+    const std::vector<device::TransferLedger>& transfers_before) {
   SolveReport rep;
   rep.threads = cfg_.threads;
   rep.ranks = static_cast<index_t>(comm_->size());
@@ -140,6 +179,13 @@ SolveReport Solver::finish_report(const OpProfile& solver_prof,
   rep.rank_krylov = comm_->rank_profiles();
   for (size_t r = 0; r < rep.rank_krylov.size(); ++r)
     rep.rank_krylov[r] -= comm_before[r];
+  if (arena_) {
+    // Measured PCIe staging: the setup snapshot plus this solve's delta.
+    rep.rank_setup_transfers = setup_transfers_;
+    rep.rank_transfers = arena_->ledgers();
+    for (size_t r = 0; r < rep.rank_transfers.size(); ++r)
+      rep.rank_transfers[r] -= transfers_before[r];
+  }
   if (prec_) rep.coarse_dim = prec_->coarse_dim();
   if (sp) {
     rep.schwarz = *sp;
@@ -189,12 +235,16 @@ SolveReport Solver::solve(const std::vector<double>& b,
   dd::SchwarzProfiles before;
   if (sp) before = *sp;
   const std::vector<OpProfile> comm_before = comm_->rank_profiles();
+  const std::vector<device::TransferLedger> transfers_before =
+      arena_ ? arena_->ledgers() : std::vector<device::TransferLedger>{};
 
   Timer t;
+  stage_vectors(2.0, device::Dir::H2D);  // rhs + warm start down
   auto sr = krylov_->solve(op, prec_.get(), b, x);
+  stage_vectors(1.0, device::Dir::D2H);  // solution back
 
   SolveReport rep = finish_report(sr.profile, comm_before, sp, before,
-                                  t.seconds());
+                                  t.seconds(), transfers_before);
   rep.converged = sr.converged;
   rep.iterations = sr.iterations;
   rep.initial_residual = sr.initial_residual;
@@ -219,15 +269,20 @@ std::vector<SolveReport> Solver::solve_batch(
   dd::SchwarzProfiles before;
   if (sp) before = *sp;
   const std::vector<OpProfile> comm_before = comm_->rank_profiles();
+  const std::vector<device::TransferLedger> transfers_before =
+      arena_ ? arena_->ledgers() : std::vector<device::TransferLedger>{};
 
   Timer t;
+  stage_vectors(2.0 * static_cast<double>(B.size()), device::Dir::H2D);
   auto br = krylov_->solve_block(op, prec_.get(), B, X);
+  stage_vectors(static_cast<double>(B.size()), device::Dir::D2H);
 
   // Measured profiles cover the WHOLE batch (fused block operations are
   // not separable per column) and are shared by every report; the
   // per-column convergence data match solo solve() calls bitwise.
   const SolveReport shared = finish_report(br.profile, comm_before, sp,
-                                           before, t.seconds());
+                                           before, t.seconds(),
+                                           transfers_before);
   reps.assign(B.size(), shared);
   for (size_t c = 0; c < B.size(); ++c) {
     const auto& sr = br.columns[c];

@@ -19,6 +19,7 @@
 #include "dd/decomposition.hpp"
 #include "dd/preconditioner.hpp"
 #include "dd/schwarz.hpp"
+#include "device/arena.hpp"
 #include "krylov/solver.hpp"
 #include "solver/config.hpp"
 
@@ -61,6 +62,15 @@ struct SolveReport {
   /// measured per-rank work (Schwarz local solves + Krylov share, in
   /// flops) divided by the mean.  1.0 = perfectly balanced.
   double solve_imbalance = 1.0;
+
+  /// MEASURED per-rank host<->device transfer ledgers (Device backend
+  /// only; empty on Serial/Threads).  `rank_setup_transfers` covers the
+  /// setup phases -- where the matrix, factors, and coarse basis cross
+  /// PCIe once -- and `rank_transfers` covers THIS solve: in steady state
+  /// only rhs/solution staging, halo ghost round trips, and collective
+  /// slices remain (the acceptance gate of bench_transfer).
+  std::vector<device::TransferLedger> rank_setup_transfers;
+  std::vector<device::TransferLedger> rank_transfers;
 
   /// Multi-line human-readable summary (examples print this).
   std::string str() const;
@@ -121,6 +131,9 @@ class Solver {
   /// The virtual-rank communicator of the current setup (null before
   /// setup()): SelfComm for ranks=1, SimComm otherwise.
   const comm::Communicator* communicator() const { return comm_.get(); }
+  /// The device-memory arena of the current setup (null unless the config
+  /// selected ExecMode::Device).
+  const device::DeviceArena* arena() const { return arena_.get(); }
   /// The row-distribution/ghost plan of the current setup.
   const la::HaloPlan& halo_plan() const { return *plan_; }
 
@@ -132,7 +145,13 @@ class Solver {
   SolveReport finish_report(const OpProfile& solver_prof,
                             const std::vector<OpProfile>& comm_before,
                             const dd::SchwarzProfiles* sp,
-                            const dd::SchwarzProfiles& before, double wall_s);
+                            const dd::SchwarzProfiles& before, double wall_s,
+                            const std::vector<device::TransferLedger>&
+                                transfers_before);
+  /// Device backend: unconditional staging of `num_vectors` owned-share
+  /// vectors per rank (H2D for rhs/warm starts before a solve, D2H for the
+  /// returned solutions after).  Recycled host buffers -- never resident.
+  void stage_vectors(double num_vectors, device::Dir dir);
 
   SolverConfig cfg_;
   la::CsrMatrix<double> A_;
@@ -143,6 +162,10 @@ class Solver {
   std::unique_ptr<la::HaloPlan> plan_;
   la::DistCsrMatrix<double> dist_A_;
   std::vector<OpProfile> setup_comm_;  ///< measured setup-phase comm snapshot
+  /// Device backend: the virtual device-memory runtime (one device space
+  /// per virtual rank) and the setup-phase transfer snapshot.
+  std::unique_ptr<device::DeviceArena> arena_;
+  std::vector<device::TransferLedger> setup_transfers_;
   std::unique_ptr<dd::Preconditioner<double>> prec_;
   std::unique_ptr<krylov::KrylovSolver<double>> krylov_;
   SolveReport report_;

@@ -1,5 +1,6 @@
 #include "trisolve/engine.hpp"
 
+#include "common/half.hpp"
 #include "trisolve/engines.hpp"
 
 namespace frosch::trisolve {
@@ -20,7 +21,7 @@ std::unique_ptr<TriangularEngine<Scalar>> make_trisolve(
     TrisolveKind kind, const TrisolveOptions& opts) {
   switch (kind) {
     case TrisolveKind::Substitution:
-      return std::make_unique<SubstitutionEngine<Scalar>>();
+      return std::make_unique<SubstitutionEngine<Scalar>>(opts.exec);
     case TrisolveKind::LevelSet:
       return std::make_unique<LevelSetEngine<Scalar>>(opts.exec);
     case TrisolveKind::SupernodalLevelSet:
@@ -38,6 +39,8 @@ std::unique_ptr<TriangularEngine<Scalar>> make_trisolve(
 template std::unique_ptr<TriangularEngine<double>> make_trisolve<double>(
     TrisolveKind, const TrisolveOptions&);
 template std::unique_ptr<TriangularEngine<float>> make_trisolve<float>(
+    TrisolveKind, const TrisolveOptions&);
+template std::unique_ptr<TriangularEngine<half>> make_trisolve<half>(
     TrisolveKind, const TrisolveOptions&);
 
 }  // namespace frosch::trisolve

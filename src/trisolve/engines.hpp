@@ -9,17 +9,38 @@
 // per-row accumulation order is unchanged); see DESIGN.md section 6.
 #pragma once
 
+#include "device/arena.hpp"
 #include "la/spmv.hpp"
 #include "trisolve/engine.hpp"
 #include "trisolve/substitution.hpp"
 
 namespace frosch::trisolve {
 
+namespace detail {
+
+/// Device hook shared by the exact engines: a triangular solve READS the
+/// factor pair on the device, so a stale mirror measures the staging it
+/// forces (SuperLU's host-rebuilt factor restages after every numeric
+/// factorization; device-born factors are free).  The factorization object
+/// is the mirror key -- its address is stable across numeric refreshes.
+template <class Scalar>
+inline void touch_factor(const exec::ExecPolicy& pol,
+                         const Factorization<Scalar>* f) {
+  if (f != nullptr)
+    device::touch(pol, f, f->L.storage_bytes() + f->U.storage_bytes(),
+                  device::Xfer::Factor);
+}
+
+}  // namespace detail
+
 /// CPU baseline: sequential substitution.  One "launch" per factor; critical
 /// path = n rows (fully serial -- deliberately ignores the exec policy).
 template <class Scalar>
 class SubstitutionEngine final : public TriangularEngine<Scalar> {
  public:
+  explicit SubstitutionEngine(const exec::ExecPolicy& policy = {})
+      : policy_(policy) {}
+
   void setup(const Factorization<Scalar>& f, OpProfile* prof) override {
     fact_ = &f;
     if (prof) {
@@ -32,9 +53,11 @@ class SubstitutionEngine final : public TriangularEngine<Scalar> {
 
   void solve(const std::vector<Scalar>& b, std::vector<Scalar>& x,
              OpProfile* prof) const override {
+    detail::touch_factor(policy_, fact_);
     fact_->apply_row_perm(b, x);
     forward_solve(fact_->L, fact_->unit_diag_L, x);
     backward_solve(fact_->U, x);
+    device::launches(policy_, 2);
     if (prof) {
       prof->flops += 2.0 * static_cast<double>(fact_->factor_nnz());
       prof->bytes += fact_->L.storage_bytes() + fact_->U.storage_bytes();
@@ -48,6 +71,7 @@ class SubstitutionEngine final : public TriangularEngine<Scalar> {
 
  private:
   const Factorization<Scalar>* fact_ = nullptr;
+  exec::ExecPolicy policy_;
 };
 
 /// Element-based level-set scheduling [Anderson & Saad 1989]: rows grouped
@@ -75,11 +99,14 @@ class LevelSetEngine final : public TriangularEngine<Scalar> {
 
   void solve(const std::vector<Scalar>& b, std::vector<Scalar>& x,
              OpProfile* prof) const override {
+    detail::touch_factor(policy_, fact_);
     fact_->apply_row_perm(b, x);
     level_scheduled_solve(fact_->L, fact_->unit_diag_L, lorder_, lptr_, x,
                           policy_);
     level_scheduled_solve(fact_->U, /*unit_diag=*/false, uorder_, uptr_, x,
                           policy_);
+    device::launches(policy_,
+                     static_cast<count_t>(lower_nlevels_ + upper_nlevels_));
     record_levelset_sweep(fact_->L, lower_nlevels_, prof);
     record_levelset_sweep(fact_->U, upper_nlevels_, prof);
   }
@@ -142,11 +169,14 @@ class SupernodalEngine final : public TriangularEngine<Scalar> {
 
   void solve(const std::vector<Scalar>& b, std::vector<Scalar>& x,
              OpProfile* prof) const override {
+    detail::touch_factor(policy_, fact_);
     fact_->apply_row_perm(b, x);
     block_sweep(fact_->L, fact_->unit_diag_L, /*forward=*/true, lsn_order_,
                 lsn_ptr_, x);
     block_sweep(fact_->U, /*unit_diag=*/false, /*forward=*/false, usn_order_,
                 usn_ptr_, x);
+    device::launches(policy_,
+                     static_cast<count_t>(lower_nlevels_ + upper_nlevels_));
     if (prof) {
       prof->flops += 2.0 * static_cast<double>(fact_->factor_nnz());
       prof->bytes += fact_->L.storage_bytes() + fact_->U.storage_bytes();
@@ -237,6 +267,12 @@ class PartitionedInverseEngine final : public TriangularEngine<Scalar> {
     build_factors(f.L, f.unit_diag_L, /*lower=*/true, lower_factors_, ldiag_);
     build_factors(f.U, /*unit_diag=*/false, /*lower=*/false, upper_factors_,
                   udiag_);
+    // The inverse level factors are built by device kernels: mark them
+    // device-born so the solve's SpMV touches stage nothing.
+    for (const auto& m : lower_factors_)
+      device::produced(policy_, m.values().data(), m.storage_bytes());
+    for (const auto& m : upper_factors_)
+      device::produced(policy_, m.values().data(), m.storage_bytes());
     if (prof) {
       double fb = 0.0;
       for (auto& m : lower_factors_) fb += m.storage_bytes();
@@ -266,6 +302,7 @@ class PartitionedInverseEngine final : public TriangularEngine<Scalar> {
       std::swap(tmp, x);
     }
     exec::parallel_for(policy_, n, [&](index_t i) { x[i] /= udiag_[i]; });
+    device::launches(policy_, 2);
     if (prof) {
       prof->flops += 2.0 * static_cast<double>(x.size());
       prof->launches += 2;
@@ -350,6 +387,7 @@ class JacobiSweepsEngine final : public TriangularEngine<Scalar> {
 
   void solve(const std::vector<Scalar>& b, std::vector<Scalar>& x,
              OpProfile* prof) const override {
+    detail::touch_factor(policy_, fact_);
     std::vector<Scalar> pb;
     fact_->apply_row_perm(b, pb);
     std::vector<Scalar> y(pb.size());
@@ -384,6 +422,7 @@ class JacobiSweepsEngine final : public TriangularEngine<Scalar> {
       });
       std::swap(x, xn);
     }
+    device::launches(policy_, static_cast<count_t>(sweeps_));
     if (prof) {
       prof->flops += 2.0 * static_cast<double>(T.num_entries()) * sweeps_;
       prof->bytes += static_cast<double>(sweeps_) * T.storage_bytes();

@@ -27,7 +27,7 @@ void forward_solve(const la::CsrMatrix<Scalar>& L, bool unit_diag,
       }
     }
     FROSCH_ASSERT(diag != Scalar(0), "forward_solve: zero diagonal");
-    x[i] = unit_diag ? sum : sum / diag;
+    x[i] = unit_diag ? sum : Scalar(sum / diag);
   }
 }
 
@@ -124,7 +124,7 @@ void solve_row(const la::CsrMatrix<Scalar>& T, bool unit_diag, index_t i,
     }
   }
   FROSCH_ASSERT(diag != Scalar(0), "solve_row: zero diagonal");
-  x[i] = unit_diag ? sum : sum / diag;
+  x[i] = unit_diag ? sum : Scalar(sum / diag);
 }
 
 /// One level-scheduled triangular sweep, x in place: rows within a level run

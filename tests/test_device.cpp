@@ -1,0 +1,376 @@
+// Tests for the virtual device-memory runtime (src/device) and the Device
+// execution backend: the DeviceArena residency protocol, the measured
+// transfer ledgers, and the facade-level contracts -- Device results are
+// bitwise identical to Serial/Threads at every (ranks, threads), setup
+// stages the matrix/factors/coarse basis ONCE, and the Krylov loop's steady
+// state moves only rhs staging, halo ghost round trips, and collective
+// slices across PCIe.
+#include <gtest/gtest.h>
+
+#include "device/arena.hpp"
+#include "frosch.hpp"
+#include "support/problems.hpp"
+
+namespace frosch {
+namespace {
+
+using device::DeviceArena;
+using device::Dir;
+using device::TransferLedger;
+using device::TransferStats;
+using device::Xfer;
+
+// ---------------------------------------------------------------------------
+// DeviceArena residency protocol.
+
+TEST(Arena, ToDeviceStagesOnceThenStaysResident) {
+  DeviceArena arena(2);
+  int host_obj = 0;
+  EXPECT_FALSE(arena.resident(0, &host_obj));
+  EXPECT_TRUE(arena.to_device(0, &host_obj, 100.0, Xfer::Matrix));
+  EXPECT_TRUE(arena.resident(0, &host_obj));
+  // Same key, same size: the measured steady state -- no transfer.
+  EXPECT_FALSE(arena.to_device(0, &host_obj, 100.0, Xfer::Matrix));
+  const auto l = arena.ledger(0);
+  EXPECT_EQ(l.total.h2d_count, 1u);
+  EXPECT_DOUBLE_EQ(l.total.h2d_bytes, 100.0);
+  EXPECT_DOUBLE_EQ(l.of(Xfer::Matrix).h2d_bytes, 100.0);
+  // Each rank owns its own device space.
+  EXPECT_FALSE(arena.resident(1, &host_obj));
+  EXPECT_EQ(arena.ledger(1).total.count(), 0u);
+}
+
+TEST(Arena, SizeChangeRestages) {
+  DeviceArena arena(1);
+  int host_obj = 0;
+  EXPECT_TRUE(arena.to_device(0, &host_obj, 64.0, Xfer::Matrix));
+  EXPECT_TRUE(arena.to_device(0, &host_obj, 128.0, Xfer::Matrix));
+  const auto l = arena.ledger(0);
+  EXPECT_EQ(l.total.h2d_count, 2u);
+  EXPECT_DOUBLE_EQ(l.total.h2d_bytes, 192.0);
+}
+
+TEST(Arena, ProducedIsDeviceBornUntilAHostOpAsksForIt) {
+  DeviceArena arena(1);
+  int factor = 0;
+  arena.produced(0, &factor, 256.0);  // device kernel wrote it: no transfer
+  EXPECT_TRUE(arena.resident(0, &factor));
+  EXPECT_EQ(arena.ledger(0).total.count(), 0u);
+  // First host read downloads it; the second is free.
+  EXPECT_TRUE(arena.to_host(0, &factor, Xfer::Factor));
+  EXPECT_FALSE(arena.to_host(0, &factor, Xfer::Factor));
+  const auto l = arena.ledger(0);
+  EXPECT_EQ(l.total.d2h_count, 1u);
+  EXPECT_DOUBLE_EQ(l.of(Xfer::Factor).d2h_bytes, 256.0);
+  // A device-born object never needed an upload.
+  EXPECT_EQ(l.total.h2d_count, 0u);
+}
+
+TEST(Arena, ToHostIsFreeUnlessDeviceNewer) {
+  DeviceArena arena(1);
+  int obj = 0;
+  arena.to_device(0, &obj, 8.0, Xfer::Other);
+  EXPECT_FALSE(arena.to_host(0, &obj, Xfer::Other));  // in sync already
+  EXPECT_EQ(arena.ledger(0).total.d2h_count, 0u);
+}
+
+TEST(Arena, InvalidateForcesRestaging) {
+  DeviceArena arena(1);
+  int obj = 0;
+  arena.to_device(0, &obj, 32.0, Xfer::Matrix);
+  arena.invalidate(0, &obj);  // host mutated the values
+  EXPECT_FALSE(arena.resident(0, &obj));
+  EXPECT_TRUE(arena.to_device(0, &obj, 32.0, Xfer::Matrix));
+  EXPECT_EQ(arena.ledger(0).total.h2d_count, 2u);
+}
+
+TEST(Arena, TransferIsUnconditionalForRecycledBuffers) {
+  DeviceArena arena(1);
+  arena.transfer(0, Dir::H2D, 16.0, Xfer::Rhs);
+  arena.transfer(0, Dir::H2D, 16.0, Xfer::Rhs);  // same rhs buffer, re-staged
+  arena.transfer(0, Dir::D2H, 8.0, Xfer::Halo);
+  const auto l = arena.ledger(0);
+  EXPECT_EQ(l.total.h2d_count, 2u);
+  EXPECT_DOUBLE_EQ(l.of(Xfer::Rhs).h2d_bytes, 32.0);
+  EXPECT_EQ(l.of(Xfer::Halo).d2h_count, 1u);
+  EXPECT_DOUBLE_EQ(l.total.bytes(), 40.0);
+}
+
+TEST(Arena, LaunchQueueTracksHighWaterAcrossSyncs) {
+  DeviceArena arena(1);
+  arena.launch(0, 3);
+  arena.launch(0, 2);
+  auto l = arena.ledger(0);
+  EXPECT_EQ(l.launches, 5u);
+  EXPECT_EQ(l.queue_depth, 5u);
+  EXPECT_EQ(l.max_queue_depth, 5u);
+  arena.sync(0);
+  l = arena.ledger(0);
+  EXPECT_EQ(l.queue_depth, 0u);      // drained
+  EXPECT_EQ(l.launches, 5u);         // cumulative count survives
+  EXPECT_EQ(l.max_queue_depth, 5u);  // high water survives
+  arena.launch(0, 1);
+  arena.sync_all();
+  l = arena.ledger(0);
+  EXPECT_EQ(l.launches, 6u);
+  EXPECT_EQ(l.max_queue_depth, 5u);
+}
+
+TEST(Arena, ResetDropsMirrorsAndLedgers) {
+  DeviceArena arena(1);
+  int obj = 0;
+  arena.to_device(0, &obj, 8.0, Xfer::Matrix);
+  arena.launch(0, 2);
+  arena.reset();
+  EXPECT_FALSE(arena.resident(0, &obj));
+  EXPECT_EQ(arena.ledger(0).total.count(), 0u);
+  EXPECT_EQ(arena.ledger(0).launches, 0u);
+}
+
+TEST(Ledger, ArithmeticSupportsSnapshotDeltas) {
+  auto record = [](TransferLedger& l, Dir dir, double bytes, Xfer op) {
+    TransferStats ev;
+    if (dir == Dir::H2D) {
+      ev.h2d_count = 1;
+      ev.h2d_bytes = bytes;
+    } else {
+      ev.d2h_count = 1;
+      ev.d2h_bytes = bytes;
+    }
+    l.total += ev;
+    l.of(op) += ev;
+  };
+  TransferLedger a, b;
+  record(a, Dir::H2D, 100.0, Xfer::Matrix);
+  record(a, Dir::D2H, 40.0, Xfer::Halo);
+  a.launches = 7;
+  record(b, Dir::H2D, 60.0, Xfer::Matrix);
+  b.launches = 3;
+  TransferLedger sum = a;
+  sum += b;
+  EXPECT_DOUBLE_EQ(sum.total.bytes(), 200.0);
+  EXPECT_EQ(sum.launches, 10u);
+  TransferLedger delta = sum;
+  delta -= a;
+  EXPECT_DOUBLE_EQ(delta.total.bytes(), 60.0);
+  EXPECT_DOUBLE_EQ(delta.of(Xfer::Matrix).h2d_bytes, 60.0);
+  EXPECT_DOUBLE_EQ(delta.of(Xfer::Halo).d2h_bytes, 0.0);
+  EXPECT_EQ(delta.launches, 3u);
+}
+
+TEST(Policy, HelpersAreNoOpsOffTheDeviceBackend) {
+  DeviceArena arena(1);
+  exec::ExecPolicy serial;  // Serial backend, arena attached anyway
+  serial.arena = &arena;
+  int obj = 0;
+  device::touch(serial, &obj, 100.0, Xfer::Matrix);
+  device::produced(serial, &obj, 100.0);
+  device::launches(serial, 4);
+  EXPECT_EQ(arena.ledger(0).total.count(), 0u);
+  EXPECT_EQ(arena.ledger(0).launches, 0u);
+  EXPECT_EQ(device::arena_of(serial), nullptr);
+  exec::ExecPolicy dev = serial;
+  dev.backend = exec::ExecBackend::Device;
+  EXPECT_EQ(device::arena_of(dev), &arena);
+  device::touch(dev, &obj, 100.0, Xfer::Matrix);
+  EXPECT_DOUBLE_EQ(arena.ledger(0).total.h2d_bytes, 100.0);
+}
+
+// ---------------------------------------------------------------------------
+// Facade contracts: bitwise identity and the measured staging shape.
+
+struct RunOut {
+  SolveReport rep;
+  std::vector<double> x;
+};
+
+RunOut run(const test::MeshProblem& p, ExecMode mode, index_t ranks,
+           index_t threads, bool elasticity) {
+  SolverConfig cfg;
+  cfg.exec_mode = mode;
+  cfg.ranks = ranks;
+  cfg.threads = threads;
+  if (elasticity) {
+    cfg.schwarz.subdomain.dof_block_size = 3;
+    cfg.schwarz.extension.dof_block_size = 3;
+  }
+  Solver solver(cfg);
+  solver.setup(p.A, p.Z, p.owner, p.num_parts);
+  RunOut out;
+  std::vector<double> b(static_cast<size_t>(p.A.num_rows()), 1.0);
+  out.rep = solver.solve(b, out.x);
+  EXPECT_TRUE(out.rep.converged);
+  return out;
+}
+
+void expect_bitwise_equal(const RunOut& got, const RunOut& ref,
+                          const std::string& label) {
+  EXPECT_EQ(got.rep.iterations, ref.rep.iterations) << label;
+  EXPECT_EQ(got.rep.coarse_dim, ref.rep.coarse_dim) << label;
+  // Bitwise: EXPECT_EQ on doubles, not EXPECT_NEAR.
+  EXPECT_EQ(got.rep.final_residual, ref.rep.final_residual) << label;
+  ASSERT_EQ(got.x.size(), ref.x.size()) << label;
+  for (size_t i = 0; i < got.x.size(); ++i)
+    ASSERT_EQ(got.x[i], ref.x[i]) << label << " x[" << i << "]";
+}
+
+class DeviceBitwise : public ::testing::TestWithParam<bool> {};
+
+TEST_P(DeviceBitwise, MatchesSerialAndThreadsAtEveryRankThreadCombo) {
+  // The determinism contract: the Device backend only ADDS measurement, so
+  // results are bitwise identical to the Auto (Serial/Threads) backend at
+  // every (ranks, threads) on the 16^3 Laplace and a small elasticity
+  // problem.
+  const bool elast = GetParam();
+  const auto p = elast ? test::elasticity_problem(5, 2, 2, 2)
+                       : test::laplace_problem(16, 2, 2, 2);
+  const auto ref = run(p, ExecMode::Auto, 1, 1, elast);
+  for (index_t ranks : {index_t(1), index_t(4)}) {
+    for (index_t threads : {index_t(1), index_t(4)}) {
+      const std::string label = std::string(elast ? "elasticity" : "laplace") +
+                                " ranks=" + std::to_string(ranks) +
+                                " threads=" + std::to_string(threads);
+      const auto auto_run = run(p, ExecMode::Auto, ranks, threads, elast);
+      expect_bitwise_equal(auto_run, ref, label + " (auto)");
+      const auto dev = run(p, ExecMode::Device, ranks, threads, elast);
+      expect_bitwise_equal(dev, ref, label + " (device)");
+      // Device mode measures: the ledgers exist and saw traffic.
+      ASSERT_EQ(dev.rep.rank_setup_transfers.size(), size_t(ranks)) << label;
+      ASSERT_EQ(dev.rep.rank_transfers.size(), size_t(ranks)) << label;
+      EXPECT_TRUE(auto_run.rep.rank_transfers.empty()) << label;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Problems, DeviceBitwise, ::testing::Bool());
+
+class DeviceLedgers : public ::testing::Test {
+ protected:
+  static const SolveReport& report() {
+    static const SolveReport rep = [] {
+      auto p = test::laplace_problem(16, 2, 2, 2);
+      SolverConfig cfg;
+      cfg.exec_mode = ExecMode::Device;
+      cfg.ranks = 4;
+      Solver solver(cfg);
+      solver.setup(p.A, p.Z, p.owner, p.num_parts);
+      std::vector<double> b(static_cast<size_t>(p.A.num_rows()), 1.0), x;
+      auto r = solver.solve(b, x);
+      EXPECT_TRUE(r.converged);
+      return r;
+    }();
+    return rep;
+  }
+  static double sum_bytes(const std::vector<TransferLedger>& ls) {
+    double s = 0.0;
+    for (const auto& l : ls) s += l.total.bytes();
+    return s;
+  }
+  static double sum_of(const std::vector<TransferLedger>& ls, Xfer op,
+                       Dir dir) {
+    double s = 0.0;
+    for (const auto& l : ls)
+      s += dir == Dir::H2D ? l.of(op).h2d_bytes : l.of(op).d2h_bytes;
+    return s;
+  }
+};
+
+TEST_F(DeviceLedgers, SetupDominatesTheMeasuredStaging) {
+  // Table I mechanism: setup stages the matrix, factors, and coarse basis
+  // across PCIe once; one solve's steady-state traffic is far smaller.
+  const auto& rep = report();
+  EXPECT_GT(sum_bytes(rep.rank_setup_transfers),
+            sum_bytes(rep.rank_transfers));
+  // Setup staged real objects from every family that crosses once.
+  EXPECT_GT(sum_of(rep.rank_setup_transfers, Xfer::Matrix, Dir::H2D), 0.0);
+  EXPECT_GT(sum_of(rep.rank_setup_transfers, Xfer::CoarseOp, Dir::H2D), 0.0);
+}
+
+TEST_F(DeviceLedgers, SteadyStateSolveMovesNoMatrixOrFactorBytes) {
+  // The acceptance gate: with everything resident after setup, the Krylov
+  // loop's transfers are ONLY rhs staging, halo ghost round trips, and
+  // collective slices -- a solve that re-staged the matrix or factors would
+  // show up here.
+  const auto& rep = report();
+  for (size_t r = 0; r < rep.rank_transfers.size(); ++r) {
+    const auto& l = rep.rank_transfers[r];
+    EXPECT_DOUBLE_EQ(l.of(Xfer::Matrix).bytes(), 0.0) << "rank " << r;
+    EXPECT_DOUBLE_EQ(l.of(Xfer::Factor).bytes(), 0.0) << "rank " << r;
+    EXPECT_DOUBLE_EQ(l.of(Xfer::CoarseOp).bytes(), 0.0) << "rank " << r;
+    EXPECT_DOUBLE_EQ(l.of(Xfer::Other).bytes(), 0.0) << "rank " << r;
+    EXPECT_GT(l.of(Xfer::Rhs).h2d_bytes, 0.0) << "rank " << r;
+  }
+  // Halo ghosts dominate the per-iteration traffic; the fused reduction
+  // slices are tiny next to them.
+  const double halo = sum_of(rep.rank_transfers, Xfer::Halo, Dir::H2D) +
+                      sum_of(rep.rank_transfers, Xfer::Halo, Dir::D2H);
+  const double coll =
+      sum_of(rep.rank_transfers, Xfer::Collective, Dir::H2D) +
+      sum_of(rep.rank_transfers, Xfer::Collective, Dir::D2H);
+  EXPECT_GT(halo, 0.0);
+  EXPECT_LE(coll, halo);
+}
+
+TEST_F(DeviceLedgers, RepeatedSolvesStayInSteadyState) {
+  // Ledger deltas are per solve: a second solve on the same setup must look
+  // exactly like the first (same staged families, no growth).
+  auto p = test::laplace_problem(12, 2, 2, 2);
+  SolverConfig cfg;
+  cfg.exec_mode = ExecMode::Device;
+  cfg.ranks = 4;
+  Solver solver(cfg);
+  solver.setup(p.A, p.Z, p.owner, p.num_parts);
+  std::vector<double> b(static_cast<size_t>(p.A.num_rows()), 1.0), x1, x2;
+  auto r1 = solver.solve(b, x1);
+  auto r2 = solver.solve(b, x2);
+  ASSERT_TRUE(r1.converged);
+  ASSERT_TRUE(r2.converged);
+  ASSERT_EQ(r1.rank_transfers.size(), r2.rank_transfers.size());
+  for (size_t r = 0; r < r1.rank_transfers.size(); ++r) {
+    EXPECT_DOUBLE_EQ(r2.rank_transfers[r].total.bytes(),
+                     r1.rank_transfers[r].total.bytes())
+        << "rank " << r;
+    EXPECT_DOUBLE_EQ(r2.rank_transfers[r].of(Xfer::Matrix).bytes(), 0.0);
+  }
+}
+
+TEST(DeviceSingleRank, SolveStagesOnlyRhsAndResult) {
+  // ranks=1 runs on SelfComm: no halos, no collective slices -- the solve
+  // ledger holds exactly the rhs/guess upload and the solution download.
+  auto p = test::laplace_problem(12, 2, 2, 2);
+  SolverConfig cfg;
+  cfg.exec_mode = ExecMode::Device;
+  cfg.ranks = 1;
+  Solver solver(cfg);
+  solver.setup(p.A, p.Z, p.owner, p.num_parts);
+  std::vector<double> b(static_cast<size_t>(p.A.num_rows()), 1.0), x;
+  auto rep = solver.solve(b, x);
+  ASSERT_TRUE(rep.converged);
+  ASSERT_EQ(rep.rank_transfers.size(), 1u);
+  const auto& l = rep.rank_transfers[0];
+  EXPECT_DOUBLE_EQ(l.total.bytes(), l.of(Xfer::Rhs).bytes());
+  const double n_bytes = 8.0 * static_cast<double>(p.A.num_rows());
+  EXPECT_DOUBLE_EQ(l.of(Xfer::Rhs).h2d_bytes, 2.0 * n_bytes);  // b and x
+  EXPECT_DOUBLE_EQ(l.of(Xfer::Rhs).d2h_bytes, n_bytes);        // result
+}
+
+TEST(DeviceConfig, ExecKeyParsesAndAutoStaysUnmeasured) {
+  ParameterList p;
+  p.set("exec", "device").set("threads", 2);
+  auto c = SolverConfig::from_parameters(p);
+  EXPECT_EQ(c.exec_mode, ExecMode::Device);
+  c.propagate_exec();
+  EXPECT_EQ(c.krylov.exec.backend, exec::ExecBackend::Device);
+  EXPECT_EQ(c.schwarz.subdomain.exec.backend, exec::ExecBackend::Device);
+  // Auto keeps the historical mapping.
+  SolverConfig a;
+  a.threads = 4;
+  a.propagate_exec();
+  EXPECT_EQ(a.krylov.exec.backend, exec::ExecBackend::Threads);
+  a.threads = 1;
+  a.propagate_exec();
+  EXPECT_EQ(a.krylov.exec.backend, exec::ExecBackend::Serial);
+}
+
+}  // namespace
+}  // namespace frosch

@@ -1,0 +1,200 @@
+// Tests for frosch::half (common/half.hpp), the trivially-convertible
+// IEEE 754 binary16 scalar behind the "schwarz-half" precision rung:
+// conversion exactness on the representable range, round-to-nearest-even at
+// the ties, subnormal and inf/NaN behaviour, and the end-to-end fp16
+// preconditioner mirroring the schwarz-float golden tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/half.hpp"
+#include "frosch.hpp"
+#include "support/problems.hpp"
+
+namespace frosch {
+namespace {
+
+TEST(Half, IntegersThrough2048RoundTripExactly) {
+  // Every integer of magnitude <= 2048 is exactly representable in binary16
+  // (11 significand bits); the conversion must be the identity on them.
+  for (int i = 0; i <= 2048; ++i) {
+    EXPECT_EQ(static_cast<float>(half(i)), static_cast<float>(i)) << i;
+    EXPECT_EQ(static_cast<float>(half(-i)), static_cast<float>(-i)) << -i;
+    EXPECT_EQ(static_cast<float>(half(static_cast<double>(i))),
+              static_cast<float>(i))
+        << i;
+  }
+}
+
+TEST(Half, PowersOfTwoRoundTripAcrossTheExponentRange) {
+  for (int e = -14; e <= 15; ++e) {
+    const float v = std::ldexp(1.0f, e);
+    EXPECT_EQ(static_cast<float>(half(v)), v) << "2^" << e;
+    EXPECT_EQ(static_cast<float>(half(-v)), -v) << "-2^" << e;
+  }
+}
+
+TEST(Half, RoundsTiesToNearestEven) {
+  // Above 2048 the spacing is 2: odd integers are exact ties and must round
+  // to the neighbour with an even significand.
+  EXPECT_EQ(static_cast<float>(half(2049.0f)), 2048.0f);  // down to even
+  EXPECT_EQ(static_cast<float>(half(2051.0f)), 2052.0f);  // up to even
+  EXPECT_EQ(static_cast<float>(half(2053.0f)), 2052.0f);  // down to even
+  // Non-ties round to nearest regardless of parity.
+  EXPECT_EQ(static_cast<float>(half(2050.5f)), 2050.0f);
+  EXPECT_EQ(static_cast<float>(half(2051.5f)), 2052.0f);
+  // The classic unit tie: 1 + 2^-11 is halfway between 1 and 1 + 2^-10.
+  EXPECT_EQ(static_cast<float>(half(1.0f + std::ldexp(1.0f, -11))), 1.0f);
+  // 1 + 3*2^-11 ties between 1 + 2^-10 (odd mantissa) and 1 + 2^-9 (even).
+  EXPECT_EQ(static_cast<float>(half(1.0f + 3.0f * std::ldexp(1.0f, -11))),
+            1.0f + std::ldexp(1.0f, -9));
+}
+
+TEST(Half, SubnormalsRoundTripAndUnderflowToZero) {
+  const float ulp = std::ldexp(1.0f, -24);  // smallest positive subnormal
+  EXPECT_EQ(static_cast<float>(half(ulp)), ulp);
+  EXPECT_EQ(static_cast<float>(half(-ulp)), -ulp);
+  // Largest subnormal and the normal/subnormal boundary are exact.
+  const float max_sub = std::ldexp(1023.0f, -24);
+  EXPECT_EQ(static_cast<float>(half(max_sub)), max_sub);
+  EXPECT_EQ(static_cast<float>(half(std::ldexp(1.0f, -14))),
+            std::ldexp(1.0f, -14));
+  // Halfway between 0 and the smallest subnormal ties to even (zero)...
+  EXPECT_EQ(static_cast<float>(half(std::ldexp(1.0f, -25))), 0.0f);
+  // ...anything below the halfway point flushes to (signed) zero.
+  EXPECT_EQ(static_cast<float>(half(std::ldexp(1.0f, -26))), 0.0f);
+  EXPECT_EQ(half(std::ldexp(-1.0f, -26)).bits, 0x8000u);
+  // 1.5 * 2^-24 is a tie between q=1 (odd) and q=2 (even): rounds up.
+  EXPECT_EQ(static_cast<float>(half(3.0f * std::ldexp(1.0f, -25))),
+            std::ldexp(1.0f, -23));
+}
+
+TEST(Half, OverflowSaturatesToInfinityAt65520) {
+  // Largest finite half is 65504; spacing there is 32, so 65520 is the tie
+  // with the (hypothetical) 65536 and everything >= it becomes infinity.
+  EXPECT_EQ(static_cast<float>(half(65504.0f)), 65504.0f);
+  EXPECT_EQ(static_cast<float>(half(65519.0f)), 65504.0f);
+  EXPECT_TRUE(std::isinf(static_cast<float>(half(65520.0f))));
+  EXPECT_TRUE(std::isinf(static_cast<float>(half(1e30f))));
+  EXPECT_TRUE(std::isinf(static_cast<float>(half(-65520.0f))));
+  EXPECT_LT(static_cast<float>(half(-65520.0f)), 0.0f);
+}
+
+TEST(Half, InfAndNaNPropagate) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(std::isinf(static_cast<float>(half(inf))));
+  EXPECT_TRUE(std::isinf(static_cast<float>(half(-inf))));
+  EXPECT_LT(static_cast<float>(half(-inf)), 0.0f);
+  const half qn(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(std::isnan(static_cast<float>(qn)));
+  EXPECT_NE(qn.bits & 0x0200u, 0u);  // quiet bit forced
+  const half sn(std::numeric_limits<float>::signaling_NaN());
+  EXPECT_TRUE(std::isnan(static_cast<float>(sn)));
+  EXPECT_NE(sn.bits & 0x0200u, 0u);  // signaling NaN narrows to quiet
+}
+
+TEST(Half, UnaryMinusFlipsOnlyTheSignBit) {
+  const half h(1.5f);
+  EXPECT_EQ((-h).bits, h.bits ^ 0x8000u);
+  EXPECT_EQ(static_cast<float>(-h), -1.5f);
+  const half z(0.0f);
+  EXPECT_EQ((-z).bits, 0x8000u);  // -0.0
+  EXPECT_EQ(static_cast<float>(-z), 0.0f);
+}
+
+TEST(Half, ArithmeticComputesInFloatStoresRne) {
+  // Mixed half/float expressions promote to float through the single
+  // implicit conversion; compound assignment rounds the float result back.
+  half a(1.5f);
+  EXPECT_EQ(a * 2.0f, 3.0f);
+  EXPECT_EQ(a + a, 3.0f);
+  a += half(0.5f);
+  EXPECT_EQ(static_cast<float>(a), 2.0f);
+  a *= half(3.0f);
+  EXPECT_EQ(static_cast<float>(a), 6.0f);
+  a /= half(4.0f);
+  EXPECT_EQ(static_cast<float>(a), 1.5f);
+  a -= half(1.5f);
+  EXPECT_EQ(static_cast<float>(a), 0.0f);
+  // std:: math picks the float overloads (identity beats float->double).
+  EXPECT_EQ(std::sqrt(half(4.0f)), 2.0f);
+  EXPECT_EQ(std::abs(half(-2.0f)), 2.0f);
+  // Scalar(0)/Scalar(1) generic-kernel idioms.
+  EXPECT_EQ(static_cast<float>(half(0)), 0.0f);
+  EXPECT_EQ(static_cast<float>(half(1)), 1.0f);
+  EXPECT_TRUE(half(0) == 0.0f);
+}
+
+TEST(Half, StorageIsTwoBytesAndBitsAreStable) {
+  EXPECT_EQ(sizeof(half), 2u);
+  EXPECT_EQ(half(1.0f).bits, 0x3c00u);
+  EXPECT_EQ(half(-2.0f).bits, 0xc000u);
+  EXPECT_EQ(half::from_bits(0x3c00u), 1.0f);
+}
+
+// ---------------------------------------------------------------------------
+// The fp16 rung end to end, mirroring the schwarz-float golden tests.
+
+TEST(Registry, SchwarzHalfIsRegistered) {
+  EXPECT_TRUE(preconditioner_registry().has("schwarz-half"));
+}
+
+TEST(SolverConfig, PrecisionKeyMapsOntoRegistryNames) {
+  for (auto [value, name] :
+       {std::pair<const char*, const char*>{"double", "schwarz"},
+        {"float", "schwarz-float"},
+        {"half", "schwarz-half"}}) {
+    ParameterList p;
+    p.set("precision", value);
+    EXPECT_EQ(SolverConfig::from_parameters(p).preconditioner, name) << value;
+  }
+  // An explicit preconditioner key wins, and "none" stays "none".
+  ParameterList both;
+  both.set("precision", "half").set("preconditioner", "schwarz");
+  EXPECT_EQ(SolverConfig::from_parameters(both).preconditioner, "schwarz");
+  SolverConfig none_base;
+  none_base.preconditioner = "none";
+  ParameterList pn;
+  pn.set("precision", "half");
+  EXPECT_EQ(SolverConfig::from_parameters(pn, none_base).preconditioner,
+            "none");
+}
+
+TEST(HalfGolden, Fp16PreconditionerConvergesOnLaplace16) {
+  // The 16^3 Laplace quickstart with the WHOLE preconditioner in fp16
+  // storage: GMRES stays in double, so it must still converge to the double
+  // tolerance while the preconditioner's numeric phase moves a quarter of
+  // the bytes (2-byte values).  Unlike the iteration-neutral float rung
+  // (Tables VI/VII), fp16's 11-bit significand DOES degrade preconditioner
+  // quality -- a bounded iteration growth, not a convergence failure.
+  auto p = test::laplace_problem(16, 2, 2, 2);
+  double bytes[2];
+  index_t iters[2];
+  double final_res[2];
+  int i = 0;
+  for (const char* prec : {"schwarz", "schwarz-half"}) {
+    SolverConfig cfg;
+    cfg.preconditioner = prec;
+    Solver solver(cfg);
+    solver.setup(p.A, p.Z, p.owner, p.num_parts);
+    std::vector<double> b(static_cast<size_t>(p.A.num_rows()), 1.0), x;
+    auto rep = solver.solve(b, x);
+    ASSERT_TRUE(rep.converged) << prec;
+    double sum = 0.0;
+    for (const auto& rp : rep.schwarz.ranks) sum += rp.numeric.bytes;
+    bytes[i] = sum;
+    iters[i] = rep.iterations;
+    final_res[i] = rep.final_residual;
+    ++i;
+  }
+  EXPECT_LT(bytes[1], 0.75 * bytes[0]);
+  EXPECT_GT(bytes[1], 0.10 * bytes[0]);
+  EXPECT_GE(iters[1], iters[0]);            // fp16 never helps convergence
+  EXPECT_LE(iters[1], 4 * iters[0]);        // ...but stays bounded (93 vs 32)
+  EXPECT_GT(final_res[0], 0.0);
+  EXPECT_GT(final_res[1], 0.0);
+}
+
+}  // namespace
+}  // namespace frosch

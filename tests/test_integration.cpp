@@ -162,7 +162,7 @@ TEST(Experiment, SinglePrecisionPathRecordsSmallerProfiles) {
   spec.ranks = 8;
   spec.elems_per_rank = 3;
   auto rd = perf::run_experiment(spec);
-  spec.single_precision = true;
+  spec.precision = Precision::Float;
   auto rf = perf::run_experiment(spec);
   ASSERT_TRUE(rd.converged);
   ASSERT_TRUE(rf.converged);

@@ -66,14 +66,27 @@ TEST(CpuModel, BandwidthBoundKernel) {
   EXPECT_NEAR(cpu.time(p), 1.0, 0.05);  // 8 GB at 8 GB/s
 }
 
-TEST(HostStaged, SlowerThanPureHost) {
+TEST(TransferPricing, MeasuredLedgerMatchesOldEstimateWhenFullyStagedOnce) {
+  // Regression for the host_staged_time -> measured-ledger change: the old
+  // estimate charged `p.bytes / pcie_bw` on top of host compute.  On a
+  // profile whose bytes really cross PCIe exactly once, the measured
+  // pricing must reproduce it EXACTLY (no hidden latency terms); the two
+  // diverge only when residency makes the actual traffic smaller.
   GpuModel gpu;
   CpuCoreModel cpu;
   OpProfile p;
   p.flops = 1e6;
   p.bytes = 1e8;
   p.launches = 2;
-  EXPECT_GT(host_staged_time(gpu, cpu, p), cpu.time(p));
+  device::TransferStats staged_once;
+  staged_once.h2d_count = 1;
+  staged_once.h2d_bytes = p.bytes;
+  const double old_estimate = cpu.time(p) + p.bytes / gpu.pcie_bw;
+  EXPECT_DOUBLE_EQ(cpu.time(p) + gpu.transfer_time(staged_once),
+                   old_estimate);
+  EXPECT_GT(cpu.time(p) + gpu.transfer_time(staged_once), cpu.time(p));
+  // A resident operand (nothing staged) prices at pure host compute.
+  EXPECT_DOUBLE_EQ(gpu.transfer_time(device::TransferStats{}), 0.0);
 }
 
 TEST(Network, ReductionsScaleWithLogRanks) {
@@ -119,7 +132,7 @@ TEST(ScaledSummit, RatioOneIsIdentityOnLatencies) {
   EXPECT_DOUBLE_EQ(same.gpu.half_sat_width, full.gpu.half_sat_width);
 }
 
-TEST(LocalTime, HostStagedAppliesOnlyInGpuMode) {
+TEST(LocalTime, HostResidentPricesOnCpuModelInGpuMode) {
   SummitModel m;
   OpProfile p;
   p.flops = 1e6;
@@ -127,9 +140,15 @@ TEST(LocalTime, HostStagedAppliesOnlyInGpuMode) {
   p.launches = 2;
   const double cpu = m.local_time({p}, Execution::CpuCores, 1, false, true);
   const double cpu_plain = m.local_time({p}, Execution::CpuCores, 1);
-  EXPECT_DOUBLE_EQ(cpu, cpu_plain);  // host_staged is a no-op on CPU
-  const double gpu_staged = m.local_time({p}, Execution::Gpu, 1, false, true);
-  EXPECT_GT(gpu_staged, cpu_plain);  // PCIe surcharge
+  EXPECT_DOUBLE_EQ(cpu, cpu_plain);  // host_resident is a no-op on CPU
+  // In GPU mode a host-resident op prices as host COMPUTE; the PCIe
+  // crossings it forces come from the measured ledgers, added separately.
+  const double gpu_host = m.local_time({p}, Execution::Gpu, 1, false, true);
+  EXPECT_DOUBLE_EQ(gpu_host, cpu_plain);
+  device::TransferLedger l;
+  l.total.h2d_count = 1;
+  l.total.h2d_bytes = p.bytes;
+  EXPECT_GT(gpu_host + m.transfer_time({l}), cpu_plain);
 }
 
 TEST(LocalTime, ChargesPerRankHaloTraffic) {
@@ -182,8 +201,10 @@ TEST_F(ModelEndToEnd, MpsReducesGpuTimes) {
 
 TEST_F(ModelEndToEnd, FactorOnCpuSwitchesPricingDevice) {
   // factor_on_cpu (the SuperLU mode) must (a) price the factorization share
-  // on the CPU model, (b) switch the trisolve setup to the host-staged
-  // rebuild-every-time path, and (c) leave the solve phase untouched.
+  // on the CPU model, (b) switch the trisolve setup to the host-resident
+  // rebuild-every-time path, and (c) leave the solve phase untouched.  The
+  // measured PCIe term is identical on both sides and cancels in the
+  // difference.
   SummitModel m;
   auto on_gpu = model_times(result(), m, Execution::Gpu, 1, false);
   auto on_cpu = model_times(result(), m, Execution::Gpu, 1, true);
@@ -193,24 +214,44 @@ TEST_F(ModelEndToEnd, FactorOnCpuSwitchesPricingDevice) {
       m.local_time(result().schwarz.rank_factor, Execution::CpuCores, 1);
   const double tri_gpu =
       m.local_time(result().schwarz.rank_trisolve_setup, Execution::Gpu, 1);
-  const double tri_staged =
+  const double tri_host =
       m.local_time(result().schwarz.rank_trisolve_setup, Execution::Gpu, 1,
-                   false, /*host_staged=*/true);
+                   false, /*host_resident=*/true);
   EXPECT_NEAR(on_cpu.setup - on_gpu.setup,
-              (fac_cpu - fac_gpu) + (tri_staged - tri_gpu), 1e-12);
+              (fac_cpu - fac_gpu) + (tri_host - tri_gpu), 1e-12);
   EXPECT_NEAR(on_cpu.solve, on_gpu.solve, 1e-12);
 }
 
 TEST_F(ModelEndToEnd, BreakdownCoversSetupCategories) {
   SummitModel m;
   auto bars = model_setup_breakdown(result(), m, Execution::CpuCores, 1);
-  ASSERT_EQ(bars.size(), 4u);
+  ASSERT_EQ(bars.size(), 5u);
   double total = 0.0;
   for (auto& [name, sec] : bars) {
     EXPECT_GE(sec, 0.0) << name;
     total += sec;
   }
   EXPECT_GT(total, 0.0);
+  // The PCIe bar is zero on the CPU rows and measured (positive) on GPU.
+  EXPECT_EQ(bars.back().first, "pcie-staging");
+  EXPECT_DOUBLE_EQ(bars.back().second, 0.0);
+  auto gbars = model_setup_breakdown(result(), m, Execution::Gpu, 1);
+  EXPECT_GT(gbars.back().second, 0.0);
+}
+
+TEST_F(ModelEndToEnd, GpuPricingConsumesMeasuredLedger) {
+  // run_experiment always runs the Device backend, so every result carries
+  // per-rank transfer ledgers; the GPU rows price them at PCIe bandwidth.
+  SummitModel m;
+  ASSERT_FALSE(result().setup_transfers.empty());
+  ASSERT_FALSE(result().solve_transfers.empty());
+  EXPECT_GT(m.transfer_time(result().setup_transfers), 0.0);
+  // Setup stages the matrix, factors, and coarse basis; the Krylov loop's
+  // steady state only stages rhs/solution, halos, and collective slices.
+  double setup_bytes = 0.0, solve_bytes = 0.0;
+  for (const auto& l : result().setup_transfers) setup_bytes += l.total.bytes();
+  for (const auto& l : result().solve_transfers) solve_bytes += l.total.bytes();
+  EXPECT_GT(setup_bytes, solve_bytes);
 }
 
 }  // namespace
