@@ -1,0 +1,211 @@
+// Overlapped-communication bench: ONE problem and ONE decomposition run up
+// a virtual-rank ladder twice per rung -- ghost imports and pipelined
+// reductions POSTED async (overlap_comm=on, the default) vs fully blocking
+// -- reporting what the comm layer MEASURED: per-rank post->wait overlap
+// windows, the async share of the wire traffic, the interior/boundary row
+// split the overlapped SpMV schedules around, and the modeled Summit solve
+// time under overlap-aware pricing (max(comm, comp) on the async share)
+// next to the summed price of the SAME profiles.
+//
+// The overlap is a scheduling choice, not a numerical one: both runs of a
+// rung must produce bitwise-identical solutions (DESIGN.md section 7), and
+// this bench exits non-zero if they ever differ -- or if the overlap-aware
+// price ever exceeds the summed price.
+//
+// Usage:
+//   bench_overlap [--scale N] [--parts P] [--json PATH] [solver flags...]
+//     --scale N   elements per subdomain axis of the fixed mesh (default 4)
+//     --parts P   subdomain count == rank-ladder cap (default 16)
+#include <cstring>
+
+#include "bench_common.hpp"
+#include "graph/partition.hpp"
+#include "la/dist.hpp"
+
+using namespace frosch;
+using namespace frosch::bench;
+
+namespace {
+
+/// The fixed benchmark problem: the weak-scaling Laplace brick for `parts`
+/// ranks, exactly as perf::run_experiment assembles it.
+struct Problem {
+  la::CsrMatrix<double> A;
+  la::DenseMatrix<double> Z;
+  IndexVector owner;
+};
+
+Problem build_problem(index_t parts, index_t scale) {
+  const auto g = perf::weak_scaling_mesh(parts, scale);
+  fem::BrickMesh mesh(g[0], g[1], g[2], double(g[0]), double(g[1]),
+                      double(g[2]));
+  const auto [px, py, pz] =
+      graph::balanced_factors_3d(parts, g[0] + 1, g[1] + 1, g[2] + 1);
+  const IndexVector owner_nodes = graph::box_partition_3d(
+      mesh.nodes_x(), mesh.nodes_y(), mesh.nodes_z(), px, py, pz);
+  auto Afull = fem::assemble_laplace(mesh);
+  IndexVector fixed;
+  for (index_t nd : mesh.x0_face_nodes()) fixed.push_back(nd);
+  auto sys = fem::apply_dirichlet(Afull, fixed);
+  Problem p;
+  p.Z = fem::restrict_nullspace(fem::laplace_nullspace(mesh), sys.keep);
+  p.owner.resize(sys.keep.size());
+  for (size_t q = 0; q < sys.keep.size(); ++q)
+    p.owner[q] = owner_nodes[sys.keep[q]];
+  p.A = std::move(sys.A);
+  return p;
+}
+
+/// One facade solve at `ranks` virtual ranks with the given overlap setting.
+SolveReport run_solve(const Problem& p, SolverConfig cfg, index_t parts,
+                      index_t ranks, bool overlap, std::vector<double>& x) {
+  cfg.ranks = ranks;
+  cfg.overlap_comm = overlap;
+  Solver solver(cfg);
+  solver.setup(p.A, p.Z, p.owner, parts);
+  std::vector<double> b(static_cast<size_t>(p.A.num_rows()), 1.0);
+  x.clear();
+  return solver.solve(b, x);
+}
+
+/// Replays a solve report through the Summit model the way run_experiment
+/// does for its measured path (CPU execution; the facade ran the host
+/// backend here, so there are no transfer ledgers to price).
+double modeled_solve_s(const Problem& p, const SolveReport& rep,
+                       index_t ranks, const SummitModel& model) {
+  ExperimentResult res;
+  res.n = p.A.num_rows();
+  res.ranks = ranks;
+  res.converged = rep.converged;
+  res.iterations = rep.iterations;
+  res.schwarz = rep.schwarz;
+  res.krylov = rep.krylov;
+  res.rank_krylov = rep.rank_krylov;
+  res.rank_setup_comm = rep.rank_setup_comm;
+  res.solve_imbalance = rep.solve_imbalance;
+  return perf::model_times(res, model, Execution::CpuCores, 1).solve;
+}
+
+/// The same report with every async ov_/window field zeroed: what the model
+/// prices when nothing is posted async (the summed, non-overlapped price).
+SolveReport stripped_of_overlap(SolveReport rep) {
+  for (auto& pr : rep.rank_krylov) {
+    pr.ov_reductions = 0;
+    pr.ov_neighbor_msgs = 0;
+    pr.ov_msg_bytes = 0.0;
+    pr.overlap_windows = 0;
+    pr.overlap_s = 0.0;
+  }
+  return rep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  index_t parts = 16;
+  auto opt = parse_options(
+      argc, argv,
+      {{"parts", "subdomain count == rank-ladder cap (default 16)", &parts}});
+  JsonWriter json(opt.json_path);
+
+  ExperimentSpec spec;  // carries the named solver flags only
+  apply_solver_flags(spec, opt);
+  const SolverConfig base = spec.solver;
+  const Problem prob = build_problem(parts, opt.scale);
+  const index_t n = prob.A.num_rows();
+  SummitModel model(perf::miniature_summit());
+
+  std::vector<index_t> ladder;
+  for (index_t r = 1; r <= parts; r *= 2) ladder.push_back(r);
+  if (ladder.back() != parts) ladder.push_back(parts);
+
+  std::printf(
+      "\n=== overlapped communication: %d subdomains, %d dofs ===\n",
+      int(parts), int(n));
+  std::printf("%-8s %8s %10s %10s %10s %12s %12s %14s %14s\n", "ranks",
+              "iters", "interior", "boundary", "async%", "windows",
+              "window ms", "overlap ms", "summed ms");
+
+  bool ok = true;
+  for (index_t r : ladder) {
+    std::vector<double> x_on, x_off;
+    const SolveReport rep_on = run_solve(prob, base, parts, r, true, x_on);
+    const SolveReport rep_off = run_solve(prob, base, parts, r, false, x_off);
+
+    // The bitwise contract: overlapped vs blocking is the SAME solve.
+    if (rep_on.iterations != rep_off.iterations ||
+        x_on.size() != x_off.size() ||
+        std::memcmp(x_on.data(), x_off.data(),
+                    x_on.size() * sizeof(double)) != 0) {
+      std::fprintf(stderr,
+                   "FAIL: overlapped solve differs from blocking at ranks=%d "
+                   "(%d vs %d iterations)\n",
+                   int(r), int(rep_on.iterations), int(rep_off.iterations));
+      ok = false;
+    }
+
+    // Interior/boundary split of the facade's halo plan at this rank count
+    // (same block mapping of subdomains onto virtual ranks).
+    comm::SimComm mapper(static_cast<int>(r));
+    IndexVector rank_of(prob.owner.size());
+    for (size_t q = 0; q < prob.owner.size(); ++q)
+      rank_of[q] = mapper.block_owner(parts, prob.owner[q]);
+    const auto plan =
+        la::build_halo_plan(prob.A, rank_of, static_cast<int>(r));
+    index_t interior = 0, boundary = 0;
+    for (int rr = 0; rr < static_cast<int>(r); ++rr) {
+      interior += plan.interior_count(rr);
+      boundary += plan.boundary_count(rr);
+    }
+
+    // Measured async share and windows of the overlapped run.
+    count_t windows = 0;
+    double window_s_max = 0.0, ov_bytes = 0.0, halo_bytes = 0.0;
+    for (const auto& pr : rep_on.rank_krylov) {
+      windows += pr.overlap_windows;
+      ov_bytes += pr.ov_msg_bytes;
+      halo_bytes += pr.msg_bytes;
+    }
+    for (double w : rep_on.rank_overlap) window_s_max = std::max(window_s_max, w);
+
+    // Overlap-aware vs summed pricing of the SAME measured profiles.
+    const double t_overlap = modeled_solve_s(prob, rep_on, r, model);
+    const double t_summed =
+        modeled_solve_s(prob, stripped_of_overlap(rep_on), r, model);
+    if (t_overlap > t_summed * (1.0 + 1e-12)) {
+      std::fprintf(stderr,
+                   "FAIL: overlap-aware price exceeds summed price at "
+                   "ranks=%d (%.3e > %.3e)\n",
+                   int(r), t_overlap, t_summed);
+      ok = false;
+    }
+
+    const double async_pct =
+        halo_bytes > 0.0 ? 100.0 * ov_bytes / halo_bytes : 0.0;
+    std::printf("%-8d %8d %10.3f %10.3f %9.1f%% %12lld %12.3f %14.3f %14.3f\n",
+                int(r), int(rep_on.iterations),
+                double(interior) / double(n), double(boundary) / double(n),
+                async_pct, static_cast<long long>(windows),
+                1e3 * window_s_max, 1e3 * t_overlap, 1e3 * t_summed);
+    json.add(JsonRecord()
+                 .set("bench", "overlap")
+                 .set("parts", parts)
+                 .set("ranks", r)
+                 .set("iterations", rep_on.iterations)
+                 .set("converged", rep_on.converged)
+                 .set("interior_frac", double(interior) / double(n))
+                 .set("boundary_frac", double(boundary) / double(n))
+                 .set("async_bytes", ov_bytes)
+                 .set("halo_bytes", halo_bytes)
+                 .set("overlap_windows", index_t(windows))
+                 .set("window_s_max", window_s_max)
+                 .set("modeled_solve_overlap_s", t_overlap)
+                 .set("modeled_solve_summed_s", t_summed));
+  }
+
+  if (!ok) return 1;
+  std::printf(
+      "overlapped == blocking bitwise and overlap price <= summed price "
+      "across the ladder: yes\n");
+  return 0;
+}

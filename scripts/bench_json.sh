@@ -14,6 +14,7 @@
 #   BENCH_SCALE     --scale for bench_table2 (default: 4)
 #   BENCH_NODES     --nodes for bench_table2 (default: 4)
 #   BENCH_PARTS     --parts (rank-ladder cap) for bench_scaling (default: 32)
+#   BENCH_OV_PARTS  --parts (rank-ladder cap) for bench_overlap (default: 16)
 #   BENCH_TP_ELEMS  brick elements per axis for bench_throughput (default: 20)
 #   BENCH_NRHS      right-hand sides per width point (default: 8)
 set -euo pipefail
@@ -27,6 +28,7 @@ ELEMS="${BENCH_ELEMS:-32}"
 SCALE="${BENCH_SCALE:-4}"
 NODES="${BENCH_NODES:-4}"
 PARTS="${BENCH_PARTS:-32}"
+OV_PARTS="${BENCH_OV_PARTS:-16}"
 TP_ELEMS="${BENCH_TP_ELEMS:-20}"
 NRHS="${BENCH_NRHS:-8}"
 
@@ -46,6 +48,11 @@ echo "== bench_scaling (rank ladder, measured communication) =="
 "$BUILD_DIR/bench/bench_scaling" \
   --parts "$PARTS" --scale "$SCALE" \
   --json "$OUT_DIR/BENCH_scaling.json"
+
+echo "== bench_overlap (overlapped vs blocking communication, measured windows) =="
+"$BUILD_DIR/bench/bench_overlap" \
+  --parts "$OV_PARTS" --scale "$SCALE" \
+  --json "$OUT_DIR/BENCH_overlap.json"
 
 echo "== bench_throughput (multi-RHS solves/sec vs block width) =="
 "$BUILD_DIR/bench/bench_throughput" \

@@ -35,10 +35,12 @@
 // plus the payload each rank ships.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/op_profile.hpp"
+#include "common/timer.hpp"
 #include "device/arena.hpp"
 #include "exec/exec.hpp"
 
@@ -53,6 +55,93 @@ struct Message {
   int dst = 0;
   index_t count = 0;   ///< payload items (scalars, matrix rows, ...)
   double bytes = 0.0;  ///< payload size actually moved, in bytes
+};
+
+class Communicator;
+
+/// One in-flight nonblocking exchange, returned by
+/// Communicator::post_async / exchange_async.  The payload was already
+/// moved at post time (the SimComm convention: copies at post, wire time
+/// at wait), so results are bitwise identical to the blocking path;
+/// wait() charges the wire event -- destination-rank messages and bytes,
+/// counted in both the normal fields and their async ov_ twins -- plus
+/// the measured post->wait window.  wait() must be called EXACTLY once;
+/// SelfComm (and any all-self message list) completes inline: nothing is
+/// charged and no window is recorded, because there is no wire operation
+/// to overlap.
+class PendingExchange {
+ public:
+  PendingExchange() = default;
+  PendingExchange(PendingExchange&& o) noexcept { *this = std::move(o); }
+  PendingExchange& operator=(PendingExchange&& o) noexcept {
+    comm_ = o.comm_;
+    msgs_ = std::move(o.msgs_);
+    timer_ = o.timer_;
+    waited_ = o.waited_;
+    o.comm_ = nullptr;
+    o.waited_ = true;
+    return *this;
+  }
+  PendingExchange(const PendingExchange&) = delete;
+  PendingExchange& operator=(const PendingExchange&) = delete;
+
+  /// Completes the exchange: charges wire time and the overlap window.
+  void wait();
+  bool done() const { return waited_; }
+
+ private:
+  friend class Communicator;
+  PendingExchange(Communicator* c, std::vector<Message> msgs)
+      : comm_(c), msgs_(std::move(msgs)) {}
+
+  Communicator* comm_ = nullptr;  ///< null: default- or moved-from (inert)
+  std::vector<Message> msgs_;
+  Timer timer_;  ///< started at post; read at wait
+  bool waited_ = false;
+};
+
+/// One in-flight nonblocking fused all-reduce, returned by
+/// Communicator::allreduce_slots_async.  The deterministic slot-order
+/// fold happened at POST (so the result is bitwise identical to the
+/// blocking allreduce_slots and later writes to the slot buffer cannot
+/// change it); wait() delivers the folded values into the caller's out
+/// pointer and charges the wire event plus the measured window.  Exactly
+/// one wait() per pending reduce.
+template <class Scalar>
+class PendingReduce {
+ public:
+  PendingReduce() = default;
+  PendingReduce(PendingReduce&& o) noexcept { *this = std::move(o); }
+  PendingReduce& operator=(PendingReduce&& o) noexcept {
+    comm_ = o.comm_;
+    result_ = std::move(o.result_);
+    out_ = o.out_;
+    payload_ = o.payload_;
+    timer_ = o.timer_;
+    waited_ = o.waited_;
+    o.comm_ = nullptr;
+    o.waited_ = true;
+    return *this;
+  }
+  PendingReduce(const PendingReduce&) = delete;
+  PendingReduce& operator=(const PendingReduce&) = delete;
+
+  /// Delivers the folded result and charges wire time + overlap window.
+  void wait();
+  bool done() const { return waited_; }
+
+ private:
+  friend class Communicator;
+  PendingReduce(Communicator* c, std::vector<Scalar> result, Scalar* out,
+                double payload)
+      : comm_(c), result_(std::move(result)), out_(out), payload_(payload) {}
+
+  Communicator* comm_ = nullptr;  ///< null: default- or moved-from (inert)
+  std::vector<Scalar> result_;    ///< slot-order fold, held until wait()
+  Scalar* out_ = nullptr;
+  double payload_ = 0.0;
+  Timer timer_;
+  bool waited_ = false;
 };
 
 /// Abstract virtual-rank communicator: rank count, per-rank measured
@@ -182,6 +271,52 @@ class Communicator {
     if (arena != nullptr) arena->sync_all();
   }
 
+  // ---- nonblocking semantics: post now, charge wire time at wait ----
+
+  /// Nonblocking form of post(): records nothing yet, starts the overlap
+  /// window, and returns a PendingExchange whose wait() performs post()'s
+  /// charging (plus the ov_ async twins and the measured window).  The
+  /// caller must have moved the payload already -- same contract as
+  /// post() -- which is what keeps overlapped results bitwise identical
+  /// to the blocking path.
+  PendingExchange post_async(const std::vector<Message>& msgs) {
+    return PendingExchange(this, msgs);
+  }
+
+  /// Nonblocking form of exchange(): performs the copies NOW (in
+  /// parallel, as exchange() does), then posts.  Between the returned
+  /// handle's construction and its wait() the caller may compute
+  /// anything that does not read the destinations -- the interior rows
+  /// of an overlapped SpMV.
+  template <class CopyFn>
+  PendingExchange exchange_async(const std::vector<Message>& msgs,
+                                 CopyFn&& copy) {
+    exec::parallel_for(
+        policy_, static_cast<index_t>(msgs.size()),
+        [&](index_t m) { copy(static_cast<size_t>(m)); },
+        /*grain=*/1);
+    return post_async(msgs);
+  }
+
+  /// Nonblocking form of allreduce_slots: the deterministic slot-order
+  /// fold happens at POST (later writes to `slots` cannot change the
+  /// result), the wire event is charged at wait(), when the folded
+  /// values land in `out`.  `out` must stay valid until then.  One call
+  /// == one wire all-reduce, counted in both the reduction total and its
+  /// async ov_ twin, with the post->wait window measured on every
+  /// participating rank (collectives are bulk-synchronous).
+  template <class Scalar>
+  PendingReduce<Scalar> allreduce_slots_async(const Scalar* slots,
+                                              index_t nslots, int k,
+                                              Scalar* out) {
+    std::vector<Scalar> result(static_cast<size_t>(k), Scalar(0));
+    for (index_t s = 0; s < nslots; ++s)
+      for (int j = 0; j < k; ++j)
+        result[static_cast<size_t>(j)] += slots[s * k + j];
+    return PendingReduce<Scalar>(this, std::move(result), out,
+                                 static_cast<double>(k) * sizeof(Scalar));
+  }
+
   /// Reduction-to-root collective (the coarse-problem gather): a dense
   /// reduce of per-rank PARTIAL contributions, each the full `bytes` of
   /// the object being assembled (the coarse restriction r0 = sum_r
@@ -233,10 +368,88 @@ class Communicator {
   }
 
  private:
+  friend class PendingExchange;
+  template <class S>
+  friend class PendingReduce;
+
+  /// Wait side of post_async: post()'s charging plus the async ov_ twins
+  /// and one measured window per destination rank that had remote
+  /// traffic.  Self-messages stay local copies -- never charged, never
+  /// windowed -- so a SelfComm exchange completes inline.
+  void complete_async_exchange(const std::vector<Message>& msgs,
+                               double window) {
+    device::DeviceArena* arena = device::arena_of(policy_);
+    std::vector<char> windowed(static_cast<size_t>(nranks_), 0);
+    for (const auto& m : msgs) {
+      if (m.src == m.dst) continue;
+      auto& p = prof_[static_cast<size_t>(m.dst)];
+      p.neighbor_msgs += 1;
+      p.msg_bytes += m.bytes;
+      p.ov_neighbor_msgs += 1;
+      p.ov_msg_bytes += m.bytes;
+      if (!windowed[static_cast<size_t>(m.dst)]) {
+        windowed[static_cast<size_t>(m.dst)] = 1;
+        p.overlap_windows += 1;
+        p.overlap_s += window;
+      }
+      if (arena != nullptr) {
+        arena->transfer(m.src, device::Dir::D2H, m.bytes, device::Xfer::Halo);
+        arena->transfer(m.dst, device::Dir::H2D, m.bytes, device::Xfer::Halo);
+      }
+    }
+    if (arena != nullptr) arena->sync_all();
+  }
+
+  /// Wait side of allreduce_slots_async: record_collective's charging
+  /// plus the async ov_ twins.  The reduction COUNT (and its ov_ twin)
+  /// still records on a single rank -- profiles stay comparable across
+  /// rank counts, exactly as for the blocking collectives -- but wire
+  /// payload and overlap windows only exist when there is a wire.
+  void complete_async_collective(double bytes, double window) {
+    device::DeviceArena* arena =
+        nranks_ > 1 ? device::arena_of(policy_) : nullptr;
+    for (int r = 0; r < nranks_; ++r) {
+      auto& p = prof_[static_cast<size_t>(r)];
+      p.reductions += 1;
+      p.ov_reductions += 1;
+      if (nranks_ > 1) {
+        p.msg_bytes += bytes;
+        p.ov_msg_bytes += bytes;
+        p.overlap_windows += 1;
+        p.overlap_s += window;
+      }
+      if (arena != nullptr) {
+        arena->transfer(r, device::Dir::D2H, bytes, device::Xfer::Collective);
+        arena->transfer(r, device::Dir::H2D, bytes, device::Xfer::Collective);
+      }
+    }
+    if (arena != nullptr) arena->sync_all();
+  }
+
   int nranks_;
   exec::ExecPolicy policy_;
   std::vector<OpProfile> prof_;
 };
+
+inline void PendingExchange::wait() {
+  FROSCH_CHECK(!waited_,
+               "PendingExchange::wait: already completed (the post/wait "
+               "contract is exactly one wait per post)");
+  waited_ = true;
+  if (comm_ == nullptr) return;  // default-constructed or moved-from
+  comm_->complete_async_exchange(msgs_, timer_.seconds());
+}
+
+template <class Scalar>
+void PendingReduce<Scalar>::wait() {
+  FROSCH_CHECK(!waited_,
+               "PendingReduce::wait: already completed (the post/wait "
+               "contract is exactly one wait per post)");
+  waited_ = true;
+  if (comm_ == nullptr) return;  // default-constructed or moved-from
+  for (size_t j = 0; j < result_.size(); ++j) out_[j] = result_[j];
+  comm_->complete_async_collective(payload_, timer_.seconds());
+}
 
 /// The one-rank communicator: the shared-memory path seen through the comm
 /// interface.  Collectives still count (the profile stays comparable across

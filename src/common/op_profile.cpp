@@ -14,6 +14,11 @@ OpProfile& OpProfile::operator+=(const OpProfile& o) {
   reductions += o.reductions;
   neighbor_msgs += o.neighbor_msgs;
   msg_bytes += o.msg_bytes;
+  ov_reductions += o.ov_reductions;
+  ov_neighbor_msgs += o.ov_neighbor_msgs;
+  ov_msg_bytes += o.ov_msg_bytes;
+  overlap_windows += o.overlap_windows;
+  overlap_s += o.overlap_s;
   return *this;
 }
 
@@ -26,6 +31,12 @@ OpProfile& OpProfile::operator-=(const OpProfile& o) {
   reductions = std::max<count_t>(0, reductions - o.reductions);
   neighbor_msgs = std::max<count_t>(0, neighbor_msgs - o.neighbor_msgs);
   msg_bytes = std::max(0.0, msg_bytes - o.msg_bytes);
+  ov_reductions = std::max<count_t>(0, ov_reductions - o.ov_reductions);
+  ov_neighbor_msgs =
+      std::max<count_t>(0, ov_neighbor_msgs - o.ov_neighbor_msgs);
+  ov_msg_bytes = std::max(0.0, ov_msg_bytes - o.ov_msg_bytes);
+  overlap_windows = std::max<count_t>(0, overlap_windows - o.overlap_windows);
+  overlap_s = std::max(0.0, overlap_s - o.overlap_s);
   return *this;
 }
 
@@ -35,6 +46,9 @@ std::string OpProfile::summary() const {
       << " depth=" << critical_path << " width=" << mean_width();
   if (reductions > 0 || neighbor_msgs > 0) {
     oss << " reduces=" << reductions << " msgs=" << neighbor_msgs;
+  }
+  if (overlap_windows > 0) {
+    oss << " overlap_windows=" << overlap_windows << " overlap_s=" << overlap_s;
   }
   return oss.str();
 }

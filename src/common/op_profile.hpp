@@ -38,6 +38,19 @@ struct OpProfile {
   count_t neighbor_msgs = 0; ///< point-to-point halo messages
   double msg_bytes = 0.0;    ///< total point-to-point payload
 
+  // Overlapped-communication side (consumed by the overlap pricing rule,
+  // see perf/summit.hpp).  The ov_* fields are SUBSETS of the totals above:
+  // an async post/wait pair charges both the normal field and its ov_ twin,
+  // so every existing consumer of the totals stays valid and the model can
+  // split blocking = total - overlapped.  The window fields measure the
+  // post->wait interval on the host clock -- the time the rank actually had
+  // compute in flight while the wire operation was pending.
+  count_t ov_reductions = 0;    ///< all-reduces posted async (subset)
+  count_t ov_neighbor_msgs = 0; ///< halo messages posted async (subset)
+  double ov_msg_bytes = 0.0;    ///< async point-to-point payload (subset)
+  count_t overlap_windows = 0;  ///< measured post->wait windows
+  double overlap_s = 0.0;       ///< total measured window seconds
+
   OpProfile& operator+=(const OpProfile& o);
   friend OpProfile operator+(OpProfile a, const OpProfile& b) { return a += b; }
 

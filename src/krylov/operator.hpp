@@ -122,13 +122,19 @@ class CsrOperator final : public LinearOperator<Scalar> {
 /// (measured messages + payload through the communicator), runs the
 /// rank-local SpMVs, and gathers the owned results.  Bitwise identical to
 /// CsrOperator at every rank count (see la/dist.hpp).
+///
+/// `overlap` (default on, the SolverConfig `overlap_comm` key) selects the
+/// overlapped path: the ghost import is POSTED, interior rows compute while
+/// it is in flight, and boundary rows follow the wait -- bitwise identical
+/// to the blocking path by the whole-row split contract, with the measured
+/// post->wait window recorded in the comm profiles.
 template <class Scalar>
 class DistCsrOperator final : public LinearOperator<Scalar> {
  public:
   DistCsrOperator(const la::DistCsrMatrix<Scalar>& A, comm::Communicator& comm,
-                  const exec::ExecPolicy& policy = {})
-      : A_(A), comm_(comm), policy_(policy), x_(*A.plan), y_(*A.plan),
-        halo_msgs_(A.plan->messages(sizeof(Scalar))) {}
+                  const exec::ExecPolicy& policy = {}, bool overlap = true)
+      : A_(A), comm_(comm), policy_(policy), overlap_(overlap), x_(*A.plan),
+        y_(*A.plan), halo_msgs_(A.plan->messages(sizeof(Scalar))) {}
 
   index_t rows() const override { return A_.plan->n; }
   index_t cols() const override { return A_.plan->n; }
@@ -137,8 +143,12 @@ class DistCsrOperator final : public LinearOperator<Scalar> {
   void apply_impl(const std::vector<Scalar>& x, std::vector<Scalar>& y,
                   OpProfile* prof) const override {
     x_.scatter_owned(x, policy_);
-    la::halo_import(comm_, *A_.plan, halo_msgs_, x_);
-    la::dist_spmv(comm_, A_, x_, y_, prof);
+    if (overlap_) {
+      la::dist_spmv_overlapped(comm_, A_, halo_msgs_, x_, y_, prof);
+    } else {
+      la::halo_import(comm_, *A_.plan, halo_msgs_, x_);
+      la::dist_spmv(comm_, A_, x_, y_, prof);
+    }
     y_.gather_owned(y, policy_);
   }
 
@@ -156,8 +166,12 @@ class DistCsrOperator final : public LinearOperator<Scalar> {
       block_msgs_ = A_.plan->messages(sizeof(Scalar) * static_cast<double>(w));
     }
     xb_.scatter_owned(X, policy_);
-    la::halo_import(comm_, *A_.plan, block_msgs_, xb_);
-    la::dist_spmv_multi(comm_, A_, xb_, yb_, prof);
+    if (overlap_) {
+      la::dist_spmv_multi_overlapped(comm_, A_, block_msgs_, xb_, yb_, prof);
+    } else {
+      la::halo_import(comm_, *A_.plan, block_msgs_, xb_);
+      la::dist_spmv_multi(comm_, A_, xb_, yb_, prof);
+    }
     yb_.gather_owned(Y, policy_);
   }
 
@@ -165,6 +179,7 @@ class DistCsrOperator final : public LinearOperator<Scalar> {
   const la::DistCsrMatrix<Scalar>& A_;
   comm::Communicator& comm_;
   exec::ExecPolicy policy_;
+  bool overlap_;
   mutable la::DistVector<Scalar> x_, y_;
   mutable la::DistMultiVector<Scalar> xb_, yb_;  ///< block-apply staging
   mutable std::vector<comm::Message> block_msgs_;

@@ -6,6 +6,8 @@ const char* to_string(KrylovMethod k) {
   switch (k) {
     case KrylovMethod::Gmres: return "gmres";
     case KrylovMethod::Cg: return "cg";
+    case KrylovMethod::GmresPipe: return "gmres-pipe";
+    case KrylovMethod::CgPipe: return "cg-pipe";
   }
   return "unknown";
 }
@@ -14,5 +16,9 @@ template class GmresSolver<double>;
 template class GmresSolver<float>;
 template class CgSolver<double>;
 template class CgSolver<float>;
+template class GmresPipeSolver<double>;
+template class GmresPipeSolver<float>;
+template class CgPipeSolver<double>;
+template class CgPipeSolver<float>;
 
 }  // namespace frosch::krylov

@@ -9,12 +9,15 @@
 #include "krylov/block.hpp"
 #include "krylov/cg.hpp"
 #include "krylov/gmres.hpp"
+#include "krylov/pipelined.hpp"
 
 namespace frosch::krylov {
 
 enum class KrylovMethod {
-  Gmres,  ///< restarted, right-preconditioned (the paper's solver)
-  Cg,     ///< for SPD operator + SPD preconditioner
+  Gmres,      ///< restarted, right-preconditioned (the paper's solver)
+  Cg,         ///< for SPD operator + SPD preconditioner
+  GmresPipe,  ///< pipelined GMRES: async fused reduce overlapped with the op
+  CgPipe,     ///< pipelined CG (Ghysels-Vanroose), same overlap contract
 };
 
 const char* to_string(KrylovMethod k);
@@ -132,6 +135,58 @@ class CgSolver final : public KrylovSolver<Scalar> {
   KrylovOptions opts_;
 };
 
+/// Pipelined GMRES (krylov/pipelined.hpp).  The block path falls back to
+/// the non-pipelined block_gmres: the batched solver already fuses its
+/// per-iteration reductions across the whole block, so the single-column
+/// pipelining contract does not compose with it (documented in DESIGN.md).
+template <class Scalar>
+class GmresPipeSolver final : public KrylovSolver<Scalar> {
+ public:
+  explicit GmresPipeSolver(const KrylovOptions& opts = {}) : opts_(opts) {}
+  KrylovMethod method() const override { return KrylovMethod::GmresPipe; }
+  const KrylovOptions& options() const override { return opts_; }
+  SolveResult solve(const LinearOperator<Scalar>& A,
+                    const LinearOperator<Scalar>* prec,
+                    const std::vector<Scalar>& b,
+                    std::vector<Scalar>& x) const override {
+    return gmres_pipe<Scalar>(A, prec, b, x, opts_.gmres_options());
+  }
+  BlockSolveResult solve_block(
+      const LinearOperator<Scalar>& A, const LinearOperator<Scalar>* prec,
+      const std::vector<std::vector<Scalar>>& B,
+      std::vector<std::vector<Scalar>>& X) const override {
+    return block_gmres<Scalar>(A, prec, B, X, opts_.gmres_options());
+  }
+
+ private:
+  KrylovOptions opts_;
+};
+
+/// Pipelined CG (krylov/pipelined.hpp); block path falls back to block_cg
+/// for the same reason as GmresPipeSolver.
+template <class Scalar>
+class CgPipeSolver final : public KrylovSolver<Scalar> {
+ public:
+  explicit CgPipeSolver(const KrylovOptions& opts = {}) : opts_(opts) {}
+  KrylovMethod method() const override { return KrylovMethod::CgPipe; }
+  const KrylovOptions& options() const override { return opts_; }
+  SolveResult solve(const LinearOperator<Scalar>& A,
+                    const LinearOperator<Scalar>* prec,
+                    const std::vector<Scalar>& b,
+                    std::vector<Scalar>& x) const override {
+    return cg_pipe<Scalar>(A, prec, b, x, opts_.cg_options());
+  }
+  BlockSolveResult solve_block(
+      const LinearOperator<Scalar>& A, const LinearOperator<Scalar>* prec,
+      const std::vector<std::vector<Scalar>>& B,
+      std::vector<std::vector<Scalar>>& X) const override {
+    return block_cg<Scalar>(A, prec, B, X, opts_.cg_options());
+  }
+
+ private:
+  KrylovOptions opts_;
+};
+
 /// Factory covering every KrylovMethod.
 template <class Scalar>
 std::unique_ptr<KrylovSolver<Scalar>> make_krylov(const KrylovOptions& opts) {
@@ -140,6 +195,10 @@ std::unique_ptr<KrylovSolver<Scalar>> make_krylov(const KrylovOptions& opts) {
       return std::make_unique<GmresSolver<Scalar>>(opts);
     case KrylovMethod::Cg:
       return std::make_unique<CgSolver<Scalar>>(opts);
+    case KrylovMethod::GmresPipe:
+      return std::make_unique<GmresPipeSolver<Scalar>>(opts);
+    case KrylovMethod::CgPipe:
+      return std::make_unique<CgPipeSolver<Scalar>>(opts);
   }
   FROSCH_CHECK(false, "make_krylov: unknown method");
   return nullptr;
@@ -152,8 +211,9 @@ namespace frosch {
 template <>
 struct EnumTraits<krylov::KrylovMethod> {
   static constexpr const char* type_name = "KrylovMethod";
-  static constexpr std::array<krylov::KrylovMethod, 2> all = {
-      krylov::KrylovMethod::Gmres, krylov::KrylovMethod::Cg};
+  static constexpr std::array<krylov::KrylovMethod, 4> all = {
+      krylov::KrylovMethod::Gmres, krylov::KrylovMethod::Cg,
+      krylov::KrylovMethod::GmresPipe, krylov::KrylovMethod::CgPipe};
 };
 
 }  // namespace frosch

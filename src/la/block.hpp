@@ -135,6 +135,79 @@ void halo_import(comm::Communicator& comm, const HaloPlan& plan,
   });
 }
 
+/// Nonblocking block ghost exchange: the copies of every column happen NOW
+/// (bitwise identical to the blocking block halo_import), the wire charging
+/// and the measured overlap window happen at wait().
+template <class Scalar>
+comm::PendingExchange halo_import_async(comm::Communicator& comm,
+                                        const HaloPlan& plan,
+                                        const std::vector<comm::Message>& msgs,
+                                        DistMultiVector<Scalar>& x) {
+  return comm.exchange_async(msgs, [&](size_t m) {
+    const auto& t = plan.transfers[m];
+    const auto& src = x.vals[static_cast<size_t>(t.src)];
+    auto& dst = x.vals[static_cast<size_t>(t.dst)];
+    const size_t slen = plan.cols[static_cast<size_t>(t.src)].size();
+    const size_t dlen = plan.cols[static_cast<size_t>(t.dst)].size();
+    for (index_t c = 0; c < x.width; ++c) {
+      const Scalar* sc = src.data() + static_cast<size_t>(c) * slen;
+      Scalar* dc = dst.data() + static_cast<size_t>(c) * dlen;
+      for (size_t q = 0; q < t.ids.size(); ++q)
+        dc[t.dst_slots[q]] = sc[t.src_slots[q]];
+    }
+  });
+}
+
+namespace detail {
+
+/// Width-scaled local kernel accounting shared by dist_spmv_multi and its
+/// overlapped twin (identical by design, as for the single-vector pair).
+template <class Scalar>
+OpProfile spmv_multi_local_profile(const CsrMatrix<Scalar>& Al, index_t w) {
+  OpProfile p;
+  p.flops =
+      2.0 * static_cast<double>(Al.num_entries()) * static_cast<double>(w);
+  // The matrix is streamed ONCE for the whole block; the vectors w times.
+  p.bytes = Al.storage_bytes() +
+            static_cast<double>(Al.num_rows() + Al.num_cols()) *
+                static_cast<double>(w) * sizeof(Scalar);
+  p.launches = 1;
+  p.critical_path = 1;
+  p.work_items = static_cast<double>(Al.num_rows()) * static_cast<double>(w);
+  return p;
+}
+
+template <class Scalar>
+void charge_spmv_multi(comm::Communicator& comm,
+                       const DistCsrMatrix<Scalar>& A, index_t w,
+                       OpProfile* prof) {
+  device::DeviceArena* arena = device::arena_of(comm.policy());
+  for (int r = 0; r < comm.size(); ++r) {
+    const auto& Al = A.local[static_cast<size_t>(r)];
+    comm.prof(r) += spmv_multi_local_profile(Al, w);
+    if (arena != nullptr) {
+      if (Al.num_entries() > 0)
+        arena->to_device(r, Al.values().data(), Al.storage_bytes(),
+                         device::Xfer::Matrix);
+      arena->launch(r, 1);
+    }
+  }
+  if (prof) {
+    OpProfile agg;
+    for (const auto& Al : A.local) {
+      OpProfile p = spmv_multi_local_profile(Al, w);
+      agg.flops += p.flops;
+      agg.bytes += p.bytes;
+      agg.work_items += p.work_items;
+    }
+    agg.launches = 1;
+    agg.critical_path = 1;
+    *prof += agg;
+  }
+}
+
+}  // namespace detail
+
 /// Rank-sharded Y = A X over an ALREADY-IMPORTED block X: one pass over
 /// each rank's local matrix serves every column, so the matrix is streamed
 /// once per block application instead of once per column.  Each column's
@@ -147,19 +220,6 @@ void dist_spmv_multi(comm::Communicator& comm, const DistCsrMatrix<Scalar>& A,
   const HaloPlan& plan = *A.plan;
   const index_t w = x.width;
   FROSCH_CHECK(y.width == w, "dist_spmv_multi: width mismatch");
-  auto local_profile = [w](const CsrMatrix<Scalar>& Al) {
-    OpProfile p;
-    p.flops = 2.0 * static_cast<double>(Al.num_entries()) *
-              static_cast<double>(w);
-    // The matrix is streamed ONCE for the whole block; the vectors w times.
-    p.bytes = Al.storage_bytes() +
-              static_cast<double>(Al.num_rows() + Al.num_cols()) *
-                  static_cast<double>(w) * sizeof(Scalar);
-    p.launches = 1;
-    p.critical_path = 1;
-    p.work_items = static_cast<double>(Al.num_rows()) * static_cast<double>(w);
-    return p;
-  };
   const exec::ExecPolicy& pol = comm.policy();
   const int R = comm.size();
   index_t sub = 1;
@@ -187,29 +247,60 @@ void dist_spmv_multi(comm::Communicator& comm, const DistCsrMatrix<Scalar>& A,
         }
       },
       /*grain=*/1);
-  device::DeviceArena* arena = device::arena_of(pol);
-  for (int r = 0; r < R; ++r) {
-    const auto& Al = A.local[static_cast<size_t>(r)];
-    comm.prof(r) += local_profile(Al);
-    if (arena != nullptr) {
-      if (Al.num_entries() > 0)
-        arena->to_device(r, Al.values().data(), Al.storage_bytes(),
-                         device::Xfer::Matrix);
-      arena->launch(r, 1);
-    }
-  }
-  if (prof) {
-    OpProfile agg;
-    for (const auto& Al : A.local) {
-      OpProfile p = local_profile(Al);
-      agg.flops += p.flops;
-      agg.bytes += p.bytes;
-      agg.work_items += p.work_items;
-    }
-    agg.launches = 1;
-    agg.critical_path = 1;
-    *prof += agg;
-  }
+  detail::charge_spmv_multi(comm, A, w, prof);
+}
+
+/// Overlapped block Y = A X: one posted import for the whole block hides
+/// behind the interior rows of every column, exactly as in the
+/// single-vector dist_spmv_overlapped; bitwise identical to halo_import +
+/// dist_spmv_multi, with identical compute accounting.
+template <class Scalar>
+void dist_spmv_multi_overlapped(comm::Communicator& comm,
+                                const DistCsrMatrix<Scalar>& A,
+                                const std::vector<comm::Message>& msgs,
+                                DistMultiVector<Scalar>& x,
+                                DistMultiVector<Scalar>& y,
+                                OpProfile* prof = nullptr) {
+  const HaloPlan& plan = *A.plan;
+  const index_t w = x.width;
+  FROSCH_CHECK(y.width == w, "dist_spmv_multi_overlapped: width mismatch");
+  const exec::ExecPolicy& pol = comm.policy();
+  const int R = comm.size();
+  index_t sub = 1;
+  if (pol.parallel() && R < pol.threads)
+    sub = (pol.threads + static_cast<index_t>(R) - 1) / R;
+  auto run_rows = [&](const std::vector<IndexVector>& rows) {
+    exec::parallel_for(
+        pol, static_cast<index_t>(R) * sub,
+        [&](index_t task) {
+          const size_t r = static_cast<size_t>(task / sub);
+          const auto& Al = A.local[r];
+          const auto& xl = x.vals[r];
+          auto& yl = y.vals[r];
+          const auto& slot = plan.owned_slot[r];
+          const size_t len = plan.cols[r].size();
+          const auto& list = rows[r];
+          const auto [b, e] = exec::chunk_range(
+              static_cast<index_t>(list.size()), sub, task % sub);
+          for (index_t c = 0; c < w; ++c) {
+            const Scalar* xc = xl.data() + static_cast<size_t>(c) * len;
+            Scalar* yc = yl.data() + static_cast<size_t>(c) * len;
+            for (index_t q = b; q < e; ++q) {
+              const index_t i = list[q];
+              Scalar sum(0);
+              for (index_t k = Al.row_begin(i); k < Al.row_end(i); ++k)
+                sum += Al.val(k) * xc[Al.col(k)];
+              yc[slot[i]] = sum;
+            }
+          }
+        },
+        /*grain=*/1);
+  };
+  auto pending = halo_import_async(comm, plan, msgs, x);
+  run_rows(plan.interior);
+  pending.wait();
+  run_rows(plan.boundary);
+  detail::charge_spmv_multi(comm, A, w, prof);
 }
 
 /// One dot product x . y inside a fused batch.
@@ -278,6 +369,105 @@ void dist_fused_dots(const DistContext& d,
     prof->work_items += static_cast<double>(n);
     prof->reductions += 1;  // the whole batch travels in ONE all-reduce
   }
+}
+
+/// One in-flight fused dot batch from dist_fused_dots_async.  Holds the
+/// communicator's pending reduce (inert for an inactive context, where the
+/// results were already folded locally at post); wait() delivers the
+/// results into the output vector passed at post time and charges the wire
+/// event.  Exactly one wait() per pending batch.
+template <class Scalar>
+class PendingDots {
+ public:
+  PendingDots() = default;
+  void wait() {
+    FROSCH_CHECK(!waited_,
+                 "PendingDots::wait: already completed (one wait per post)");
+    waited_ = true;
+    red_.wait();
+  }
+  bool done() const { return waited_; }
+
+ private:
+  template <class S>
+  friend PendingDots<S> dist_fused_dots_async(
+      const DistContext&, const std::vector<DotJob<S>>&, std::vector<S>&,
+      OpProfile*, const exec::ExecPolicy&);
+
+  comm::PendingReduce<Scalar> red_;  ///< inert when the context is inactive
+  bool waited_ = false;
+};
+
+/// Nonblocking dist_fused_dots: the chunk partials are computed and (for an
+/// active context) the slot-order fold is taken at POST -- the pipelined
+/// Krylov contract that lets the caller overlap the next operator
+/// application with the all-reduce in flight -- while wait() delivers the
+/// results into `out` and charges the wire event (counted in both the
+/// reduction total and its async ov_ twin, window measured per rank).
+/// `out` must not be resized between post and wait.  Inactive context:
+/// folded locally in chunk order at post (bitwise identical to
+/// dist_fused_dots), wait() is an inert no-op.  The aggregate `prof`
+/// charges at post, marking the reduce async via ov_reductions, so the
+/// one-async-all-reduce-per-iteration assertion holds at every rank count.
+template <class Scalar>
+PendingDots<Scalar> dist_fused_dots_async(
+    const DistContext& d, const std::vector<DotJob<Scalar>>& jobs,
+    std::vector<Scalar>& out, OpProfile* prof = nullptr,
+    const exec::ExecPolicy& policy = {}) {
+  PendingDots<Scalar> pending;
+  const size_t K = jobs.size();
+  out.assign(K, Scalar(0));
+  if (K == 0) {
+    pending.waited_ = true;
+    return pending;
+  }
+  const index_t n = static_cast<index_t>(jobs[0].x->size());
+  for (const auto& jb : jobs) {
+    (void)jb;
+    FROSCH_ASSERT(static_cast<index_t>(jb.x->size()) == n &&
+                      static_cast<index_t>(jb.y->size()) == n,
+                  "dist_fused_dots_async: size mismatch");
+  }
+  const index_t nc = exec::chunk_count(n);
+  std::vector<Scalar> partial(static_cast<size_t>(nc) * K, Scalar(0));
+  exec::parallel_for(
+      policy, nc,
+      [&](index_t c) {
+        Scalar* pc = partial.data() + static_cast<size_t>(c) * K;
+        const auto [b, e] = exec::chunk_range(n, nc, c);
+        for (size_t j = 0; j < K; ++j) {
+          const Scalar* xj = jobs[j].x->data();
+          const Scalar* yj = jobs[j].y->data();
+          Scalar s(0);
+          for (index_t i = b; i < e; ++i) s += xj[i] * yj[i];
+          pc[j] = s;
+        }
+      },
+      /*grain=*/1);
+  if (d.active()) {
+    pending.red_ = d.comm->allreduce_slots_async(partial.data(), nc,
+                                                 static_cast<int>(K),
+                                                 out.data());
+    detail::attribute_elementwise(d, 2.0 * static_cast<double>(K),
+                                  2.0 * static_cast<double>(K),
+                                  sizeof(Scalar));
+  } else {
+    // Shared-memory fold: chunk order, exactly dist_fused_dots.
+    for (index_t c = 0; c < nc; ++c)
+      for (size_t j = 0; j < K; ++j)
+        out[j] += partial[static_cast<size_t>(c) * K + j];
+  }
+  if (prof) {
+    prof->flops += 2.0 * static_cast<double>(K) * static_cast<double>(n);
+    prof->bytes +=
+        2.0 * static_cast<double>(K) * static_cast<double>(n) * sizeof(Scalar);
+    prof->launches += 1;
+    prof->critical_path += 1;
+    prof->work_items += static_cast<double>(n);
+    prof->reductions += 1;     // one wire all-reduce for the whole batch...
+    prof->ov_reductions += 1;  // ...posted ASYNC (the pipelined contract)
+  }
+  return pending;
 }
 
 }  // namespace frosch::la

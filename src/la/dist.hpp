@@ -71,12 +71,28 @@ struct HaloPlan {
   };
   std::vector<Transfer> transfers;  ///< ordered by (dst, src)
 
+  /// Per rank: LOCAL row indices (into owned[r], ascending) split by ghost
+  /// dependence.  A row is *boundary* iff it references any ghost column
+  /// (a column owned by another rank); interior rows read only owned data
+  /// and can be computed while the ghost import is in flight
+  /// (dist_spmv_overlapped).  The split is by WHOLE row, so each row's
+  /// summation schedule -- and hence the bitwise determinism contract --
+  /// is untouched.
+  std::vector<IndexVector> interior;
+  std::vector<IndexVector> boundary;
+
   index_t owned_count(int r) const {
     return static_cast<index_t>(owned[static_cast<size_t>(r)].size());
   }
   index_t ghost_count(int r) const {
     return static_cast<index_t>(cols[static_cast<size_t>(r)].size() -
                                 owned[static_cast<size_t>(r)].size());
+  }
+  index_t interior_count(int r) const {
+    return static_cast<index_t>(interior[static_cast<size_t>(r)].size());
+  }
+  index_t boundary_count(int r) const {
+    return static_cast<index_t>(boundary[static_cast<size_t>(r)].size());
   }
 
   /// The measured message list of one ghost exchange of `elem_bytes`-sized
@@ -122,24 +138,35 @@ HaloPlan build_halo_plan(const CsrMatrix<Scalar>& A, const IndexVector& rank_of,
   }
 
   // Ghosts per rank, then the merged (globally sorted) local column space.
+  // The same scan classifies each owned row: boundary iff it references any
+  // ghost column, interior otherwise (local row indices, ascending).
+  plan.interior.assign(static_cast<size_t>(nranks), {});
+  plan.boundary.assign(static_cast<size_t>(nranks), {});
   std::vector<IndexVector> ghosts(static_cast<size_t>(nranks));
   std::vector<char> mark(static_cast<size_t>(n), 0);
   for (int r = 0; r < nranks; ++r) {
     auto& g = ghosts[static_cast<size_t>(r)];
-    for (index_t i : plan.owned[static_cast<size_t>(r)]) {
+    const auto& own = plan.owned[static_cast<size_t>(r)];
+    for (size_t q = 0; q < own.size(); ++q) {
+      const index_t i = own[q];
+      bool has_ghost = false;
       for (index_t k = A.row_begin(i); k < A.row_end(i); ++k) {
         const index_t c = A.col(k);
-        if (rank_of[c] != r && !mark[static_cast<size_t>(c)]) {
-          mark[static_cast<size_t>(c)] = 1;
-          g.push_back(c);
+        if (rank_of[c] != r) {
+          has_ghost = true;
+          if (!mark[static_cast<size_t>(c)]) {
+            mark[static_cast<size_t>(c)] = 1;
+            g.push_back(c);
+          }
         }
       }
+      (has_ghost ? plan.boundary : plan.interior)[static_cast<size_t>(r)]
+          .push_back(static_cast<index_t>(q));
     }
     std::sort(g.begin(), g.end());
     for (index_t c : g) mark[static_cast<size_t>(c)] = 0;
 
     // Merge owned (sorted) and ghosts (sorted) into the local column map.
-    const auto& own = plan.owned[static_cast<size_t>(r)];
     auto& cols = plan.cols[static_cast<size_t>(r)];
     auto& oslot = plan.owned_slot[static_cast<size_t>(r)];
     cols.resize(own.size() + g.size());
@@ -256,6 +283,26 @@ void halo_import(comm::Communicator& comm, const HaloPlan& plan,
   halo_import(comm, plan, plan.messages(sizeof(Scalar)), x);
 }
 
+/// Nonblocking ghost exchange: the scalar copies happen NOW (so ghost
+/// slots hold their final values and results stay bitwise identical to
+/// halo_import), the wire charging and the measured overlap window happen
+/// at the returned handle's wait().  Between post and wait the caller may
+/// compute anything that does not read x's ghost slots -- the interior
+/// rows of dist_spmv_overlapped.
+template <class Scalar>
+comm::PendingExchange halo_import_async(comm::Communicator& comm,
+                                        const HaloPlan& plan,
+                                        const std::vector<comm::Message>& msgs,
+                                        DistVector<Scalar>& x) {
+  return comm.exchange_async(msgs, [&](size_t m) {
+    const auto& t = plan.transfers[m];
+    const auto& src = x.vals[static_cast<size_t>(t.src)];
+    auto& dst = x.vals[static_cast<size_t>(t.dst)];
+    for (size_t q = 0; q < t.ids.size(); ++q)
+      dst[t.dst_slots[q]] = src[t.src_slots[q]];
+  });
+}
+
 /// Per-rank local CSR: rank r's owned rows (ascending global id) with
 /// columns renumbered into its local column space.  Because local col ids
 /// ascend with global ids, each local row preserves the global row's entry
@@ -305,6 +352,64 @@ struct DistCsrMatrix {
   }
 };
 
+namespace detail {
+
+/// One accounting formula for both the per-rank and aggregate SpMV views:
+/// each rank's local kernel.
+template <class Scalar>
+OpProfile spmv_local_profile(const CsrMatrix<Scalar>& Al) {
+  OpProfile p;
+  p.flops = 2.0 * static_cast<double>(Al.num_entries());
+  p.bytes = Al.storage_bytes() +
+            static_cast<double>(Al.num_rows() + Al.num_cols()) *
+                sizeof(Scalar);
+  p.launches = 1;
+  p.critical_path = 1;
+  p.work_items = static_cast<double>(Al.num_rows());
+  return p;
+}
+
+/// The shared charging of dist_spmv and dist_spmv_overlapped: identical BY
+/// DESIGN, so the two paths' compute profiles (and hence modeled compute
+/// times) are indistinguishable -- the overlapped path's benefit enters
+/// solely through the comm-side ov_/window fields its wait() records.  The
+/// interior/boundary pass split is a host-side scheduling detail below the
+/// launch-accounting granularity.
+template <class Scalar>
+void charge_spmv(comm::Communicator& comm, const DistCsrMatrix<Scalar>& A,
+                 OpProfile* prof) {
+  device::DeviceArena* arena = device::arena_of(comm.policy());
+  for (int r = 0; r < comm.size(); ++r) {
+    const auto& Al = A.local[static_cast<size_t>(r)];
+    comm.prof(r) += spmv_local_profile(Al);
+    if (arena != nullptr) {
+      // The SpMV kernel reads the rank's local matrix on the device: a
+      // stale mirror measures the staging it forces; the steady state of a
+      // Krylov loop is a no-op here (the matrix was staged at setup).
+      if (Al.num_entries() > 0)
+        arena->to_device(r, Al.values().data(), Al.storage_bytes(),
+                         device::Xfer::Matrix);
+      arena->launch(r, 1);
+    }
+  }
+  if (prof) {
+    // Aggregate view: the per-rank shares summed, as ONE bulk-synchronous
+    // launch (matching la::spmv's whole-matrix accounting).
+    OpProfile agg;
+    for (const auto& Al : A.local) {
+      OpProfile p = spmv_local_profile(Al);
+      agg.flops += p.flops;
+      agg.bytes += p.bytes;
+      agg.work_items += p.work_items;
+    }
+    agg.launches = 1;
+    agg.critical_path = 1;
+    *prof += agg;
+  }
+}
+
+}  // namespace detail
+
 /// Rank-sharded y = A x over an ALREADY-IMPORTED x (call halo_import
 /// first; DistCsrOperator in krylov/operator.hpp packages the sequence).
 /// Writes each rank's owned result entries into y's owned slots.  Per-rank
@@ -315,18 +420,6 @@ void dist_spmv(comm::Communicator& comm, const DistCsrMatrix<Scalar>& A,
                const DistVector<Scalar>& x, DistVector<Scalar>& y,
                OpProfile* prof = nullptr) {
   const HaloPlan& plan = *A.plan;
-  // One accounting formula for both views: each rank's local kernel.
-  auto local_profile = [](const CsrMatrix<Scalar>& Al) {
-    OpProfile p;
-    p.flops = 2.0 * static_cast<double>(Al.num_entries());
-    p.bytes = Al.storage_bytes() +
-              static_cast<double>(Al.num_rows() + Al.num_cols()) *
-                  sizeof(Scalar);
-    p.launches = 1;
-    p.critical_path = 1;
-    p.work_items = static_cast<double>(Al.num_rows());
-    return p;
-  };
   // Row tasks: `sub` row-chunks per rank so the pool stays busy when there
   // are fewer virtual ranks than threads (per-row results are independent
   // of the chunking, so this cannot perturb the bitwise contract).
@@ -352,34 +445,59 @@ void dist_spmv(comm::Communicator& comm, const DistCsrMatrix<Scalar>& A,
         }
       },
       /*grain=*/1);
-  device::DeviceArena* arena = device::arena_of(pol);
-  for (int r = 0; r < R; ++r) {
-    const auto& Al = A.local[static_cast<size_t>(r)];
-    comm.prof(r) += local_profile(Al);
-    if (arena != nullptr) {
-      // The SpMV kernel reads the rank's local matrix on the device: a
-      // stale mirror measures the staging it forces; the steady state of a
-      // Krylov loop is a no-op here (the matrix was staged at setup).
-      if (Al.num_entries() > 0)
-        arena->to_device(r, Al.values().data(), Al.storage_bytes(),
-                         device::Xfer::Matrix);
-      arena->launch(r, 1);
-    }
-  }
-  if (prof) {
-    // Aggregate view: the per-rank shares summed, as ONE bulk-synchronous
-    // launch (matching la::spmv's whole-matrix accounting).
-    OpProfile agg;
-    for (const auto& Al : A.local) {
-      OpProfile p = local_profile(Al);
-      agg.flops += p.flops;
-      agg.bytes += p.bytes;
-      agg.work_items += p.work_items;
-    }
-    agg.launches = 1;
-    agg.critical_path = 1;
-    *prof += agg;
-  }
+  detail::charge_spmv(comm, A, prof);
+}
+
+/// Overlapped y = A x: posts the ghost import (copies land immediately,
+/// per the SimComm convention), computes the INTERIOR rows -- which read
+/// no ghost column -- while the wire operation is pending, waits (charging
+/// the wire and the measured overlap window), then computes the BOUNDARY
+/// rows.  Because the split is by whole row and each row's summation
+/// schedule is unchanged, the result is bitwise identical to halo_import +
+/// dist_spmv at every (backend, ranks, threads); the compute accounting is
+/// identical too (see detail::charge_spmv), so the two paths differ only
+/// in the ov_/window fields of the comm profiles.
+template <class Scalar>
+void dist_spmv_overlapped(comm::Communicator& comm,
+                          const DistCsrMatrix<Scalar>& A,
+                          const std::vector<comm::Message>& msgs,
+                          DistVector<Scalar>& x, DistVector<Scalar>& y,
+                          OpProfile* prof = nullptr) {
+  const HaloPlan& plan = *A.plan;
+  const exec::ExecPolicy& pol = comm.policy();
+  const int R = comm.size();
+  index_t sub = 1;
+  if (pol.parallel() && R < pol.threads)
+    sub = (pol.threads + static_cast<index_t>(R) - 1) / R;
+  // Same row kernel as dist_spmv, driven by a per-rank row LIST instead of
+  // the full row range (list chunking cannot perturb per-row sums).
+  auto run_rows = [&](const std::vector<IndexVector>& rows) {
+    exec::parallel_for(
+        pol, static_cast<index_t>(R) * sub,
+        [&](index_t task) {
+          const size_t r = static_cast<size_t>(task / sub);
+          const auto& Al = A.local[r];
+          const auto& xl = x.vals[r];
+          auto& yl = y.vals[r];
+          const auto& slot = plan.owned_slot[r];
+          const auto& list = rows[r];
+          const auto [b, e] = exec::chunk_range(
+              static_cast<index_t>(list.size()), sub, task % sub);
+          for (index_t q = b; q < e; ++q) {
+            const index_t i = list[q];
+            Scalar sum(0);
+            for (index_t k = Al.row_begin(i); k < Al.row_end(i); ++k)
+              sum += Al.val(k) * xl[Al.col(k)];
+            yl[slot[i]] = sum;
+          }
+        },
+        /*grain=*/1);
+  };
+  auto pending = halo_import_async(comm, plan, msgs, x);
+  run_rows(plan.interior);
+  pending.wait();
+  run_rows(plan.boundary);
+  detail::charge_spmv(comm, A, prof);
 }
 
 // ---------------------------------------------------------------------------

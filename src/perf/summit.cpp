@@ -27,6 +27,11 @@ OpProfile split_across_ranks(const OpProfile& global, int num_ranks) {
   p.reductions = 0;
   p.neighbor_msgs = 0;
   p.msg_bytes = 0.0;
+  p.ov_reductions = 0;
+  p.ov_neighbor_msgs = 0;
+  p.ov_msg_bytes = 0.0;
+  p.overlap_windows = 0;
+  p.overlap_s = 0.0;
   return p;
 }
 
@@ -35,6 +40,11 @@ OpProfile network_part(const OpProfile& p) {
   n.reductions = p.reductions;
   n.neighbor_msgs = p.neighbor_msgs;
   n.msg_bytes = p.msg_bytes;
+  n.ov_reductions = p.ov_reductions;
+  n.ov_neighbor_msgs = p.ov_neighbor_msgs;
+  n.ov_msg_bytes = p.ov_msg_bytes;
+  n.overlap_windows = p.overlap_windows;
+  n.overlap_s = p.overlap_s;
   return n;
 }
 
@@ -43,7 +53,20 @@ OpProfile compute_part(const OpProfile& p) {
   c.reductions = 0;
   c.neighbor_msgs = 0;
   c.msg_bytes = 0.0;
+  c.ov_reductions = 0;
+  c.ov_neighbor_msgs = 0;
+  c.ov_msg_bytes = 0.0;
+  c.overlap_windows = 0;
+  c.overlap_s = 0.0;
   return c;
+}
+
+OpProfile overlap_part(const OpProfile& p) {
+  OpProfile n;
+  n.reductions = p.ov_reductions;
+  n.neighbor_msgs = p.ov_neighbor_msgs;
+  n.msg_bytes = p.ov_msg_bytes;
+  return n;
 }
 
 }  // namespace frosch::perf

@@ -58,6 +58,12 @@ SummitConfig scaled_summit(double work_ratio, double width_ratio);
 /// gives an effective ~60x on the latency-sensitive terms.
 inline SummitConfig miniature_summit() { return scaled_summit(60.0, 45.0); }
 
+/// The async-posted share of a measured profile as a network view: the
+/// ov_ subset fields moved into the plain reduction/message/byte slots so
+/// network_time() prices exactly the traffic that had compute overlapped
+/// with it (all other fields zero).
+OpProfile overlap_part(const OpProfile& p);
+
 /// Timing of one bulk-synchronous phase from per-rank profiles.
 class SummitModel {
  public:
@@ -151,6 +157,31 @@ class SummitModel {
     return static_cast<double>(aggregate.reductions) *
            cfg_.net.allreduce_alpha *
            std::log2(static_cast<double>(total_ranks));
+  }
+
+  /// Overlap-aware pricing of one bulk-synchronous phase: the share of the
+  /// wire traffic that was posted ASYNC (the ov_ subset of the measured
+  /// per-rank profiles -- ghost imports overlapped with interior SpMV rows,
+  /// pipelined all-reduces overlapped with the next operator application)
+  /// hides under the phase's compute up to the compute time, i.e. the
+  /// overlapped portion is priced max(compute, comm) instead of
+  /// compute + comm; blocking traffic is still additive:
+  ///
+  ///   priced = compute + network(total) - min(compute, network(overlapped))
+  ///          = max(compute, network(overlapped)) + blocking residual.
+  ///
+  /// Always <= the summed (non-overlapping) price, and EQUAL to it when no
+  /// traffic was posted async (every ov_ field zero).
+  double overlapped_phase_time(double compute_s,
+                               const std::vector<OpProfile>& rank_profiles,
+                               int total_ranks) const {
+    const double total = network_time(rank_profiles, total_ranks);
+    std::vector<OpProfile> ov;
+    ov.reserve(rank_profiles.size());
+    for (const auto& p : rank_profiles) ov.push_back(overlap_part(p));
+    const double hidden =
+        std::min(compute_s, network_time(ov, total_ranks));
+    return compute_s + total - hidden;
   }
 
   /// Serial extra work (e.g. the coarse factorization/solve on rank 0).

@@ -88,8 +88,13 @@ SolverConfig SolverConfig::from_parameters(const ParameterList& p,
   read_int(p, "block-size", c.block_size);
   read_int(p, "batch", c.batch);
 
-  // Krylov side.
+  if (p.has("overlap_comm")) c.overlap_comm = p.get<bool>("overlap_comm");
+
+  // Krylov side.  "krylov" is an alias for "solver" (the pipelined variants
+  // made the method a first-class tuning knob); when both are given the
+  // "krylov" key wins.
   read_enum(p, "solver", c.krylov.method);
+  read_enum(p, "krylov", c.krylov.method);
   read_enum(p, "ortho", c.krylov.ortho);
   read_int(p, "restart", c.krylov.restart);
   read_int(p, "max-iters", c.krylov.max_iters);
@@ -180,6 +185,12 @@ std::vector<SolverConfig::ParameterDoc> SolverConfig::parameter_docs() {
       {"batch", "int",
        "SolveSession auto-flush threshold (0 = explicit flush only)"},
       {"solver", enum_names<KrylovMethod>(), "Krylov method"},
+      {"krylov", enum_names<KrylovMethod>(),
+       "alias for solver (wins when both are given); the -pipe variants "
+       "post one async fused all-reduce per iteration"},
+      {"overlap_comm", "bool",
+       "overlap ghost imports with interior SpMV rows (bitwise identical "
+       "either way; windows reported in SolveReport::rank_overlap)"},
       {"ortho", enum_names<OrthoKind>(), "GMRES orthogonalization"},
       {"restart", "int", "GMRES cycle length"},
       {"max-iters", "int", "Krylov iteration cap"},

@@ -95,6 +95,14 @@ struct SolverConfig {
   /// solved only on an explicit flush() (the "batch" key).
   index_t batch = 0;
 
+  /// Overlapped communication in the distributed operator (the
+  /// "overlap_comm" key, on by default): the ghost import of every SpMV is
+  /// POSTED async, interior rows compute while it is in flight, and
+  /// boundary rows follow the wait.  Results are bitwise identical either
+  /// way (DESIGN.md section 7); only the measured overlap windows
+  /// (SolveReport::rank_overlap) change.
+  bool overlap_comm = true;
+
   dd::SchwarzConfig schwarz;
   krylov::KrylovOptions krylov;
 

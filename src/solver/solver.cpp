@@ -179,6 +179,10 @@ SolveReport Solver::finish_report(
   rep.rank_krylov = comm_->rank_profiles();
   for (size_t r = 0; r < rep.rank_krylov.size(); ++r)
     rep.rank_krylov[r] -= comm_before[r];
+  // This solve's measured overlap windows (async post->wait intervals).
+  rep.rank_overlap.resize(rep.rank_krylov.size());
+  for (size_t r = 0; r < rep.rank_krylov.size(); ++r)
+    rep.rank_overlap[r] = rep.rank_krylov[r].overlap_s;
   if (arena_) {
     // Measured PCIe staging: the setup snapshot plus this solve's delta.
     rep.rank_setup_transfers = setup_transfers_;
@@ -225,8 +229,10 @@ SolveReport Solver::solve(const std::vector<double>& b,
   FROSCH_CHECK(setup_done_, "Solver: setup() before solve()");
   // The rank-sharded operator: every application performs the measured
   // ghost import and the per-rank local SpMVs (bitwise identical to the
-  // global CsrOperator at every rank count).
-  krylov::DistCsrOperator<double> op(dist_A_, *comm_, cfg_.krylov.exec);
+  // global CsrOperator at every rank count; overlap_comm selects the
+  // interior/ghost-import overlapped schedule, bitwise identical too).
+  krylov::DistCsrOperator<double> op(dist_A_, *comm_, cfg_.krylov.exec,
+                                     cfg_.overlap_comm);
 
   // The preconditioner and the communicator accumulate their solve-phase
   // profiles across apply() calls; snapshot both so the report stays
@@ -263,7 +269,8 @@ std::vector<SolveReport> Solver::solve_batch(
     X.clear();
     return reps;
   }
-  krylov::DistCsrOperator<double> op(dist_A_, *comm_, cfg_.krylov.exec);
+  krylov::DistCsrOperator<double> op(dist_A_, *comm_, cfg_.krylov.exec,
+                                     cfg_.overlap_comm);
 
   const dd::SchwarzProfiles* sp = prec_ ? prec_->schwarz_profiles() : nullptr;
   dd::SchwarzProfiles before;

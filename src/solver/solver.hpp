@@ -58,6 +58,14 @@ struct SolveReport {
   /// row imports, coarse-matrix gather).
   std::vector<OpProfile> rank_setup_comm;
 
+  /// MEASURED per-rank overlap windows of this solve, in seconds: the sum
+  /// of every async post->wait interval (ghost imports overlapped with
+  /// interior SpMV rows when overlap_comm is on, fused all-reduces
+  /// overlapped with the next operator application under the pipelined
+  /// Krylov methods).  One entry per rank; nonzero only on multi-rank runs
+  /// (SelfComm completes async operations inline with a zero window).
+  std::vector<double> rank_overlap;
+
   /// Per-rank load imbalance of the solve phase: max over ranks of the
   /// measured per-rank work (Schwarz local solves + Krylov share, in
   /// flops) divided by the mean.  1.0 = perfectly balanced.

@@ -32,8 +32,12 @@ TEST(OpProfileArithmetic, PlusAccumulatesEveryField) {
   OpProfile a, b;
   a.flops = 10.0; a.bytes = 20.0; a.launches = 3; a.critical_path = 2;
   a.work_items = 30.0; a.reductions = 1; a.neighbor_msgs = 4; a.msg_bytes = 64.0;
+  a.ov_reductions = 1; a.ov_neighbor_msgs = 2; a.ov_msg_bytes = 32.0;
+  a.overlap_windows = 1; a.overlap_s = 0.5;
   b.flops = 1.0; b.bytes = 2.0; b.launches = 1; b.critical_path = 1;
   b.work_items = 3.0; b.reductions = 2; b.neighbor_msgs = 1; b.msg_bytes = 8.0;
+  b.ov_reductions = 2; b.ov_neighbor_msgs = 1; b.ov_msg_bytes = 8.0;
+  b.overlap_windows = 2; b.overlap_s = 0.25;
   const OpProfile s = a + b;
   EXPECT_EQ(s.flops, 11.0);
   EXPECT_EQ(s.bytes, 22.0);
@@ -43,13 +47,21 @@ TEST(OpProfileArithmetic, PlusAccumulatesEveryField) {
   EXPECT_EQ(s.reductions, 3);
   EXPECT_EQ(s.neighbor_msgs, 5);
   EXPECT_EQ(s.msg_bytes, 72.0);
+  EXPECT_EQ(s.ov_reductions, 3);
+  EXPECT_EQ(s.ov_neighbor_msgs, 3);
+  EXPECT_EQ(s.ov_msg_bytes, 40.0);
+  EXPECT_EQ(s.overlap_windows, 3);
+  EXPECT_EQ(s.overlap_s, 0.75);
 }
 
 TEST(OpProfileArithmetic, MinusClampsEveryFieldAtZero) {
   OpProfile a, b;
   a.flops = 5.0; a.launches = 2; a.reductions = 1; a.msg_bytes = 16.0;
+  a.ov_reductions = 1; a.ov_msg_bytes = 4.0; a.overlap_s = 0.1;
   b.flops = 10.0; b.launches = 5; b.reductions = 3; b.msg_bytes = 32.0;
   b.bytes = 1.0; b.critical_path = 1; b.work_items = 1.0; b.neighbor_msgs = 1;
+  b.ov_reductions = 2; b.ov_neighbor_msgs = 1; b.ov_msg_bytes = 8.0;
+  b.overlap_windows = 1; b.overlap_s = 0.2;
   a -= b;
   EXPECT_EQ(a.flops, 0.0);
   EXPECT_EQ(a.bytes, 0.0);
@@ -59,17 +71,31 @@ TEST(OpProfileArithmetic, MinusClampsEveryFieldAtZero) {
   EXPECT_EQ(a.reductions, 0);
   EXPECT_EQ(a.neighbor_msgs, 0);
   EXPECT_EQ(a.msg_bytes, 0.0);
+  EXPECT_EQ(a.ov_reductions, 0);
+  EXPECT_EQ(a.ov_neighbor_msgs, 0);
+  EXPECT_EQ(a.ov_msg_bytes, 0.0);
+  EXPECT_EQ(a.overlap_windows, 0);
+  EXPECT_EQ(a.overlap_s, 0.0);
 }
 
 TEST(OpProfileArithmetic, MinusSubtractsContainedContribution) {
   OpProfile a, b;
   a.flops = 10.0; a.reductions = 5; a.neighbor_msgs = 7; a.msg_bytes = 100.0;
+  a.ov_reductions = 4; a.ov_neighbor_msgs = 5; a.ov_msg_bytes = 80.0;
+  a.overlap_windows = 3; a.overlap_s = 1.0;
   b.flops = 4.0; b.reductions = 2; b.neighbor_msgs = 3; b.msg_bytes = 60.0;
+  b.ov_reductions = 1; b.ov_neighbor_msgs = 2; b.ov_msg_bytes = 30.0;
+  b.overlap_windows = 1; b.overlap_s = 0.25;
   a -= b;
   EXPECT_EQ(a.flops, 6.0);
   EXPECT_EQ(a.reductions, 3);
   EXPECT_EQ(a.neighbor_msgs, 4);
   EXPECT_EQ(a.msg_bytes, 40.0);
+  EXPECT_EQ(a.ov_reductions, 3);
+  EXPECT_EQ(a.ov_neighbor_msgs, 3);
+  EXPECT_EQ(a.ov_msg_bytes, 50.0);
+  EXPECT_EQ(a.overlap_windows, 2);
+  EXPECT_EQ(a.overlap_s, 0.75);
 }
 
 TEST(OpProfileArithmetic, MeanWidthIsZeroWithoutLaunches) {
@@ -180,6 +206,181 @@ TEST(Communicator, BlockOwnerInvertsRankBlock) {
         for (index_t i = b; i < e; ++i)
           EXPECT_EQ(c.block_owner(n, i), r) << "n=" << n << " R=" << R;
       }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Nonblocking post/wait semantics: copies and folds happen at POST (bitwise
+// identity with the blocking path), wire charging plus the measured overlap
+// window at WAIT, recorded in both the normal fields and their ov_ twins.
+
+TEST(AsyncExchange, ChargesDestinationAndOvTwinsAtWait) {
+  comm::SimComm c(3);
+  std::vector<double> buf0 = {1.0, 2.0, 3.0}, buf1(3, 0.0), buf2(3, 0.0);
+  std::vector<comm::Message> msgs(2);
+  msgs[0] = {0, 1, 3, 24.0};
+  msgs[1] = {0, 2, 2, 16.0};
+  auto pending = c.exchange_async(msgs, [&](size_t m) {
+    if (m == 0) buf1 = buf0;
+    else std::copy(buf0.begin(), buf0.begin() + 2, buf2.begin());
+  });
+  // The copies happened at post -- the window is open, nothing is charged
+  // yet, and the caller may compute on anything but the destinations.
+  EXPECT_EQ(buf1, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(buf2, (std::vector<double>{1.0, 2.0, 0.0}));
+  EXPECT_EQ(c.prof(1).neighbor_msgs, 0);
+  EXPECT_FALSE(pending.done());
+  pending.wait();
+  EXPECT_TRUE(pending.done());
+  // Import convention as in the blocking path: the DESTINATION is charged,
+  // in the normal fields AND the async ov_ twins, with exactly one measured
+  // window per destination rank that had remote traffic.
+  EXPECT_EQ(c.prof(0).neighbor_msgs, 0);
+  EXPECT_EQ(c.prof(0).overlap_windows, 0);
+  EXPECT_EQ(c.prof(1).neighbor_msgs, 1);
+  EXPECT_EQ(c.prof(1).msg_bytes, 24.0);
+  EXPECT_EQ(c.prof(1).ov_neighbor_msgs, 1);
+  EXPECT_EQ(c.prof(1).ov_msg_bytes, 24.0);
+  EXPECT_EQ(c.prof(1).overlap_windows, 1);
+  EXPECT_GE(c.prof(1).overlap_s, 0.0);
+  EXPECT_EQ(c.prof(2).neighbor_msgs, 1);
+  EXPECT_EQ(c.prof(2).msg_bytes, 16.0);
+  EXPECT_EQ(c.prof(2).ov_neighbor_msgs, 1);
+  EXPECT_EQ(c.prof(2).ov_msg_bytes, 16.0);
+  EXPECT_EQ(c.prof(2).overlap_windows, 1);
+}
+
+TEST(AsyncExchange, OneWindowPerDestinationNotPerMessage) {
+  comm::SimComm c(2);
+  // Two messages into the SAME destination: one wire event window.
+  std::vector<comm::Message> msgs = {{0, 1, 1, 8.0}, {0, 1, 2, 16.0}};
+  auto pending = c.exchange_async(msgs, [](size_t) {});
+  pending.wait();
+  EXPECT_EQ(c.prof(1).neighbor_msgs, 2);
+  EXPECT_EQ(c.prof(1).ov_neighbor_msgs, 2);
+  EXPECT_EQ(c.prof(1).msg_bytes, 24.0);
+  EXPECT_EQ(c.prof(1).overlap_windows, 1);
+}
+
+TEST(AsyncExchange, AllSelfMessagesCompleteInlineChargingNothing) {
+  comm::SimComm c(2);
+  std::vector<comm::Message> msgs = {{1, 1, 5, 40.0}};
+  bool copied = false;
+  auto pending = c.exchange_async(msgs, [&](size_t) { copied = true; });
+  EXPECT_TRUE(copied);  // the copy ran at post
+  pending.wait();
+  // Self-messages are local copies: no wire event, no window, no ov_ share.
+  EXPECT_EQ(c.prof(1).neighbor_msgs, 0);
+  EXPECT_EQ(c.prof(1).msg_bytes, 0.0);
+  EXPECT_EQ(c.prof(1).ov_neighbor_msgs, 0);
+  EXPECT_EQ(c.prof(1).ov_msg_bytes, 0.0);
+  EXPECT_EQ(c.prof(1).overlap_windows, 0);
+  EXPECT_EQ(c.prof(1).overlap_s, 0.0);
+}
+
+TEST(AsyncExchange, WaitIsExactlyOnce) {
+  comm::SimComm c(2);
+  std::vector<comm::Message> msgs = {{0, 1, 1, 8.0}};
+  auto pending = c.post_async(msgs);
+  pending.wait();
+  EXPECT_THROW(pending.wait(), Error);
+  // A default-constructed handle is inert: its one wait is a no-op.
+  comm::PendingExchange idle;
+  idle.wait();
+  EXPECT_THROW(idle.wait(), Error);
+}
+
+TEST(AsyncExchange, MovedFromHandleIsInert) {
+  comm::SimComm c(2);
+  std::vector<comm::Message> msgs = {{0, 1, 1, 8.0}};
+  auto pending = c.post_async(msgs);
+  comm::PendingExchange taken = std::move(pending);
+  EXPECT_TRUE(pending.done());             // moved-from: already "completed"
+  EXPECT_THROW(pending.wait(), Error);     // ... so a second wait still throws
+  taken.wait();                            // the charge moved with the handle
+  EXPECT_EQ(c.prof(1).neighbor_msgs, 1);
+  EXPECT_EQ(c.prof(1).ov_neighbor_msgs, 1);
+}
+
+TEST(AsyncReduce, MatchesBlockingBitwiseAndChargesOvTwins) {
+  // Same fold as AllreduceSlotsFoldsInSlotOrder, through the async path.
+  comm::SimComm blocking(2), async(2);
+  const double slots[6] = {1.0, -1.0, 2.0, -2.0, 3.0, -3.0};
+  double out_b[2], out_a[2];
+  blocking.allreduce_slots(slots, 3, 2, out_b);
+  auto pending = async.allreduce_slots_async(slots, 3, 2, out_a);
+  pending.wait();
+  EXPECT_EQ(std::memcmp(out_a, out_b, sizeof(out_a)), 0);
+  for (int r = 0; r < 2; ++r) {
+    // One reduction in the totals AND the ov_ twin; payload on the wire,
+    // one measured window per rank (collectives are bulk-synchronous).
+    EXPECT_EQ(async.prof(r).reductions, 1);
+    EXPECT_EQ(async.prof(r).ov_reductions, 1);
+    EXPECT_EQ(async.prof(r).msg_bytes, 2.0 * sizeof(double));
+    EXPECT_EQ(async.prof(r).ov_msg_bytes, 2.0 * sizeof(double));
+    EXPECT_EQ(async.prof(r).overlap_windows, 1);
+    EXPECT_GE(async.prof(r).overlap_s, 0.0);
+    // The blocking path records no async share.
+    EXPECT_EQ(blocking.prof(r).ov_reductions, 0);
+    EXPECT_EQ(blocking.prof(r).overlap_windows, 0);
+  }
+}
+
+TEST(AsyncReduce, FoldHappensAtPostSoLaterSlotWritesCannotChangeIt) {
+  comm::SimComm c(2);
+  double slots[4] = {1.0, 10.0, 2.0, 20.0};
+  double out[2] = {0.0, 0.0};
+  auto pending = c.allreduce_slots_async(slots, 2, 2, out);
+  slots[0] = 1e9;  // the overlapped compute may reuse the slot buffer
+  slots[3] = -1e9;
+  EXPECT_EQ(out[0], 0.0);  // nothing delivered before wait
+  pending.wait();
+  EXPECT_EQ(out[0], 3.0);
+  EXPECT_EQ(out[1], 30.0);
+  EXPECT_THROW(pending.wait(), Error);  // exactly one wait per post
+}
+
+TEST(AsyncReduce, SelfCommCountsTheReductionButShipsNothing) {
+  comm::SelfComm c;
+  const double slots[2] = {1.0, 2.0};
+  double out;
+  auto pending = c.allreduce_slots_async(slots, 2, 1, &out);
+  pending.wait();
+  EXPECT_EQ(out, 3.0);
+  // The posted collective counts on one rank -- in the total AND the ov_
+  // twin, keeping per-iteration pins rank-count independent -- but with no
+  // wire there is no payload and no overlap window.
+  EXPECT_EQ(c.prof(0).reductions, 1);
+  EXPECT_EQ(c.prof(0).ov_reductions, 1);
+  EXPECT_EQ(c.prof(0).msg_bytes, 0.0);
+  EXPECT_EQ(c.prof(0).ov_msg_bytes, 0.0);
+  EXPECT_EQ(c.prof(0).overlap_windows, 0);
+  EXPECT_EQ(c.prof(0).overlap_s, 0.0);
+}
+
+TEST(AsyncReduce, BitwiseVsBlockingAcrossRanksAndThreads) {
+  // The async fold is the same slot-order fold as the blocking one at every
+  // (ranks, threads): P and T only change who measures, never the bits.
+  const index_t nslots = 37;
+  const int k = 3;
+  std::vector<double> slots(static_cast<size_t>(nslots) * k);
+  for (size_t i = 0; i < slots.size(); ++i)
+    slots[i] = std::sin(0.37 * static_cast<double>(i + 1)) * 1e3;
+  std::vector<double> ref(k);
+  {
+    comm::SelfComm c;
+    c.allreduce_slots(slots.data(), nslots, k, ref.data());
+  }
+  for (int R : {1, 4, 8}) {
+    for (int T : {1, 4}) {
+      comm::SimComm c(R, exec::ExecPolicy::with_threads(T));
+      std::vector<double> out(k);
+      auto pending =
+          c.allreduce_slots_async(slots.data(), nslots, k, out.data());
+      pending.wait();
+      EXPECT_EQ(std::memcmp(out.data(), ref.data(), k * sizeof(double)), 0)
+          << "R=" << R << " T=" << T;
     }
   }
 }
@@ -656,6 +857,145 @@ TEST(BlockGmres, ColumnsMatchSoloSolvesAtAnyBatchComposition) {
     Trajectory got{reps[c].iterations, reps[c].residual_history, X[c]};
     expect_bitwise_equal(got, refs[c],
                          "batch column " + std::to_string(c) + " vs solo");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined solvers (cg-pipe / gmres-pipe): ONE async fused all-reduce per
+// iteration, posted before and waited after the next operator application.
+// Their recurrences differ from cg/gmres, so iteration counts are pinned
+// against THEIR OWN trajectories -- bitwise identical across every (ranks,
+// threads) combination, like every other solve in this suite.
+
+Trajectory pipe_run(const test::MeshProblem& p, SolverConfig cfg,
+                    index_t ranks, index_t threads,
+                    SolveReport* out = nullptr) {
+  cfg.ranks = ranks;
+  cfg.threads = threads;
+  Solver solver(cfg);
+  solver.setup(p.A, p.Z, p.owner, p.num_parts);
+  std::vector<double> b(static_cast<size_t>(p.A.num_rows()), 1.0);
+  Trajectory t;
+  auto rep = solver.solve(b, t.x);
+  t.iterations = rep.iterations;
+  t.history = rep.residual_history;
+  if (out != nullptr) *out = rep;
+  return t;
+}
+
+TEST(PipelinedSolvers, Laplace16CgPipeBitwiseAcrossRanksAndThreads) {
+  auto p = test::laplace_problem(16, 2, 2, 2);
+  SolverConfig cfg;
+  cfg.preconditioner = "none";  // unpreconditioned SPD: cg-pipe's home turf
+  cfg.krylov.method = krylov::KrylovMethod::CgPipe;
+  SolveReport rep;
+  const Trajectory ref = pipe_run(p, cfg, 1, 1, &rep);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_GT(ref.iterations, 0);
+  for (index_t R : {1, 4}) {
+    for (index_t T : {1, 4}) {
+      SolveReport r;
+      const Trajectory got = pipe_run(p, cfg, R, T, &r);
+      expect_bitwise_equal(got, ref,
+                           "cg-pipe laplace16 ranks=" + std::to_string(R) +
+                               " threads=" + std::to_string(T));
+      // Exactly one POSTED fused all-reduce per pass: iterations + 1 passes
+      // (the pipeline is one overlap deep, pass 0 reports no iteration) --
+      // measured identically on every rank, at every rank count.
+      ASSERT_EQ(r.rank_krylov.size(), static_cast<size_t>(R));
+      for (index_t rr = 0; rr < R; ++rr)
+        EXPECT_EQ(r.rank_krylov[static_cast<size_t>(rr)].ov_reductions,
+                  static_cast<count_t>(r.iterations + 1))
+            << "ranks=" << R << " rank " << rr;
+    }
+  }
+}
+
+TEST(PipelinedSolvers, Laplace16GmresPipeBitwiseAcrossRanksAndThreads) {
+  auto p = test::laplace_problem(16, 2, 2, 2);
+  SolverConfig cfg;  // two-level rGDSW Schwarz, as the paper runs GMRES
+  cfg.krylov.method = krylov::KrylovMethod::GmresPipe;
+  SolveReport rep;
+  const Trajectory ref = pipe_run(p, cfg, 1, 1, &rep);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_GT(ref.iterations, 0);
+  // One virtual rank: the posted collectives still count (ov_reductions is
+  // rank-count independent) but there is no wire and no measured window.
+  ASSERT_EQ(rep.rank_overlap.size(), 1u);
+  EXPECT_EQ(rep.rank_overlap[0], 0.0);
+  for (index_t R : {1, 4}) {
+    for (index_t T : {1, 4}) {
+      SolveReport r;
+      const Trajectory got = pipe_run(p, cfg, R, T, &r);
+      expect_bitwise_equal(got, ref,
+                           "gmres-pipe laplace16 ranks=" + std::to_string(R) +
+                               " threads=" + std::to_string(T));
+      // One posted reduce per pass, one pass per iteration.
+      ASSERT_EQ(r.rank_krylov.size(), static_cast<size_t>(R));
+      for (index_t rr = 0; rr < R; ++rr)
+        EXPECT_EQ(r.rank_krylov[static_cast<size_t>(rr)].ov_reductions,
+                  static_cast<count_t>(r.iterations))
+            << "ranks=" << R << " rank " << rr;
+      if (R > 1) {
+        // Multi-rank: the post->wait windows are real measured time, and
+        // the overlapped ghost imports recorded their async share.
+        ASSERT_EQ(r.rank_overlap.size(), static_cast<size_t>(R));
+        for (index_t rr = 0; rr < R; ++rr) {
+          EXPECT_GT(r.rank_overlap[static_cast<size_t>(rr)], 0.0)
+              << "ranks=" << R << " rank " << rr;
+          EXPECT_GT(r.rank_krylov[static_cast<size_t>(rr)].ov_neighbor_msgs,
+                    0)
+              << "ranks=" << R << " rank " << rr;
+        }
+      }
+    }
+  }
+}
+
+TEST(PipelinedSolvers, Elasticity16GmresPipeFixedTrajectoryBitwise) {
+  auto p = test::elasticity_problem(16, 2, 2, 2);
+  SolverConfig cfg;
+  cfg.schwarz.subdomain.dof_block_size = 3;
+  cfg.schwarz.extension.dof_block_size = 3;
+  cfg.krylov.method = krylov::KrylovMethod::GmresPipe;
+  // Fixed-length trajectory, as in the non-pipelined elasticity golden.
+  cfg.krylov.max_iters = 12;
+  cfg.krylov.tol = 1e-30;
+  SolveReport rep;
+  const Trajectory ref = pipe_run(p, cfg, 1, 1, &rep);
+  EXPECT_EQ(ref.iterations, 12);
+  for (index_t R : {1, 4}) {
+    for (index_t T : {1, 4}) {
+      SolveReport r;
+      const Trajectory got = pipe_run(p, cfg, R, T, &r);
+      expect_bitwise_equal(got, ref,
+                           "gmres-pipe elasticity16 ranks=" +
+                               std::to_string(R) +
+                               " threads=" + std::to_string(T));
+      for (const auto& pr : r.rank_krylov)
+        EXPECT_EQ(pr.ov_reductions, count_t(12));
+    }
+  }
+}
+
+// The pipelined ThreadSanitizer CI case: small enough for TSan, with real
+// pool threads under the async post/wait traffic (the 16^3 goldens above
+// are filtered out there; see .github/workflows/ci.yml).
+TEST(PipelinedSolvers, Ranks4Threads2UnderThreadPool) {
+  auto p = test::laplace_problem(8, 2, 2, 2);
+  SolverConfig cfg;
+  cfg.krylov.max_iters = 10;
+  cfg.krylov.tol = 1e-30;
+  for (auto method :
+       {krylov::KrylovMethod::GmresPipe, krylov::KrylovMethod::CgPipe}) {
+    cfg.krylov.method = method;
+    cfg.preconditioner =
+        method == krylov::KrylovMethod::CgPipe ? "none" : "schwarz";
+    const Trajectory ref = pipe_run(p, cfg, 1, 1);
+    const Trajectory got = pipe_run(p, cfg, 4, 2);
+    expect_bitwise_equal(got, ref,
+                         std::string("pipelined ranks=4 threads=2 ") +
+                             krylov::to_string(method));
   }
 }
 

@@ -163,6 +163,81 @@ TEST(LocalTime, ChargesPerRankHaloTraffic) {
             m.local_time({quiet}, Execution::CpuCores, 1));
 }
 
+// ---- Overlap-aware pricing -----------------------------------------------
+
+TEST(OverlapPricing, OverlapPartExtractsTheAsyncSubset) {
+  OpProfile p;
+  p.flops = 1e6;
+  p.reductions = 10;
+  p.neighbor_msgs = 8;
+  p.msg_bytes = 1e5;
+  p.ov_reductions = 4;
+  p.ov_neighbor_msgs = 3;
+  p.ov_msg_bytes = 4e4;
+  p.overlap_windows = 5;
+  p.overlap_s = 0.1;
+  const OpProfile ov = overlap_part(p);
+  // The async subset lands in the PLAIN network slots so network_time()
+  // prices exactly the traffic that had compute behind it.
+  EXPECT_EQ(ov.reductions, 4);
+  EXPECT_EQ(ov.neighbor_msgs, 3);
+  EXPECT_DOUBLE_EQ(ov.msg_bytes, 4e4);
+  // Everything else -- compute AND the window bookkeeping -- is zero.
+  EXPECT_EQ(ov.flops, 0.0);
+  EXPECT_EQ(ov.launches, 0);
+  EXPECT_EQ(ov.ov_reductions, 0);
+  EXPECT_EQ(ov.overlap_windows, 0);
+  EXPECT_EQ(ov.overlap_s, 0.0);
+}
+
+TEST(OverlapPricing, OverlappedPhasePricesAtMostTheSum) {
+  SummitModel m;
+  const int P = 8;
+  OpProfile p;
+  p.reductions = 20;
+  p.neighbor_msgs = 10;
+  p.msg_bytes = 1e6;
+  p.ov_reductions = 12;
+  p.ov_neighbor_msgs = 6;
+  p.ov_msg_bytes = 6e5;
+  const std::vector<OpProfile> ranks(static_cast<size_t>(P), p);
+  const double net = m.network_time(ranks, P);
+  for (double compute : {0.0, 1e-6, 1e-3, 1.0}) {
+    const double priced = m.overlapped_phase_time(compute, ranks, P);
+    const double summed = compute + net;
+    EXPECT_LE(priced, summed + 1e-18) << "compute=" << compute;
+    EXPECT_GE(priced, compute) << "compute=" << compute;
+    EXPECT_GE(priced, net) << "compute=" << compute;
+  }
+  // Large compute hides the ENTIRE async share: priced = compute + the
+  // blocking residual only.
+  std::vector<OpProfile> ov;
+  for (const auto& rp : ranks) ov.push_back(overlap_part(rp));
+  const double hidden = m.network_time(ov, P);
+  EXPECT_GT(hidden, 0.0);
+  EXPECT_DOUBLE_EQ(m.overlapped_phase_time(1.0, ranks, P),
+                   1.0 + net - hidden);
+  // Zero compute hides nothing.
+  EXPECT_DOUBLE_EQ(m.overlapped_phase_time(0.0, ranks, P), net);
+}
+
+TEST(OverlapPricing, EqualsTheSumWhenNothingWasPostedAsync) {
+  SummitModel m;
+  const int P = 4;
+  OpProfile p;
+  p.reductions = 7;
+  p.neighbor_msgs = 4;
+  p.msg_bytes = 5e5;  // all blocking: every ov_ field zero
+  const std::vector<OpProfile> ranks(static_cast<size_t>(P), p);
+  const double net = m.network_time(ranks, P);
+  for (double compute : {0.0, 1e-4, 2.0})
+    EXPECT_DOUBLE_EQ(m.overlapped_phase_time(compute, ranks, P),
+                     compute + net)
+        << "compute=" << compute;
+  // One rank: no wire, the phase is pure compute either way.
+  EXPECT_DOUBLE_EQ(m.overlapped_phase_time(3.0, ranks, 1), 3.0);
+}
+
 // ---- End-to-end model properties on a real (small) experiment ----------
 
 class ModelEndToEnd : public ::testing::Test {
