@@ -17,6 +17,7 @@
 #   BENCH_OV_PARTS  --parts (rank-ladder cap) for bench_overlap (default: 16)
 #   BENCH_TP_ELEMS  brick elements per axis for bench_throughput (default: 20)
 #   BENCH_NRHS      right-hand sides per width point (default: 8)
+#   BENCH_SEQ_STEPS matrices in the bench_sequence sequence (default: 5)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,6 +32,7 @@ PARTS="${BENCH_PARTS:-32}"
 OV_PARTS="${BENCH_OV_PARTS:-16}"
 TP_ELEMS="${BENCH_TP_ELEMS:-20}"
 NRHS="${BENCH_NRHS:-8}"
+SEQ_STEPS="${BENCH_SEQ_STEPS:-5}"
 
 if [[ ! -x "$BUILD_DIR/bench/bench_speedup" ]]; then
   echo "error: $BUILD_DIR/bench/bench_speedup not built (run cmake --build $BUILD_DIR first)" >&2
@@ -63,6 +65,11 @@ echo "== bench_transfer (measured PCIe traffic vs ranks per GPU) =="
 "$BUILD_DIR/bench/bench_transfer" \
   --scale "$SCALE" \
   --json "$OUT_DIR/BENCH_transfer.json"
+
+echo "== bench_sequence (numeric-only refresh vs cold setup, bitwise gate) =="
+"$BUILD_DIR/bench/bench_sequence" \
+  --steps "$SEQ_STEPS" \
+  --json "$OUT_DIR/BENCH_sequence.json"
 
 echo "== bench_table2 (weak scaling, modeled Summit times) =="
 "$BUILD_DIR/bench/bench_table2" \

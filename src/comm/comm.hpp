@@ -256,7 +256,13 @@ class Communicator {
   /// source, network, H2D at the destination (the paper's Summit nodes have
   /// no GPUDirect path in these runs).  An exchange is a host
   /// synchronization point: the launch queues drain.
-  void post(const std::vector<Message>& msgs) {
+  ///
+  /// `family` is the ledger family the PCIe round trips charge to: Halo for
+  /// solve-phase ghost traffic (the default), Xfer::Factor for the
+  /// changed-value overlays of a numeric-only refresh (DESIGN.md section
+  /// 9 -- the refresh-ledger gate counts Halo bytes as base-layer motion).
+  void post(const std::vector<Message>& msgs,
+            device::Xfer family = device::Xfer::Halo) {
     device::DeviceArena* arena = device::arena_of(policy_);
     for (const auto& m : msgs) {
       if (m.src == m.dst) continue;
@@ -264,8 +270,8 @@ class Communicator {
       p.neighbor_msgs += 1;
       p.msg_bytes += m.bytes;
       if (arena != nullptr) {
-        arena->transfer(m.src, device::Dir::D2H, m.bytes, device::Xfer::Halo);
-        arena->transfer(m.dst, device::Dir::H2D, m.bytes, device::Xfer::Halo);
+        arena->transfer(m.src, device::Dir::D2H, m.bytes, family);
+        arena->transfer(m.dst, device::Dir::H2D, m.bytes, family);
       }
     }
     if (arena != nullptr) arena->sync_all();

@@ -163,6 +163,77 @@ la::CsrMatrix<Scalar> build_interface_basis(const InterfacePartition& ip,
   return b2.build();
 }
 
+namespace detail {
+
+/// The per-part extension solves shared by the cold and refresh paths of
+/// extend_basis: finds the coarse columns active on this interior, solves
+/// each against -W(I, c), and collects the nonzero Phi entries.  Identical
+/// inputs produce identical entries, which is what extends the bitwise
+/// refresh contract through the coarse basis.
+template <class Scalar, class Entry>
+void extension_solve_columns(const la::CsrMatrix<Scalar>& W,
+                             const IndexVector& I, index_t nc,
+                             const LocalSolver<Scalar>& solver,
+                             std::vector<Entry>& entries, OpProfile* pprof) {
+  // Which coarse columns touch this interior?  Walk W rows of I.
+  auto Wp = la::extract_rows(W, I);
+  std::vector<char> active(static_cast<size_t>(nc), 0);
+  for (index_t r = 0; r < Wp.num_rows(); ++r)
+    for (index_t k = Wp.row_begin(r); k < Wp.row_end(r); ++k)
+      active[Wp.col(k)] = 1;
+  std::vector<Scalar> rhs(I.size()), x;
+  OpProfile batched;  // all RHS solved as one batched multi-vector solve
+  index_t n_active = 0;
+  for (index_t c = 0; c < nc; ++c) {
+    if (!active[c]) continue;
+    ++n_active;
+    std::fill(rhs.begin(), rhs.end(), Scalar(0));
+    for (index_t r = 0; r < Wp.num_rows(); ++r) {
+      const index_t pos = Wp.find(r, c);
+      if (pos >= 0) rhs[r] = -Wp.val(pos);
+    }
+    solver.solve(rhs, x, &batched);
+    for (size_t q = 0; q < I.size(); ++q) {
+      if (x[q] != Scalar(0)) entries.push_back({I[q], c, x[q]});
+    }
+  }
+  if (pprof && n_active > 0) {
+    // A production implementation solves all extension right-hand
+    // sides in ONE batched multi-vector triangular solve: same
+    // flops/traffic, but the launch count and critical path are those
+    // of a single solve with n_active-fold wider work items.
+    batched.launches /= n_active;
+    batched.critical_path /= n_active;
+    *pprof += batched;
+  }
+}
+
+}  // namespace detail
+
+/// Base-layer cache of the interior-extension solves, filled by the first
+/// extend_basis call that receives it and reused by refresh calls: the
+/// per-part interior index sets, the extracted interior matrices with their
+/// value maps into A, and the factorized extension solvers (whose symbolic
+/// structure -- ordering, elimination tree, level schedule -- survives a
+/// value-only matrix change).  See DESIGN.md section 9.
+template <class Scalar>
+struct ExtensionCache {
+  bool valid = false;
+  std::vector<IndexVector> interior_of;    ///< per part, interior dofs
+  std::vector<la::CsrMatrix<Scalar>> App;  ///< per part, interior matrix
+  std::vector<IndexVector> App_map;        ///< per part, App entry -> A entry
+  std::vector<std::unique_ptr<LocalSolver<Scalar>>> solvers;  ///< per part
+
+  void reset(index_t num_parts) {
+    valid = false;
+    interior_of.assign(static_cast<size_t>(num_parts), {});
+    App.assign(static_cast<size_t>(num_parts), {});
+    App_map.assign(static_cast<size_t>(num_parts), {});
+    solvers.clear();
+    solvers.resize(static_cast<size_t>(num_parts));
+  }
+};
+
 /// Computes the full energy-minimizing basis Phi from Phi_Gamma by solving
 /// the block-diagonal interior extension problems part by part with the
 /// given extension-solver configuration.  The per-part solves are fully
@@ -170,6 +241,14 @@ la::CsrMatrix<Scalar> build_interface_basis(const InterfacePartition& ip,
 /// the GPU -- and execute concurrently under `policy`; each part collects
 /// its Phi entries privately and they are merged in part order, so the
 /// result is identical at every thread count.
+///
+/// `cache` (optional) enables the layered-setup reuse (DESIGN.md section
+/// 9): a cold call fills it; a call with `refresh` set reuses the cached
+/// interior sets, extracted matrices, and solver symbolic structure,
+/// re-running only the numeric overlays (value copy-up, numeric
+/// refactorization, extension solves).  The refreshed Phi is bitwise
+/// identical to a cold rebuild on the same matrix -- the right-hand sides
+/// and solves are value-dependent and always re-run.
 template <class Scalar>
 la::CsrMatrix<Scalar> extend_basis(const la::CsrMatrix<Scalar>& A,
                                    const Decomposition& d,
@@ -178,20 +257,31 @@ la::CsrMatrix<Scalar> extend_basis(const la::CsrMatrix<Scalar>& A,
                                    const LocalSolverConfig& ext_cfg,
                                    CoarseSpaceProfile* prof = nullptr,
                                    const exec::ExecPolicy& policy = {},
-                                   const IndexVector* part_ranks = nullptr) {
+                                   const IndexVector* part_ranks = nullptr,
+                                   ExtensionCache<Scalar>* cache = nullptr,
+                                   bool refresh = false) {
   const index_t n = A.num_rows();
   const index_t nc = phi_gamma.num_cols();
+  FROSCH_CHECK(!refresh || (cache != nullptr && cache->valid),
+               "extend_basis: refresh requires a filled cache");
   if (prof) prof->per_part_extension.assign(static_cast<size_t>(d.num_parts), {});
 
   // RHS for all extensions at once: W = A * Phi_Gamma restricted to interior
   // rows (Phi_Gamma vanishes on the interior, so interior rows of W equal
-  // A_IGamma Phi_Gamma).
+  // A_IGamma Phi_Gamma).  Value-dependent: recomputed on refresh too.
   OpProfile* rhs_prof = prof ? &prof->extension_rhs : nullptr;
   la::CsrMatrix<Scalar> W = la::spgemm(A, phi_gamma, rhs_prof);
 
-  // Interior dofs per part.
-  std::vector<IndexVector> interior_of(static_cast<size_t>(d.num_parts));
-  for (index_t i : ip.interior_dofs) interior_of[d.owner[i]].push_back(i);
+  // Interior dofs per part (base layer: cached across refreshes).
+  std::vector<IndexVector> interior_of;
+  if (!refresh) {
+    interior_of.assign(static_cast<size_t>(d.num_parts), {});
+    for (index_t i : ip.interior_dofs) interior_of[d.owner[i]].push_back(i);
+    if (cache != nullptr) {
+      cache->reset(d.num_parts);
+      cache->interior_of = interior_of;
+    }
+  }
 
   // Per-part private results, merged serially below.
   struct PartEntry {
@@ -205,51 +295,41 @@ la::CsrMatrix<Scalar> extend_basis(const la::CsrMatrix<Scalar>& A,
   exec::parallel_for(
       policy, d.num_parts,
       [&](index_t p) {
-        const IndexVector& I = interior_of[p];
+        const IndexVector& I = refresh ? cache->interior_of[p] : interior_of[p];
         if (I.empty()) return;
         OpProfile* pprof = prof ? &part_prof[p] : nullptr;
         // Local interior matrix and its factorization.  The extension solve
         // stages and launches on the GPU of the part's owning virtual rank.
-        auto App = la::extract_submatrix(A, I, I);
+        if (refresh) {
+          // Copy up only the interior values and refactor numerically
+          // against the frozen symbolic structure.
+          la::refresh_submatrix_values(A, cache->App_map[p], cache->App[p]);
+          cache->solvers[p]->numeric_refresh(cache->App[p], pprof, pprof);
+          detail::extension_solve_columns(W, I, nc, *cache->solvers[p],
+                                          part_entries[p], pprof);
+          return;
+        }
         LocalSolverConfig pcfg = ext_cfg;
         if (part_ranks != nullptr)
           pcfg.exec.device_rank = static_cast<int>((*part_ranks)[p]);
+        if (cache != nullptr) {
+          cache->App[p] = la::extract_submatrix(A, I, I, &cache->App_map[p]);
+          cache->solvers[p] = std::make_unique<LocalSolver<Scalar>>(pcfg);
+          cache->solvers[p]->symbolic(cache->App[p], pprof);
+          cache->solvers[p]->numeric(cache->App[p], pprof, pprof);
+          detail::extension_solve_columns(W, I, nc, *cache->solvers[p],
+                                          part_entries[p], pprof);
+          return;
+        }
+        auto App = la::extract_submatrix(A, I, I);
         LocalSolver<Scalar> solver(pcfg);
         solver.symbolic(App, pprof);
         solver.numeric(App, pprof, pprof);
-        // Which coarse columns touch this interior?  Walk W rows of I.
-        auto Wp = la::extract_rows(W, I);
-        std::vector<char> active(static_cast<size_t>(nc), 0);
-        for (index_t r = 0; r < Wp.num_rows(); ++r)
-          for (index_t k = Wp.row_begin(r); k < Wp.row_end(r); ++k)
-            active[Wp.col(k)] = 1;
-        std::vector<Scalar> rhs(I.size()), x;
-        OpProfile batched;  // all RHS solved as one batched multi-vector solve
-        index_t n_active = 0;
-        for (index_t c = 0; c < nc; ++c) {
-          if (!active[c]) continue;
-          ++n_active;
-          std::fill(rhs.begin(), rhs.end(), Scalar(0));
-          for (index_t r = 0; r < Wp.num_rows(); ++r) {
-            const index_t pos = Wp.find(r, c);
-            if (pos >= 0) rhs[r] = -Wp.val(pos);
-          }
-          solver.solve(rhs, x, &batched);
-          for (size_t q = 0; q < I.size(); ++q) {
-            if (x[q] != Scalar(0)) part_entries[p].push_back({I[q], c, x[q]});
-          }
-        }
-        if (pprof && n_active > 0) {
-          // A production implementation solves all extension right-hand
-          // sides in ONE batched multi-vector triangular solve: same
-          // flops/traffic, but the launch count and critical path are those
-          // of a single solve with n_active-fold wider work items.
-          batched.launches /= n_active;
-          batched.critical_path /= n_active;
-          *pprof += batched;
-        }
+        detail::extension_solve_columns(W, I, nc, solver, part_entries[p],
+                                        pprof);
       },
       /*grain=*/1);
+  if (cache != nullptr && !refresh) cache->valid = true;
 
   la::TripletBuilder<Scalar> phi_b(n, nc);
   // Interface block of Phi = Phi_Gamma itself.

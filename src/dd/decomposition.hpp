@@ -3,8 +3,10 @@
 // neighbor structure used to charge halo communication in the perf model.
 #pragma once
 
+#include <cmath>
 #include <vector>
 
+#include "common/op_profile.hpp"
 #include "common/types.hpp"
 #include "la/csr.hpp"
 
@@ -30,10 +32,16 @@ struct Decomposition {
 /// Expands the nonoverlapping partition `owner` into overlapping subdomains
 /// by `overlap` layers of matrix-graph adjacency (algebraic overlap, the
 /// paper uses overlap = 1).
+///
+/// `prof` (optional) records the construction's measured memory traffic --
+/// the adjacency scans of the layer expansion, the per-part dof sorts, and
+/// the neighbor-detection pass -- so the Summit model can price this base
+/// layer as part of a cold setup (a numeric-only refresh reuses the
+/// Decomposition and performs none of this work; DESIGN.md section 9).
 template <class Scalar>
 Decomposition build_decomposition(const la::CsrMatrix<Scalar>& A,
                                   const IndexVector& owner, index_t num_parts,
-                                  index_t overlap) {
+                                  index_t overlap, OpProfile* prof = nullptr) {
   FROSCH_CHECK(A.num_rows() == static_cast<index_t>(owner.size()),
                "build_decomposition: owner size mismatch");
   FROSCH_CHECK(overlap >= 0, "build_decomposition: negative overlap");
@@ -52,6 +60,8 @@ Decomposition build_decomposition(const la::CsrMatrix<Scalar>& A,
     d.owned_count[owner[i]]++;
   }
   // Layer-by-layer expansion per part.
+  double scanned = 0.0;  // adjacency entries visited across all passes
+  double sorted = 0.0;   // comparison-sort traffic (elements * log2 height)
   std::vector<index_t> mark(static_cast<size_t>(n), -1);
   for (index_t p = 0; p < num_parts; ++p) {
     auto& dofs = d.overlap_dofs[p];
@@ -61,6 +71,7 @@ Decomposition build_decomposition(const la::CsrMatrix<Scalar>& A,
       const size_t frontier_end = dofs.size();
       for (size_t q = frontier_begin; q < frontier_end; ++q) {
         const index_t v = dofs[q];
+        scanned += static_cast<double>(A.row_end(v) - A.row_begin(v));
         for (index_t k = A.row_begin(v); k < A.row_end(v); ++k) {
           const index_t w = A.col(k);
           if (mark[w] != p) {
@@ -72,6 +83,8 @@ Decomposition build_decomposition(const la::CsrMatrix<Scalar>& A,
       frontier_begin = frontier_end;
     }
     std::sort(dofs.begin(), dofs.end());
+    const double m = static_cast<double>(dofs.size());
+    if (m > 1.0) sorted += m * std::log2(m);
   }
   // Neighbor parts: any graph edge crossing the nonoverlapping partition.
   std::vector<std::vector<char>> nb(static_cast<size_t>(num_parts),
@@ -82,10 +95,23 @@ Decomposition build_decomposition(const la::CsrMatrix<Scalar>& A,
       if (owner[i] != owner[j]) nb[owner[i]][owner[j]] = 1;
     }
   }
+  scanned += static_cast<double>(A.num_entries());
   for (index_t p = 0; p < num_parts; ++p)
     for (index_t q = 0; q < num_parts; ++q)
       if (nb[p][q] || nb[q][p])
         if (p != q) d.neighbors[p].push_back(q);
+  if (prof != nullptr) {
+    OpProfile bp;
+    // Each scanned adjacency entry reads a column index and touches the
+    // part mark; each sort step moves one index and reads its partner.
+    bp.bytes = scanned * (2.0 * sizeof(index_t)) +
+               sorted * (2.0 * sizeof(index_t)) +
+               static_cast<double>(n) * sizeof(index_t);  // owner pass
+    bp.work_items = scanned + sorted;
+    bp.launches = static_cast<count_t>(num_parts) + 1;
+    bp.critical_path = static_cast<count_t>(overlap) + 1;
+    *prof += bp;
+  }
   return d;
 }
 

@@ -83,6 +83,18 @@ class HalfPrecisionPreconditioner final : public Preconditioner<Scalar> {
     inner_.numeric_setup(Ah_, Z);
   }
 
+  bool numeric_refresh(const la::CsrMatrix<Scalar>& A,
+                       const la::DenseMatrix<double>& Z) override {
+    FROSCH_CHECK(A.num_entries() == Ah_.num_entries() &&
+                     A.num_rows() == Ah_.num_rows(),
+                 "HalfPrecisionPreconditioner: refresh pattern differs from "
+                 "symbolic");
+    const auto& v = A.values();
+    auto& vh = Ah_.values();
+    for (size_t i = 0; i < v.size(); ++i) vh[i] = static_cast<Half>(v[i]);
+    return inner_.numeric_refresh(Ah_, Z);
+  }
+
   void apply_impl(const std::vector<Scalar>& x, std::vector<Scalar>& y,
                   OpProfile* prof) const override {
     cast_.apply(x, y, prof);

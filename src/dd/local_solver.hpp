@@ -142,26 +142,45 @@ class LocalSolver {
     } else {
       Aord_ = A;
     }
-    switch (cfg_.kind) {
-      case LocalSolverKind::SuperLULike:
-        lu_.numeric(Aord_, factor_prof);
-        engine_->setup(lu_.factorization(), trisolve_setup_prof);
-        break;
-      case LocalSolverKind::TachoLike:
-        chol_.numeric(Aord_, factor_prof);
-        engine_->setup(chol_.factorization(), trisolve_setup_prof);
-        break;
-      case LocalSolverKind::Iluk:
-        iluk_.numeric(Aord_, factor_prof);
-        engine_->setup(iluk_.factorization(), trisolve_setup_prof);
-        break;
-      case LocalSolverKind::FastIlu:
-        fast_.numeric(Aord_, cfg_.fastilu_sweeps, factor_prof, cfg_.exec);
-        engine_->setup(fast_.factorization(), trisolve_setup_prof);
-        break;
-    }
+    numeric_backend(factor_prof, trisolve_setup_prof);
     stage_factor();
     numeric_done_ = true;
+  }
+
+  /// Numeric-only refactorization against the FROZEN symbolic structure
+  /// (ordering, elimination tree / fill pattern, level schedules): the
+  /// numeric overlay of a layered refresh (DESIGN.md section 9).  A must
+  /// have the sparsity pattern of the matrix symbolic() analyzed; only its
+  /// values may differ.  The refreshed values are copied INTO the existing
+  /// ordered matrix so its value-array address -- the device mirror key --
+  /// stays stable, and the value-only PCIe crossing is charged to the
+  /// Factor family (numeric overlay), never Matrix (pattern base).  The
+  /// pivoting backend has no reusable symbolic phase (Table I), so it
+  /// re-runs both phases exactly as a cold numeric_setup would -- keeping
+  /// refreshed results bitwise identical to cold ones.
+  void numeric_refresh(const la::CsrMatrix<Scalar>& A,
+                       OpProfile* factor_prof = nullptr,
+                       OpProfile* trisolve_setup_prof = nullptr) {
+    FROSCH_CHECK(numeric_done_, "LocalSolver: refresh before numeric()");
+    if (!symbolic_reusable()) {
+      symbolic(A);
+      numeric(A, factor_prof, trisolve_setup_prof);
+      return;
+    }
+    FROSCH_CHECK(A.num_entries() == Aord_.num_entries(),
+                 "LocalSolver: refresh pattern mismatch");
+    if (cfg_.ordering == Ordering::NestedDissection) {
+      // permute_symmetric is deterministic, so the temporary's value order
+      // matches the cached Aord_'s exactly: a positional copy reproduces
+      // the cold path's ordered matrix bit for bit.
+      la::CsrMatrix<Scalar> tmp = la::permute_symmetric(A, perm_);
+      std::copy(tmp.values().begin(), tmp.values().end(),
+                Aord_.values().begin());
+    } else {
+      std::copy(A.values().begin(), A.values().end(), Aord_.values().begin());
+    }
+    numeric_backend(factor_prof, trisolve_setup_prof);
+    stage_factor_refresh();
   }
 
   /// x = A^{-1} b (exactly or approximately, per the configured backend).
@@ -192,6 +211,30 @@ class LocalSolver {
   }
 
  private:
+  /// Backend numeric factorization of the (already ordered) Aord_ plus the
+  /// triangular-solve setup: shared by numeric() and numeric_refresh().
+  void numeric_backend(OpProfile* factor_prof,
+                       OpProfile* trisolve_setup_prof) {
+    switch (cfg_.kind) {
+      case LocalSolverKind::SuperLULike:
+        lu_.numeric(Aord_, factor_prof);
+        engine_->setup(lu_.factorization(), trisolve_setup_prof);
+        break;
+      case LocalSolverKind::TachoLike:
+        chol_.numeric(Aord_, factor_prof);
+        engine_->setup(chol_.factorization(), trisolve_setup_prof);
+        break;
+      case LocalSolverKind::Iluk:
+        iluk_.numeric(Aord_, factor_prof);
+        engine_->setup(iluk_.factorization(), trisolve_setup_prof);
+        break;
+      case LocalSolverKind::FastIlu:
+        fast_.numeric(Aord_, cfg_.fastilu_sweeps, factor_prof, cfg_.exec);
+        engine_->setup(fast_.factorization(), trisolve_setup_prof);
+        break;
+    }
+  }
+
   const trisolve::Factorization<Scalar>& factorization() const {
     switch (cfg_.kind) {
       case LocalSolverKind::SuperLULike: return lu_.factorization();
@@ -228,6 +271,25 @@ class LocalSolver {
       }
       arena->produced(r, &f, fbytes);
     }
+  }
+
+  /// Device placement of a numeric-only refresh (reusable-symbolic backends
+  /// only; the pivoting backend re-enters stage_factor() through the cold
+  /// path).  The subdomain matrix mirror is still valid -- same address,
+  /// same size -- so no Matrix-family staging happens; what crosses PCIe is
+  /// the value-only overlay, charged unconditionally to the Factor family.
+  /// The refactored result stays device-born.
+  void stage_factor_refresh() {
+    device::DeviceArena* arena = device::arena_of(cfg_.exec);
+    if (arena == nullptr) return;
+    const int r = cfg_.exec.device_rank;
+    const trisolve::Factorization<Scalar>& f = factorization();
+    const double fbytes = f.L.storage_bytes() + f.U.storage_bytes();
+    if (Aord_.num_entries() > 0)
+      arena->transfer(r, device::Dir::H2D,
+                      static_cast<double>(Aord_.num_entries()) * sizeof(Scalar),
+                      device::Xfer::Factor);
+    arena->produced(r, &f, fbytes);
   }
 
   /// ND permutation, computed on the node-compressed quotient graph when

@@ -28,6 +28,18 @@ class Preconditioner : public krylov::LinearOperator<Scalar> {
   virtual void numeric_setup(const la::CsrMatrix<Scalar>& A,
                              const la::DenseMatrix<double>& Z) = 0;
 
+  /// Numeric-only refresh for a matrix with the SAME sparsity pattern as
+  /// the one numeric_setup ran on: re-runs the numeric overlays (value
+  /// copies, refactorizations, coarse values) against the cached symbolic
+  /// base layers.  Returns false when the implementation has no refresh
+  /// path (the facade falls back to a full numeric_setup then).  A
+  /// refreshed preconditioner must apply bitwise identically to one that
+  /// went through a cold numeric_setup on the same matrix.
+  virtual bool numeric_refresh(const la::CsrMatrix<Scalar>& /*A*/,
+                               const la::DenseMatrix<double>& /*Z*/) {
+    return false;
+  }
+
   /// Dimension of the coarse problem, 0 when the method has no coarse level.
   virtual index_t coarse_dim() const { return 0; }
 

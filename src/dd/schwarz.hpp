@@ -158,14 +158,20 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
     // independent across parts; each writes only its own slot.  Profiles
     // land in per-part slots and merge into the owning rank in part order.
     local_mats_.assign(static_cast<size_t>(decomp_.num_parts), {});
+    extract_maps_.assign(static_cast<size_t>(decomp_.num_parts), {});
+    ext_cache_.reset(decomp_.num_parts);
+    vals_prev_.clear();
     solvers_.clear();
     solvers_.resize(static_cast<size_t>(decomp_.num_parts));
     std::vector<OpProfile> sym(static_cast<size_t>(decomp_.num_parts));
     exec::parallel_for(
         cfg_.exec, decomp_.num_parts,
         [&](index_t p) {
+          // The extraction map (local entry -> A entry) is the base layer a
+          // numeric refresh copies values up through (DESIGN.md sec. 9).
           local_mats_[p] = la::extract_submatrix(A, decomp_.overlap_dofs[p],
-                                                 decomp_.overlap_dofs[p]);
+                                                 decomp_.overlap_dofs[p],
+                                                 &extract_maps_[p]);
           // Each subdomain solver stages and launches against the device of
           // its OWNING virtual rank (one GPU per rank in the paper's runs).
           LocalSolverConfig scfg = cfg_.subdomain;
@@ -219,21 +225,24 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
     has_coarse_ = false;
     if (cfg_.two_level) {
       OpProfile iface_prof;
-      auto phi_gamma = build_interface_basis<Scalar>(
+      // The interface basis depends on Z and the interface partition only --
+      // both base layers -- so it is cached for numeric-only refreshes.
+      phi_gamma_ = build_interface_basis<Scalar>(
           iface_, Z, n_, cfg_.coarse_space, &iface_prof);
       bk["coarse-basis-interface"] += iface_prof;
-      if (phi_gamma.num_cols() == 0) {
+      if (phi_gamma_.num_cols() == 0) {
         // Single-subdomain (or interface-free) decomposition: the coarse
         // space is empty and the method degrades to one-level Schwarz.
         numeric_local_setup(bk);
+        vals_prev_.assign(A.values().begin(), A.values().end());
         numeric_done_ = true;
         return;
       }
       has_coarse_ = true;
 
       CoarseSpaceProfile csp;
-      phi_ = extend_basis(A, decomp_, iface_, phi_gamma, cfg_.extension, &csp,
-                          cfg_.exec, &part_rank_);
+      phi_ = extend_basis(A, decomp_, iface_, phi_gamma_, cfg_.extension, &csp,
+                          cfg_.exec, &part_rank_, &ext_cache_);
       bk["coarse-basis-extension"] += csp.extension_solves;
       bk["coarse-basis-extension"] += csp.extension_rhs;
       for (index_t p = 0; p < decomp_.num_parts; ++p) {
@@ -269,7 +278,121 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
 
     // (3) Local numeric factorizations + triangular-solve setup.
     numeric_local_setup(bk);
+    // Snapshot of A's values: the refresh wire traffic ships only the
+    // entries that actually CHANGED relative to this baseline.
+    vals_prev_.assign(A.values().begin(), A.values().end());
     numeric_done_ = true;
+  }
+
+  /// Numeric-only refresh (DESIGN.md section 9): same-pattern matrix,
+  /// base layers (partition, interface, exchange plans, extraction maps,
+  /// symbolic factorizations) stay untouched; only numeric overlays move.
+  bool numeric_refresh(const la::CsrMatrix<Scalar>& A,
+                       const la::DenseMatrix<double>& /*Z*/) override {
+    if (!numeric_done_) return false;
+    FROSCH_CHECK(static_cast<size_t>(A.num_entries()) == vals_prev_.size(),
+                 "SchwarzPreconditioner: refresh pattern mismatch");
+    auto& bk = prof_.numeric_breakdown;
+
+    // (1) Value-only overlay of the overlapping matrices through the cached
+    // extraction maps.  The wire side ships only the imported rows' CHANGED
+    // value bytes (diffed against the previous numeric baseline); column
+    // ids and row pointers never move again.
+    {
+      std::vector<OpProfile> asm_prof(static_cast<size_t>(decomp_.num_parts));
+      exec::parallel_for(
+          cfg_.exec, decomp_.num_parts,
+          [&](index_t p) {
+            la::refresh_submatrix_values(A, extract_maps_[p], local_mats_[p]);
+            OpProfile& o = asm_prof[p];
+            o.bytes += static_cast<double>(extract_maps_[p].size()) *
+                       sizeof(Scalar);
+            o.launches += 1;
+            o.critical_path += 1;
+            o.work_items += static_cast<double>(local_mats_[p].num_rows());
+          },
+          /*grain=*/1);
+      for (index_t p = 0; p < decomp_.num_parts; ++p) {
+        bk["overlap-value-refresh"] += asm_prof[p];
+        prof_.ranks[part_rank_[p]].numeric += asm_prof[p];
+        prof_.rank_comm[part_rank_[p]] += asm_prof[p];
+      }
+      // Value-overlay wire traffic: the PCIe round trips charge to the
+      // Factor family, not Halo -- the halo PLAN is a base layer and the
+      // refresh-ledger gate counts Halo bytes as base-layer motion.
+      comm_->post(overlap_refresh_messages(A), device::Xfer::Factor);
+    }
+
+    // (2) Coarse overlays.  The extension is value-dependent (the basis
+    // drops exact numeric zeros), so Phi is rebuilt -- through the cached
+    // interface basis, interior index sets, submatrix maps, and extension
+    // symbolic factorizations -- to stay bitwise identical to a cold setup.
+    if (cfg_.two_level && has_coarse_) {
+      device::DeviceArena* arena = device::arena_of(cfg_.exec);
+      if (arena != nullptr && phi_.num_entries() > 0)
+        arena->invalidate(cfg_.exec.device_rank, phi_.values().data());
+
+      CoarseSpaceProfile csp;
+      phi_ = extend_basis(A, decomp_, iface_, phi_gamma_, cfg_.extension, &csp,
+                          cfg_.exec, &part_rank_, &ext_cache_,
+                          /*refresh=*/true);
+      bk["coarse-basis-extension"] += csp.extension_solves;
+      bk["coarse-basis-extension"] += csp.extension_rhs;
+      for (index_t p = 0; p < decomp_.num_parts; ++p) {
+        prof_.ranks[part_rank_[p]].numeric += csp.per_part_extension[p];
+        prof_.rank_extension[part_rank_[p]] += csp.per_part_extension[p];
+      }
+
+      OpProfile rap;
+      auto At_phi = la::spgemm(A, phi_, &rap);
+      A0_ = la::spgemm(la::transpose(phi_, &rap), At_phi, &rap);
+      bk["coarse-rap-spgemm"] += rap;
+      prof_.coarse.numeric += rap;
+      prof_.coarse_dim = A0_.num_rows();
+      // The root already holds the coarse sparsity; the refresh gather
+      // carries the coarse VALUES only.
+      comm_->gather(static_cast<double>(A0_.num_entries()) * sizeof(Scalar));
+
+      // Device runs: only the refreshed basis values re-cross PCIe (charged
+      // to the CoarseOp family); the new mirror keeps the apply-phase Phi
+      // products transfer-free, exactly as after a cold setup.
+      if (arena != nullptr && phi_.num_entries() > 0) {
+        arena->transfer(cfg_.exec.device_rank, device::Dir::H2D,
+                        static_cast<double>(phi_.num_entries()) *
+                            sizeof(Scalar),
+                        device::Xfer::CoarseOp);
+        arena->produced(cfg_.exec.device_rank, phi_.values().data(),
+                        phi_.storage_bytes());
+      }
+
+      OpProfile cfac;
+      coarse_solver_->numeric_refresh(A0_, &cfac, &cfac);
+      bk["coarse-factorization"] += cfac;
+      prof_.coarse.numeric += cfac;
+    }
+
+    // (3) Local numeric refactorizations against the frozen symbolic
+    // structure and level schedules.
+    {
+      std::vector<OpProfile> fac(static_cast<size_t>(decomp_.num_parts));
+      std::vector<OpProfile> tri(static_cast<size_t>(decomp_.num_parts));
+      exec::parallel_for(
+          cfg_.exec, decomp_.num_parts,
+          [&](index_t p) {
+            solvers_[p]->numeric_refresh(local_mats_[p], &fac[p], &tri[p]);
+          },
+          /*grain=*/1);
+      for (index_t p = 0; p < decomp_.num_parts; ++p) {
+        bk["local-factorization"] += fac[p];
+        bk["sptrsv-setup"] += tri[p];
+        prof_.ranks[part_rank_[p]].numeric += fac[p];
+        prof_.ranks[part_rank_[p]].numeric += tri[p];
+        prof_.rank_factor[part_rank_[p]] += fac[p];
+        prof_.rank_trisolve_setup[part_rank_[p]] += tri[p];
+      }
+    }
+    vals_prev_.assign(A.values().begin(), A.values().end());
+    return true;
   }
 
   /// Phase (c): y = M^{-1} x, additive over subdomains + coarse level.
@@ -372,6 +495,7 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
     const size_t rr = static_cast<size_t>(R) * static_cast<size_t>(R);
     std::vector<index_t> halo_count(rr, 0);  // dofs == imported rows
     std::vector<double> row_bytes(rr, 0.0);
+    std::vector<IndexVector> row_ids(rr);  // imported dofs per (src, dst)
     // seen[dof] == dst + 1 marks dof as already packed for rank dst.  One
     // mark per dof suffices because the block map keeps each rank's
     // subdomains contiguous in part order (part_rank_ is non-decreasing).
@@ -386,6 +510,7 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
         seen[static_cast<size_t>(dof)] = static_cast<index_t>(dst) + 1;
         const size_t k = static_cast<size_t>(src) * R + dst;
         halo_count[k] += 1;
+        row_ids[k].push_back(dof);
         // One imported CSR row: values + column ids + its rowptr entry.
         row_bytes[k] +=
             static_cast<double>(A.row_nnz(dof)) *
@@ -394,6 +519,7 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
       }
     }
     overlap_msgs_.clear();
+    overlap_import_rows_.clear();
     apply_import_msgs_.clear();
     apply_export_msgs_.clear();
     for (int src = 0; src < R; ++src) {
@@ -416,8 +542,31 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
         rows.count = halo_count[k];
         rows.bytes = row_bytes[k];
         overlap_msgs_.push_back(rows);
+        overlap_import_rows_.push_back(std::move(row_ids[k]));
       }
     }
+  }
+
+  /// The refresh-path overlap exchange: the plan's (src, dst) pairs and
+  /// imported rows are reused, but each message carries only the value bytes
+  /// that differ from the previous numeric baseline.  Pairs whose imported
+  /// rows are numerically unchanged ship nothing at all.
+  std::vector<comm::Message> overlap_refresh_messages(
+      const la::CsrMatrix<Scalar>& A) const {
+    std::vector<comm::Message> msgs;
+    msgs.reserve(overlap_msgs_.size());
+    for (size_t m = 0; m < overlap_msgs_.size(); ++m) {
+      index_t changed = 0;
+      for (index_t dof : overlap_import_rows_[m])
+        for (index_t k = A.row_begin(dof); k < A.row_end(dof); ++k)
+          if (A.val(k) != vals_prev_[static_cast<size_t>(k)]) ++changed;
+      if (changed == 0) continue;
+      comm::Message msg = overlap_msgs_[m];
+      msg.count = changed;
+      msg.bytes = static_cast<double>(changed) * sizeof(Scalar);
+      msgs.push_back(msg);
+    }
+    return msgs;
   }
 
   SchwarzConfig cfg_;
@@ -428,12 +577,17 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
   std::unique_ptr<comm::Communicator> owned_comm_;
   IndexVector part_rank_;
   std::vector<comm::Message> overlap_msgs_;       ///< numeric row import
+  std::vector<IndexVector> overlap_import_rows_;  ///< dofs per overlap msg
   std::vector<comm::Message> apply_import_msgs_;  ///< apply restriction halo
   std::vector<comm::Message> apply_export_msgs_;  ///< apply additive export
   std::vector<la::CsrMatrix<Scalar>> local_mats_;
+  std::vector<IndexVector> extract_maps_;  ///< local entry -> A entry
   std::vector<std::unique_ptr<LocalSolver<Scalar>>> solvers_;
   std::unique_ptr<LocalSolver<Scalar>> coarse_solver_;
   la::CsrMatrix<Scalar> phi_, A0_;
+  la::CsrMatrix<Scalar> phi_gamma_;      ///< cached interface basis
+  ExtensionCache<Scalar> ext_cache_;     ///< cached extension base layers
+  std::vector<Scalar> vals_prev_;        ///< numeric baseline for refresh
   mutable SchwarzProfiles prof_;
   bool symbolic_done_ = false;
   bool numeric_done_ = false;

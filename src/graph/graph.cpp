@@ -31,13 +31,15 @@ IndexVector bfs_levels(const Graph& g, index_t root, const IndexVector& mask,
 }
 
 index_t pseudo_peripheral(const Graph& g, index_t seed, const IndexVector& mask,
-                          index_t mask_value) {
+                          index_t mask_value, index_t* bfs_passes) {
   IndexVector level;
   index_t root = seed;
   index_t best_ecc = -1;
+  if (bfs_passes != nullptr) *bfs_passes = 0;
   // Iterate BFS from the farthest vertex until eccentricity stops growing.
   for (int iter = 0; iter < 8; ++iter) {
     IndexVector order = bfs_levels(g, root, mask, mask_value, level);
+    if (bfs_passes != nullptr) ++(*bfs_passes);
     const index_t far = order.back();
     const index_t ecc = level[far];
     if (ecc <= best_ecc) break;

@@ -7,8 +7,10 @@
 // partitions, both built from these primitives.
 #pragma once
 
+#include <cmath>
 #include <vector>
 
+#include "common/op_profile.hpp"
 #include "common/types.hpp"
 #include "la/csr.hpp"
 
@@ -25,8 +27,11 @@ struct Graph {
 
 /// Builds the symmetrized adjacency of a square matrix pattern, dropping the
 /// diagonal.  Works for structurally nonsymmetric inputs (pattern of A+A^T).
+/// `prof` (optional) records the measured symmetrization traffic (the
+/// pattern scan, per-row sort/unique, and the packed copy) -- base-layer
+/// work a numeric-only refresh reuses (DESIGN.md section 9).
 template <class Scalar>
-Graph build_graph(const la::CsrMatrix<Scalar>& A) {
+Graph build_graph(const la::CsrMatrix<Scalar>& A, OpProfile* prof = nullptr) {
   const index_t n = A.num_rows();
   std::vector<IndexVector> tmp(static_cast<size_t>(n));
   for (index_t i = 0; i < n; ++i) {
@@ -40,8 +45,11 @@ Graph build_graph(const la::CsrMatrix<Scalar>& A) {
   Graph g;
   g.n = n;
   g.xadj.assign(static_cast<size_t>(n) + 1, 0);
+  double sorted = 0.0;
   for (index_t i = 0; i < n; ++i) {
     auto& row = tmp[i];
+    const double m = static_cast<double>(row.size());
+    if (m > 1.0) sorted += m * std::log2(m);
     std::sort(row.begin(), row.end());
     row.erase(std::unique(row.begin(), row.end()), row.end());
     g.xadj[i + 1] = g.xadj[i] + static_cast<index_t>(row.size());
@@ -49,6 +57,18 @@ Graph build_graph(const la::CsrMatrix<Scalar>& A) {
   g.adj.resize(static_cast<size_t>(g.xadj[n]));
   for (index_t i = 0; i < n; ++i) {
     std::copy(tmp[i].begin(), tmp[i].end(), g.adj.begin() + g.xadj[i]);
+  }
+  if (prof != nullptr) {
+    OpProfile bp;
+    // Every pattern entry is read once and pushed twice (A and A^T sides);
+    // sort/unique moves `sorted` elements; the packed copy rewrites adj.
+    bp.bytes = static_cast<double>(A.num_entries()) * (3.0 * sizeof(index_t)) +
+               sorted * (2.0 * sizeof(index_t)) +
+               static_cast<double>(g.xadj[n]) * (2.0 * sizeof(index_t));
+    bp.work_items = static_cast<double>(A.num_entries()) + sorted;
+    bp.launches = 3;
+    bp.critical_path = 3;
+    *prof += bp;
   }
   return g;
 }
@@ -60,9 +80,11 @@ IndexVector bfs_levels(const Graph& g, index_t root, const IndexVector& mask,
                        index_t mask_value, IndexVector& level);
 
 /// Finds a pseudo-peripheral vertex of the masked subgraph containing
-/// `seed` (repeated BFS to the farthest level).
+/// `seed` (repeated BFS to the farthest level).  `bfs_passes` (optional)
+/// receives the number of BFS sweeps actually performed -- the measured
+/// traversal count partition profiling multiplies against the region size.
 index_t pseudo_peripheral(const Graph& g, index_t seed, const IndexVector& mask,
-                          index_t mask_value);
+                          index_t mask_value, index_t* bfs_passes = nullptr);
 
 /// Labels connected components of the whole graph; returns component count.
 index_t connected_components(const Graph& g, IndexVector& comp);

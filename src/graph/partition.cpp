@@ -65,12 +65,22 @@ namespace {
 
 /// Splits the vertex set `verts` (all with mask == region) into two halves by
 /// BFS level structure, assigning new region labels; returns the halves.
+/// `scanned` accumulates the measured traversal volume: every BFS sweep
+/// (the pseudo-peripheral iterations plus the splitting sweep) visits the
+/// region's full adjacency.
 void bisect(const Graph& g, IndexVector& mask, const IndexVector& verts,
             index_t region, index_t target_left, IndexVector& left,
-            IndexVector& right) {
-  const index_t root = pseudo_peripheral(g, verts.front(), mask, region);
+            IndexVector& right, double* scanned) {
+  index_t passes = 0;
+  const index_t root = pseudo_peripheral(g, verts.front(), mask, region,
+                                         scanned ? &passes : nullptr);
   IndexVector level;
   IndexVector order = bfs_levels(g, root, mask, region, level);
+  if (scanned != nullptr) {
+    double region_adj = 0.0;
+    for (index_t v : verts) region_adj += static_cast<double>(g.degree(v));
+    *scanned += region_adj * static_cast<double>(passes + 1);
+  }
   left.clear();
   right.clear();
   // Grow the left part in BFS order until it holds target_left vertices;
@@ -99,7 +109,7 @@ void bisect(const Graph& g, IndexVector& mask, const IndexVector& verts,
 
 void kway(const Graph& g, IndexVector& mask, IndexVector& part,
           const IndexVector& verts, index_t region, index_t k,
-          index_t first_part, index_t& next_region) {
+          index_t first_part, index_t& next_region, double* scanned) {
   if (k == 1) {
     for (index_t v : verts) part[v] = first_part;
     return;
@@ -109,19 +119,19 @@ void kway(const Graph& g, IndexVector& mask, IndexVector& part,
       (static_cast<count_t>(verts.size()) * kl) / k);
   IndexVector left, right;
   bisect(g, mask, verts, region, std::max<index_t>(target_left, 1), left,
-         right);
+         right, scanned);
   FROSCH_CHECK(!left.empty() && !right.empty(),
                "recursive_bisection: degenerate split");
   const index_t lr = next_region++, rr = next_region++;
   for (index_t v : left) mask[v] = lr;
   for (index_t v : right) mask[v] = rr;
-  kway(g, mask, part, left, lr, kl, first_part, next_region);
-  kway(g, mask, part, right, rr, kr, first_part + kl, next_region);
+  kway(g, mask, part, left, lr, kl, first_part, next_region, scanned);
+  kway(g, mask, part, right, rr, kr, first_part + kl, next_region, scanned);
 }
 
 }  // namespace
 
-IndexVector recursive_bisection(const Graph& g, index_t k) {
+IndexVector recursive_bisection(const Graph& g, index_t k, OpProfile* prof) {
   FROSCH_CHECK(k >= 1 && k <= g.n, "recursive_bisection: bad k");
   IndexVector part(static_cast<size_t>(g.n), 0);
   if (k == 1) return part;
@@ -129,7 +139,20 @@ IndexVector recursive_bisection(const Graph& g, index_t k) {
   IndexVector verts(static_cast<size_t>(g.n));
   for (index_t v = 0; v < g.n; ++v) verts[v] = v;
   index_t next_region = 1;
-  kway(g, mask, part, verts, 0, k, 0, next_region);
+  double scanned = 0.0;
+  kway(g, mask, part, verts, 0, k, 0, next_region,
+       prof ? &scanned : nullptr);
+  if (prof != nullptr) {
+    // Each scanned adjacency entry reads the neighbor id, its mask, and
+    // its BFS level slot; the label/queue writes ride on the same pass.
+    OpProfile bp;
+    bp.bytes = scanned * (3.0 * sizeof(index_t));
+    bp.work_items = scanned;
+    bp.launches = static_cast<count_t>(2 * (k - 1));  // BFS fronts per split
+    bp.critical_path =
+        static_cast<count_t>(std::ceil(std::log2(static_cast<double>(k))));
+    *prof += bp;
+  }
   return part;
 }
 

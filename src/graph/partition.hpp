@@ -10,6 +10,7 @@
 
 #include <array>
 
+#include "common/op_profile.hpp"
 #include "graph/graph.hpp"
 
 namespace frosch::graph {
@@ -25,8 +26,13 @@ IndexVector box_partition_3d(index_t nx, index_t ny, index_t nz, index_t px,
                              index_t py, index_t pz);
 
 /// General k-way partition by recursive BFS (graph-growing) bisection.
-/// Guarantees every part is nonempty when k <= n.
-IndexVector recursive_bisection(const Graph& g, index_t k);
+/// Guarantees every part is nonempty when k <= n.  `prof` (optional)
+/// records the measured traversal volume (every BFS sweep of every
+/// bisection level) so a cold setup's partition cost is priced by the
+/// machine model -- a numeric-only refresh never re-partitions
+/// (DESIGN.md section 9).
+IndexVector recursive_bisection(const Graph& g, index_t k,
+                                OpProfile* prof = nullptr);
 
 /// Part sizes histogram helper.
 IndexVector partition_sizes(const IndexVector& part, index_t k);

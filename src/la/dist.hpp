@@ -37,6 +37,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 
 #include "comm/comm.hpp"
 #include "device/arena.hpp"
@@ -116,9 +117,14 @@ struct HaloPlan {
 /// owning rank per global id).  Ghosts are the column dependencies of each
 /// rank's owned rows that land on other ranks -- exactly the ids a
 /// distributed SpMV must import.
+///
+/// `prof` (optional) records the measured plan-construction traffic (the
+/// full adjacency classification scan, ghost sorts/merges, and transfer
+/// slot lookups) -- base-layer work a numeric-only refresh reuses without
+/// repeating (DESIGN.md section 9).
 template <class Scalar>
 HaloPlan build_halo_plan(const CsrMatrix<Scalar>& A, const IndexVector& rank_of,
-                         int nranks) {
+                         int nranks, OpProfile* prof = nullptr) {
   const index_t n = A.num_rows();
   FROSCH_CHECK(A.num_cols() == n, "build_halo_plan: square matrix required");
   FROSCH_CHECK(static_cast<index_t>(rank_of.size()) == n,
@@ -204,6 +210,35 @@ HaloPlan build_halo_plan(const CsrMatrix<Scalar>& A, const IndexVector& rank_of,
       }
       plan.transfers.push_back(std::move(t));
     }
+  }
+  if (prof != nullptr) {
+    // Classification scans every adjacency entry once (column read + owner
+    // lookup + ghost mark); each merged local column space is written once;
+    // each transfer id pays two binary searches over the local column maps.
+    double merged = 0.0, lookups = 0.0;
+    for (int r = 0; r < nranks; ++r) {
+      const double m =
+          static_cast<double>(plan.cols[static_cast<size_t>(r)].size());
+      merged += m;
+      if (m > 1.0) lookups += m;  // sort+merge height folded into the scan
+    }
+    double slot_searches = 0.0;
+    for (const auto& t : plan.transfers) {
+      const double ids = static_cast<double>(t.ids.size());
+      const double height = std::log2(
+          std::max(2.0, static_cast<double>(
+                            plan.cols[static_cast<size_t>(t.src)].size())));
+      slot_searches += 2.0 * ids * height;
+    }
+    OpProfile bp;
+    bp.bytes = static_cast<double>(A.num_entries()) * (3.0 * sizeof(index_t)) +
+               merged * (4.0 * sizeof(index_t)) +
+               slot_searches * sizeof(index_t);
+    bp.work_items =
+        static_cast<double>(A.num_entries()) + merged + slot_searches;
+    bp.launches = static_cast<count_t>(nranks) + 1;
+    bp.critical_path = 2;
+    *prof += bp;
   }
   return plan;
 }
@@ -318,8 +353,12 @@ struct DistCsrMatrix {
     build(A, p, policy);
   }
 
+  /// `prof` (optional) records the measured shard-construction traffic:
+  /// every owned entry is read from the global CSR and rewritten with its
+  /// column renumbered through a binary search of the rank's local column
+  /// map.  Base-layer work -- refresh_values() below repeats none of it.
   void build(const CsrMatrix<Scalar>& A, const HaloPlan& p,
-             const exec::ExecPolicy& policy = {}) {
+             const exec::ExecPolicy& policy = {}, OpProfile* prof = nullptr) {
     FROSCH_CHECK(A.num_rows() == p.n, "DistCsrMatrix: plan/matrix mismatch");
     plan = &p;
     local.assign(static_cast<size_t>(p.nranks), {});
@@ -347,6 +386,62 @@ struct DistCsrMatrix {
               static_cast<index_t>(own.size()),
               static_cast<index_t>(cols.size()), std::move(rowptr),
               std::move(colind), std::move(values));
+        },
+        /*grain=*/1);
+    if (prof != nullptr) {
+      double searches = 0.0, moved = 0.0;
+      for (int r = 0; r < p.nranks; ++r) {
+        const auto& Al = local[static_cast<size_t>(r)];
+        const double m = std::max(
+            2.0, static_cast<double>(p.cols[static_cast<size_t>(r)].size()));
+        searches +=
+            static_cast<double>(Al.num_entries()) * std::log2(m);
+        moved += Al.storage_bytes();
+      }
+      OpProfile bp;
+      bp.bytes = moved * 2.0 + searches * sizeof(index_t);
+      bp.work_items = static_cast<double>(A.num_entries()) + searches;
+      bp.launches = static_cast<count_t>(p.nranks);
+      bp.critical_path = 1;
+      *prof += bp;
+    }
+  }
+
+  /// Numeric overlay refresh: copies A's values into the existing local
+  /// shards WITHOUT re-deriving the plan, the local column maps, or the
+  /// rowptr/colind structure (those are base layers -- see DESIGN.md
+  /// section 9).  Values land in the same sequential owned-row order build()
+  /// wrote them, so the copy is positional.  Each rank's shard keeps its
+  /// value-array address, leaving any device mirror keyed on it intact.
+  /// `changed_bytes` (optional, resized to nranks) receives per rank the
+  /// bytes of values that actually differed -- the overlay copy-up cost.
+  void refresh_values(const CsrMatrix<Scalar>& A,
+                      const exec::ExecPolicy& policy = {},
+                      std::vector<double>* changed_bytes = nullptr) {
+    FROSCH_CHECK(plan != nullptr, "DistCsrMatrix: refresh before build");
+    FROSCH_CHECK(A.num_rows() == plan->n,
+                 "DistCsrMatrix: refresh plan/matrix mismatch");
+    if (changed_bytes)
+      changed_bytes->assign(static_cast<size_t>(plan->nranks), 0.0);
+    exec::parallel_for(
+        policy, plan->nranks,
+        [&](index_t r) {
+          const auto& own = plan->owned[static_cast<size_t>(r)];
+          auto& vals = local[static_cast<size_t>(r)].values();
+          index_t pos = 0;
+          count_t changed = 0;
+          for (index_t i : own) {
+            for (index_t k = A.row_begin(i); k < A.row_end(i); ++k) {
+              if (vals[static_cast<size_t>(pos)] != A.val(k)) {
+                vals[static_cast<size_t>(pos)] = A.val(k);
+                ++changed;
+              }
+              ++pos;
+            }
+          }
+          if (changed_bytes)
+            (*changed_bytes)[static_cast<size_t>(r)] =
+                static_cast<double>(changed) * sizeof(Scalar);
         },
         /*grain=*/1);
   }

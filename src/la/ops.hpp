@@ -167,14 +167,20 @@ CsrMatrix<Scalar> permute_symmetric(const CsrMatrix<Scalar>& A,
 
 /// Extracts the submatrix A(rows, cols).  `cols` is given as a global->local
 /// map built internally; complexity O(sum of extracted row lengths).
+/// `entry_map` (optional) receives, per extracted entry in order, the index
+/// of the source entry in A's value array -- the numeric overlay map that
+/// lets refresh_submatrix_values re-copy values without re-deriving the
+/// structure (DESIGN.md section 9).
 template <class Scalar>
 CsrMatrix<Scalar> extract_submatrix(const CsrMatrix<Scalar>& A,
                                     const IndexVector& rows,
-                                    const IndexVector& cols) {
+                                    const IndexVector& cols,
+                                    IndexVector* entry_map = nullptr) {
   IndexVector col_map(static_cast<size_t>(A.num_cols()), -1);
   for (size_t j = 0; j < cols.size(); ++j)
     col_map[cols[j]] = static_cast<index_t>(j);
 
+  if (entry_map) entry_map->clear();
   std::vector<index_t> rowptr(rows.size() + 1, 0);
   std::vector<index_t> colind;
   std::vector<Scalar> values;
@@ -185,6 +191,7 @@ CsrMatrix<Scalar> extract_submatrix(const CsrMatrix<Scalar>& A,
       if (lc >= 0) {
         colind.push_back(lc);
         values.push_back(A.val(k));
+        if (entry_map) entry_map->push_back(k);
       }
     }
     rowptr[i + 1] = static_cast<index_t>(colind.size());
@@ -192,6 +199,20 @@ CsrMatrix<Scalar> extract_submatrix(const CsrMatrix<Scalar>& A,
   return CsrMatrix<Scalar>(static_cast<index_t>(rows.size()),
                            static_cast<index_t>(cols.size()), std::move(rowptr),
                            std::move(colind), std::move(values));
+}
+
+/// Copies A's current values into a previously extracted submatrix through
+/// its entry map, touching only the value array (the submatrix pattern and
+/// its storage addresses stay put).  Produces exactly the values a fresh
+/// extract_submatrix of the same index sets would.
+template <class Scalar>
+void refresh_submatrix_values(const CsrMatrix<Scalar>& A,
+                              const IndexVector& entry_map,
+                              CsrMatrix<Scalar>& sub) {
+  FROSCH_CHECK(entry_map.size() == static_cast<size_t>(sub.num_entries()),
+               "refresh_submatrix_values: entry map/submatrix mismatch");
+  auto& vals = sub.values();
+  for (size_t q = 0; q < entry_map.size(); ++q) vals[q] = A.val(entry_map[q]);
 }
 
 /// Row restriction A(rows, :) keeping all columns.

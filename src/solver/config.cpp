@@ -37,6 +37,14 @@ const char* to_string(Precision p) {
   return "unknown";
 }
 
+const char* to_string(RefreshMode m) {
+  switch (m) {
+    case RefreshMode::Strict: return "strict";
+    case RefreshMode::Auto: return "auto";
+  }
+  return "unknown";
+}
+
 void SolverConfig::propagate_exec() {
   auto policy = exec::ExecPolicy::with_threads(static_cast<int>(threads));
   switch (exec_mode) {
@@ -89,6 +97,7 @@ SolverConfig SolverConfig::from_parameters(const ParameterList& p,
   read_int(p, "batch", c.batch);
 
   if (p.has("overlap_comm")) c.overlap_comm = p.get<bool>("overlap_comm");
+  read_enum(p, "refresh", c.refresh);
 
   // Krylov side.  "krylov" is an alias for "solver" (the pipelined variants
   // made the method a first-class tuning knob); when both are given the
@@ -191,6 +200,9 @@ std::vector<SolverConfig::ParameterDoc> SolverConfig::parameter_docs() {
       {"overlap_comm", "bool",
        "overlap ghost imports with interior SpMV rows (bitwise identical "
        "either way; windows reported in SolveReport::rank_overlap)"},
+      {"refresh", enum_names<RefreshMode>(),
+       "Solver::refresh pattern-mismatch policy (strict = fail naming the "
+       "first differing row; auto = fall back to a full setup)"},
       {"ortho", enum_names<OrthoKind>(), "GMRES orthogonalization"},
       {"restart", "int", "GMRES cycle length"},
       {"max-iters", "int", "Krylov iteration cap"},

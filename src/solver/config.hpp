@@ -39,6 +39,19 @@ enum class Precision {
 
 const char* to_string(Precision p);
 
+/// Behavior of Solver::refresh(A_new) behind the "refresh" ParameterList
+/// key.  `Strict` (the default) requires the new matrix to share the
+/// setup-time sparsity pattern and fails loudly otherwise; `Auto` falls
+/// back to a full setup() when the pattern changed (the matrix-sequence
+/// convenience mode; the fallback is reported via SolveReport::setup_reused
+/// staying false).
+enum class RefreshMode {
+  Strict,
+  Auto,
+};
+
+const char* to_string(RefreshMode m);
+
 template <>
 struct EnumTraits<ExecMode> {
   static constexpr const char* type_name = "ExecMode";
@@ -51,6 +64,13 @@ struct EnumTraits<Precision> {
   static constexpr const char* type_name = "Precision";
   static constexpr std::array<Precision, 3> all = {
       Precision::Double, Precision::Float, Precision::Half};
+};
+
+template <>
+struct EnumTraits<RefreshMode> {
+  static constexpr const char* type_name = "RefreshMode";
+  static constexpr std::array<RefreshMode, 2> all = {RefreshMode::Strict,
+                                                     RefreshMode::Auto};
 };
 
 struct SolverConfig {
@@ -102,6 +122,11 @@ struct SolverConfig {
   /// way (DESIGN.md section 7); only the measured overlap windows
   /// (SolveReport::rank_overlap) change.
   bool overlap_comm = true;
+
+  /// Pattern-mismatch policy of Solver::refresh (the "refresh" key):
+  /// strict = FROSCH_CHECK failure naming the first differing row; auto =
+  /// silently fall back to a full setup() on the new matrix.
+  RefreshMode refresh = RefreshMode::Strict;
 
   dd::SchwarzConfig schwarz;
   krylov::KrylovOptions krylov;

@@ -701,5 +701,346 @@ TEST(SolveSession, WarmStartTicketContinuesFromGuess) {
   EXPECT_TRUE(session.report(t).converged);
 }
 
+// ---------------------------------------------------------------------------
+// Solver::refresh -- the layered setup cache (DESIGN.md section 9).  A
+// numeric-only refresh must be BITWISE identical to a cold setup on the
+// same matrix at every (backend, ranks, threads) combination, move no
+// pattern bytes, and survive open sessions and repeated setups.
+
+/// Symmetric diagonal rescale D*A*D: same pattern, nonuniformly changed
+/// values, symmetry (and for an SPD input, positive definiteness) kept.
+la::CsrMatrix<double> diag_rescaled(const la::CsrMatrix<double>& A) {
+  auto B = A;
+  auto& vals = B.values();
+  for (index_t i = 0; i < B.num_rows(); ++i) {
+    const double di = 1.0 + 0.25 * static_cast<double>(i % 3);
+    for (index_t k = B.row_begin(i); k < B.row_end(i); ++k) {
+      const double dj = 1.0 + 0.25 * static_cast<double>(B.col(k) % 3);
+      vals[static_cast<size_t>(k)] = A.val(k) * di * dj;
+    }
+  }
+  return B;
+}
+
+/// Drops the symmetric off-diagonal pair anchored at `row`'s first
+/// off-diagonal entry -- a pattern change that keeps the matrix symmetric
+/// (and a Laplacian diagonally dominant).  Returns the changed matrix and
+/// stores the first row whose pattern differs in `first_diff_row`.
+la::CsrMatrix<double> drop_symmetric_pair(const la::CsrMatrix<double>& A,
+                                          index_t row,
+                                          index_t* first_diff_row) {
+  index_t j = -1;
+  for (index_t k = A.row_begin(row); k < A.row_end(row); ++k)
+    if (A.col(k) != row) {
+      j = A.col(k);
+      break;
+    }
+  FROSCH_CHECK(j >= 0, "drop_symmetric_pair: row has no off-diagonal entry");
+  *first_diff_row = row < j ? row : j;
+  std::vector<index_t> rowptr{0}, colind;
+  std::vector<double> values;
+  for (index_t i = 0; i < A.num_rows(); ++i) {
+    for (index_t k = A.row_begin(i); k < A.row_end(i); ++k) {
+      if ((i == row && A.col(k) == j) || (i == j && A.col(k) == row))
+        continue;
+      colind.push_back(A.col(k));
+      values.push_back(A.val(k));
+    }
+    rowptr.push_back(static_cast<index_t>(colind.size()));
+  }
+  return la::CsrMatrix<double>(A.num_rows(), A.num_cols(), std::move(rowptr),
+                               std::move(colind), std::move(values));
+}
+
+/// Cold setup on A2 vs. setup on A then refresh(A2): same iteration count,
+/// bitwise-identical solution.
+void check_refresh_bitwise(const test::MeshProblem& p,
+                           const SolverConfig& cfg) {
+  const auto A2 = diag_rescaled(p.A);
+  std::vector<double> b(static_cast<size_t>(p.A.num_rows()), 1.0);
+
+  Solver cold(cfg);
+  cold.setup(A2, p.Z, p.owner, p.num_parts);
+  std::vector<double> x_cold;
+  const auto rep_cold = cold.solve(b, x_cold);
+  ASSERT_TRUE(rep_cold.converged);
+  EXPECT_FALSE(rep_cold.setup_reused);
+
+  Solver warm(cfg);
+  warm.setup(p.A, p.Z, p.owner, p.num_parts);
+  warm.refresh(A2);
+  std::vector<double> x_ref;
+  const auto rep_ref = warm.solve(b, x_ref);
+  ASSERT_TRUE(rep_ref.converged);
+  EXPECT_TRUE(rep_ref.setup_reused);
+  EXPECT_GT(rep_ref.wall_refresh_s, 0.0);
+  EXPECT_EQ(rep_ref.iterations, rep_cold.iterations);
+  EXPECT_EQ(rep_ref.coarse_dim, rep_cold.coarse_dim);
+  ASSERT_EQ(x_ref.size(), x_cold.size());
+  EXPECT_EQ(std::memcmp(x_ref.data(), x_cold.data(),
+                        x_ref.size() * sizeof(double)),
+            0);
+}
+
+void sweep_refresh_bitwise(const test::MeshProblem& p, SolverConfig cfg) {
+  for (ExecMode mode : {ExecMode::Auto, ExecMode::Device}) {
+    for (index_t ranks : {index_t(1), index_t(4)}) {
+      for (index_t threads : {index_t(1), index_t(4)}) {
+        cfg.exec_mode = mode;
+        cfg.ranks = ranks;
+        cfg.threads = threads;
+        SCOPED_TRACE(std::string("exec=") + to_string(mode) + " ranks=" +
+                     std::to_string(ranks) + " threads=" +
+                     std::to_string(threads));
+        check_refresh_bitwise(p, cfg);
+      }
+    }
+  }
+}
+
+TEST(RefreshSuite, BitwiseIdenticalToColdSetupOnLaplace16) {
+  sweep_refresh_bitwise(test::laplace_problem(16, 2, 2, 2), SolverConfig{});
+}
+
+TEST(RefreshSuite, BitwiseIdenticalToColdSetupOnElasticity) {
+  SolverConfig cfg;
+  cfg.schwarz.subdomain.dof_block_size = 3;
+  cfg.schwarz.extension.dof_block_size = 3;
+  sweep_refresh_bitwise(test::elasticity_problem(5, 2, 2, 2), cfg);
+}
+
+TEST(RefreshSuite, FiveMatrixScaledSequencePinsIterations) {
+  // Power-of-two scalings are exact in floating point, so the whole Krylov
+  // trajectory scales exactly: every step of the sequence must converge in
+  // the SAME iteration count, each refreshed solve bitwise matching a cold
+  // solver on that step's matrix.
+  auto p = test::laplace_problem(16, 2, 2, 2);
+  SolverConfig cfg;
+  std::vector<double> b(static_cast<size_t>(p.A.num_rows()), 1.0);
+  Solver warm(cfg);
+  warm.setup(p.A, p.Z, p.owner, p.num_parts);
+  std::vector<double> x0;
+  const auto rep0 = warm.solve(b, x0);
+  ASSERT_TRUE(rep0.converged);
+  for (int step = 1; step < 5; ++step) {
+    auto Ak = p.A;
+    const double scale = static_cast<double>(1 << step);
+    for (auto& v : Ak.values()) v *= scale;
+    warm.refresh(Ak);
+    std::vector<double> xr;
+    const auto rep = warm.solve(b, xr);
+    ASSERT_TRUE(rep.converged) << "step " << step;
+    EXPECT_TRUE(rep.setup_reused);
+    EXPECT_EQ(rep.iterations, rep0.iterations) << "step " << step;
+
+    Solver cold(cfg);
+    cold.setup(Ak, p.Z, p.owner, p.num_parts);
+    std::vector<double> xc;
+    const auto repc = cold.solve(b, xc);
+    EXPECT_EQ(rep.iterations, repc.iterations) << "step " << step;
+    EXPECT_EQ(std::memcmp(xr.data(), xc.data(), xr.size() * sizeof(double)),
+              0)
+        << "step " << step;
+  }
+}
+
+TEST(RefreshSuite, SecondSetupFullyResetsCachedState) {
+  // Regression: a second cold setup() on a used solver (solves + refresh
+  // behind it) must behave exactly like a fresh solver -- same reports,
+  // same setup snapshots, no refresh leftovers, same device residency.
+  auto p = test::laplace_problem(8, 2, 2, 2);
+  SolverConfig cfg;
+  cfg.exec_mode = ExecMode::Device;
+  const auto A2 = diag_rescaled(p.A);
+  std::vector<double> b(static_cast<size_t>(p.A.num_rows()), 1.0);
+
+  Solver fresh(cfg);
+  fresh.setup(A2, p.Z, p.owner, p.num_parts);
+  std::vector<double> xf;
+  const auto repf = fresh.solve(b, xf);
+  ASSERT_TRUE(repf.converged);
+
+  Solver used(cfg);
+  used.setup(p.A, p.Z, p.owner, p.num_parts);
+  std::vector<double> x0;
+  ASSERT_TRUE(used.solve(b, x0).converged);
+  used.refresh(A2);
+  ASSERT_TRUE(used.solve(b, x0).converged);
+  used.setup(A2, p.Z, p.owner, p.num_parts);  // the second cold setup
+  std::vector<double> xu;
+  const auto repu = used.solve(b, xu);
+  ASSERT_TRUE(repu.converged);
+
+  EXPECT_FALSE(repu.setup_reused);
+  EXPECT_EQ(repu.wall_refresh_s, 0.0);
+  EXPECT_TRUE(repu.rank_refresh_comm.empty());
+  EXPECT_TRUE(repu.rank_refresh_transfers.empty());
+  EXPECT_TRUE(repu.schwarz_refresh.ranks.empty());
+  EXPECT_EQ(repu.iterations, repf.iterations);
+  EXPECT_EQ(std::memcmp(xu.data(), xf.data(), xu.size() * sizeof(double)), 0);
+  ASSERT_EQ(repu.rank_setup_comm.size(), repf.rank_setup_comm.size());
+  for (size_t r = 0; r < repu.rank_setup_comm.size(); ++r) {
+    EXPECT_EQ(repu.rank_setup_comm[r].msg_bytes,
+              repf.rank_setup_comm[r].msg_bytes)
+        << "rank " << r;
+    EXPECT_EQ(repu.rank_setup_comm[r].neighbor_msgs,
+              repf.rank_setup_comm[r].neighbor_msgs)
+        << "rank " << r;
+  }
+  ASSERT_EQ(repu.rank_setup_transfers.size(),
+            repf.rank_setup_transfers.size());
+  for (size_t r = 0; r < repu.rank_setup_transfers.size(); ++r) {
+    EXPECT_EQ(repu.rank_setup_transfers[r].total.bytes(),
+              repf.rank_setup_transfers[r].total.bytes())
+        << "rank " << r;
+    EXPECT_EQ(repu.rank_setup_transfers[r].total.count(),
+              repf.rank_setup_transfers[r].total.count())
+        << "rank " << r;
+  }
+}
+
+TEST(RefreshSuite, StrictMismatchNamesFirstDifferingRow) {
+  auto p = test::laplace_problem(8, 2, 2, 2);
+  Solver solver{SolverConfig{}};
+  solver.setup(p.A, p.Z, p.owner, p.num_parts);
+  index_t diff_row = -1;
+  const auto A2 = drop_symmetric_pair(p.A, 0, &diff_row);
+  try {
+    solver.refresh(A2);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("refresh pattern mismatch"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("row " + std::to_string(diff_row)), std::string::npos)
+        << msg;
+  }
+  // The failed refresh left the solver untouched: it still solves the
+  // ORIGINAL system exactly like an unperturbed twin.
+  std::vector<double> b(static_cast<size_t>(p.A.num_rows()), 1.0), x, xt;
+  const auto rep = solver.solve(b, x);
+  Solver twin{SolverConfig{}};
+  twin.setup(p.A, p.Z, p.owner, p.num_parts);
+  const auto rept = twin.solve(b, xt);
+  EXPECT_EQ(rep.iterations, rept.iterations);
+  EXPECT_EQ(std::memcmp(x.data(), xt.data(), x.size() * sizeof(double)), 0);
+}
+
+TEST(RefreshSuite, AutoModeFallsBackToFullSetupOnPatternChange) {
+  auto p = test::laplace_problem(8, 2, 2, 2);
+  SolverConfig cfg;
+  cfg.refresh = RefreshMode::Auto;
+  Solver solver(cfg);
+  solver.setup(p.A, p.Z, p.owner, p.num_parts);
+  std::vector<double> b(static_cast<size_t>(p.A.num_rows()), 1.0), x;
+  ASSERT_TRUE(solver.solve(b, x).converged);
+  index_t diff_row = -1;
+  const auto A2 = drop_symmetric_pair(p.A, 0, &diff_row);
+  solver.refresh(A2);  // pattern changed: silently falls back to setup()
+  std::vector<double> xa;
+  const auto repa = solver.solve(b, xa);
+  ASSERT_TRUE(repa.converged);
+  EXPECT_FALSE(repa.setup_reused);  // how callers observe the fallback
+  Solver cold(cfg);
+  cold.setup(A2, p.Z, p.owner, p.num_parts);
+  std::vector<double> xc;
+  const auto repc = cold.solve(b, xc);
+  EXPECT_EQ(repa.iterations, repc.iterations);
+  EXPECT_EQ(std::memcmp(xa.data(), xc.data(), xa.size() * sizeof(double)), 0);
+}
+
+TEST(RefreshSuite, SessionSurvivesRefresh) {
+  // An open SolveSession keeps working across refresh(): tickets solved
+  // after the refresh run against the new matrix, bitwise identical to a
+  // cold solver on it.
+  auto p = test::algebraic_laplace(8, 4, 1);
+  const index_t n = p.A.num_rows();
+  SolverConfig cfg;
+  Solver solver(cfg);
+  solver.setup(p.A, p.Z, p.decomp);
+  SolveSession session(solver);
+  const auto b = random_vector(n, 7);
+  const auto t0 = session.enqueue(b);
+  session.flush();
+  ASSERT_TRUE(session.report(t0).converged);
+
+  const auto A2 = diag_rescaled(p.A);
+  solver.refresh(A2);
+  const auto t1 = session.enqueue(b);
+  session.flush();
+  ASSERT_TRUE(session.report(t1).converged);
+  EXPECT_TRUE(session.report(t1).setup_reused);
+
+  Solver cold(cfg);
+  cold.setup(A2, p.Z, p.decomp);
+  std::vector<double> xc;
+  const auto repc = cold.solve(b, xc);
+  EXPECT_EQ(session.report(t1).iterations, repc.iterations);
+  const auto& x1 = session.solution(t1);
+  ASSERT_EQ(x1.size(), xc.size());
+  EXPECT_EQ(std::memcmp(x1.data(), xc.data(), x1.size() * sizeof(double)), 0);
+}
+
+TEST(RefreshSuite, ConcurrentRefreshRanks4Threads2) {
+  // The TSan CI case: refresh's value-overlay exchange and numeric
+  // re-factorization run with 4 virtual ranks on 2 pool threads, the
+  // configuration where rank work interleaves on shared threads.  Bitwise
+  // gate as everywhere else.
+  SolverConfig cfg;
+  cfg.ranks = 4;
+  cfg.threads = 2;
+  check_refresh_bitwise(test::laplace_problem(8, 2, 2, 1), cfg);
+}
+
+TEST(RefreshSuite, RefreshMovesNoPatternOrHaloBytes) {
+  // The ledger gate (also enforced by bench_sequence): a refresh re-stages
+  // factor and coarse-operator values but never Matrix-pattern or
+  // Halo-plan bytes, and its wire traffic undercuts the cold setup's.
+  auto p = test::laplace_problem(8, 2, 2, 2);
+  SolverConfig cfg;
+  cfg.exec_mode = ExecMode::Device;
+  cfg.ranks = 4;
+  Solver solver(cfg);
+  solver.setup(p.A, p.Z, p.owner, p.num_parts);
+  solver.refresh(diag_rescaled(p.A));
+  std::vector<double> b(static_cast<size_t>(p.A.num_rows()), 1.0), x;
+  const auto rep = solver.solve(b, x);
+  ASSERT_TRUE(rep.converged);
+  ASSERT_TRUE(rep.setup_reused);
+  ASSERT_FALSE(rep.rank_refresh_transfers.empty());
+  double factor_bytes = 0.0, coarse_bytes = 0.0;
+  for (size_t r = 0; r < rep.rank_refresh_transfers.size(); ++r) {
+    const auto& led = rep.rank_refresh_transfers[r];
+    EXPECT_EQ(led.of(device::Xfer::Matrix).bytes(), 0.0) << "rank " << r;
+    EXPECT_EQ(led.of(device::Xfer::Halo).bytes(), 0.0) << "rank " << r;
+    factor_bytes += led.of(device::Xfer::Factor).bytes();
+    coarse_bytes += led.of(device::Xfer::CoarseOp).bytes();
+  }
+  EXPECT_GT(factor_bytes, 0.0);
+  EXPECT_GT(coarse_bytes, 0.0);
+  double setup_msg = 0.0, refresh_msg = 0.0;
+  for (const auto& o : rep.rank_setup_comm) setup_msg += o.msg_bytes;
+  for (const auto& o : rep.rank_refresh_comm) refresh_msg += o.msg_bytes;
+  EXPECT_GT(refresh_msg, 0.0);
+  EXPECT_LT(refresh_msg, setup_msg);
+}
+
+TEST(SolverConfig, ParsesRefreshKeyAndDocumentsIt) {
+  EXPECT_EQ(SolverConfig{}.refresh, RefreshMode::Strict);
+  check_roundtrip<RefreshMode>();
+  ParameterList p;
+  p.set("refresh", "auto");
+  const auto c = SolverConfig::from_parameters(p);
+  EXPECT_EQ(c.refresh, RefreshMode::Auto);
+  bool found = false;
+  for (const auto& d : SolverConfig::parameter_docs()) {
+    if (d.key != "refresh") continue;
+    found = true;
+    EXPECT_NE(d.values.find("strict"), std::string::npos);
+    EXPECT_NE(d.values.find("auto"), std::string::npos);
+    EXPECT_NE(d.doc.find("fall back"), std::string::npos);
+  }
+  EXPECT_TRUE(found);
+}
+
 }  // namespace
 }  // namespace frosch
