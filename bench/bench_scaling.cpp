@@ -29,6 +29,8 @@ struct Point {
   double max_bytes = 0.0;    ///< busiest rank: halo payload (solve)
   count_t reductions = 0;    ///< measured collectives (same on every rank)
   double setup_bytes = 0.0;  ///< busiest rank: setup-phase import payload
+  index_t coarse_dim = 0;    ///< coarse-problem rows (fixed along the ladder)
+  double coarse_gather = 0.0;  ///< coarse assembly + value-gather payload
   double modeled_solve_s = 0.0;
   double modeled_setup_s = 0.0;
 };
@@ -51,6 +53,8 @@ Point run_point(ExperimentSpec spec, index_t ranks, const SummitModel& model) {
   }
   for (const auto& p : res.rank_setup_comm)
     pt.setup_bytes = std::max(pt.setup_bytes, p.msg_bytes);
+  pt.coarse_dim = res.coarse_dim;
+  pt.coarse_gather = res.schwarz.coarse_comm_bytes;
   return pt;
 }
 
@@ -79,19 +83,20 @@ int main(int argc, char** argv) {
   std::printf(
       "\n=== rank ladder: %d subdomains, measured communication ===\n",
       int(parts));
-  std::printf("%-8s %8s %10s %12s %14s %12s %14s %14s\n", "ranks", "iters",
-              "imbalance", "allreduces", "halo msgs/rk", "halo KB/rk",
-              "setup KB/rk", "model solve ms");
+  std::printf("%-8s %8s %10s %12s %14s %12s %14s %14s %14s\n", "ranks",
+              "iters", "imbalance", "allreduces", "halo msgs/rk", "halo KB/rk",
+              "setup KB/rk", "coarse KB", "model solve ms");
 
   std::vector<Point> points;
   for (index_t r : ladder) {
     const Point pt = run_point(spec, r, model);
     points.push_back(pt);
-    std::printf("%-8d %8d %10.3f %12lld %14lld %12.1f %14.1f %14.3f\n",
+    std::printf("%-8d %8d %10.3f %12lld %14lld %12.1f %14.1f %14.1f %14.3f\n",
                 int(pt.ranks), int(pt.iterations), pt.imbalance,
                 static_cast<long long>(pt.reductions),
                 static_cast<long long>(pt.max_msgs), pt.max_bytes / 1024.0,
-                pt.setup_bytes / 1024.0, 1e3 * pt.modeled_solve_s);
+                pt.setup_bytes / 1024.0, pt.coarse_gather / 1024.0,
+                1e3 * pt.modeled_solve_s);
     json.add(JsonRecord()
                  .set("bench", "scaling")
                  .set("parts", parts)
@@ -103,6 +108,8 @@ int main(int argc, char** argv) {
                  .set("measured_halo_msgs_max", index_t(pt.max_msgs))
                  .set("measured_halo_bytes_max", pt.max_bytes)
                  .set("measured_setup_bytes_max", pt.setup_bytes)
+                 .set("coarse_dim", pt.coarse_dim)
+                 .set("measured_coarse_gather_bytes", pt.coarse_gather)
                  .set("modeled_solve_s", pt.modeled_solve_s)
                  .set("modeled_setup_s", pt.modeled_setup_s));
   }

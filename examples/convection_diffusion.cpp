@@ -1,0 +1,62 @@
+// Convection-diffusion with the multilevel coarse hierarchy: GMRES on the
+// NONSYMMETRIC operator -eps*div(grad u) + b.grad u, preconditioned by
+// three-level GDSW Schwarz whose coarse problem is itself partitioned,
+// preconditioned by another Schwarz level, and solved on a process subset
+// (`levels` / `coarse_ranks` / `coarse_parts` keys).  The per-level
+// breakdown of the coarse hierarchy rides in the SolveReport.
+#include <cstdio>
+
+#include "frosch.hpp"
+
+int main() {
+  using namespace frosch;
+
+  // 1. A 16^3-element convection-diffusion problem: diffusion eps = 0.5
+  //    against the skew velocity b = (1, 0.5, 0.25), Dirichlet on x=0.
+  //    The element Peclet |b| h / (2 eps) stays moderate (Galerkin, no
+  //    stabilization), but the operator is far enough from symmetric that
+  //    CG is off the table -- this is the GMRES workload.
+  fem::BrickMesh mesh(16, 16, 16);
+  auto A_full = fem::assemble_convection_diffusion(mesh, 0.5, {1.0, 0.5, 0.25});
+  IndexVector fixed;
+  for (index_t node : mesh.x0_face_nodes()) fixed.push_back(node);
+  auto sys = fem::apply_dirichlet(A_full, fixed);
+  auto Z = fem::restrict_nullspace(fem::laplace_nullspace(mesh), sys.keep);
+
+  // 2. 4x4x2 box decomposition -> 32 subdomains, enough for the GDSW
+  //    coarse problem to be worth another Schwarz level.
+  const index_t num_parts = 32;
+  auto node_part = graph::box_partition_3d(mesh.nodes_x(), mesh.nodes_y(),
+                                           mesh.nodes_z(), 4, 4, 2);
+  IndexVector owner(sys.keep.size());
+  for (size_t q = 0; q < sys.keep.size(); ++q)
+    owner[q] = node_part[sys.keep[q]];
+
+  // 3. Three-level GDSW: the coarse matrix is re-partitioned and
+  //    preconditioned by a second Schwarz level across ALL ranks,
+  //    terminating in a direct solve.
+  ParameterList params;
+  params.set("coarse-space", "gdsw")
+      .set("krylov", "gmres")
+      .set("levels", 3)
+      .set("coarse_ranks", "all")
+      .set("ranks", 8);
+  Solver solver(params);
+
+  // 4. Setup + solve; print the per-level hierarchy breakdown.
+  solver.setup(sys.A, Z, owner, num_parts);
+  std::vector<double> b(static_cast<size_t>(sys.A.num_rows()), 1.0), x;
+  auto rep = solver.solve(b, x);
+
+  std::printf("convection-diffusion: n=%d dofs, %d subdomains\n",
+              int(sys.A.num_rows()), int(num_parts));
+  std::printf("GMRES %s in %d iterations (residual %.2e -> %.2e)\n",
+              rep.converged ? "converged" : "did NOT converge",
+              int(rep.iterations), rep.initial_residual, rep.final_residual);
+  for (const auto& lv : rep.schwarz.coarse_levels)
+    std::printf(
+        "  coarse level %d: dim=%d, %d subset ranks, %s\n", int(lv.level),
+        int(lv.dim), lv.subset_size,
+        lv.parts > 0 ? "Schwarz-preconditioned" : "direct solve");
+  return rep.converged ? 0 : 1;
+}

@@ -18,6 +18,7 @@
 #   BENCH_TP_ELEMS  brick elements per axis for bench_throughput (default: 20)
 #   BENCH_NRHS      right-hand sides per width point (default: 8)
 #   BENCH_SEQ_STEPS matrices in the bench_sequence sequence (default: 5)
+#   BENCH_HIER_PARTS --parts (rank-ladder cap) for bench_hierarchy (default: 32)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,6 +34,7 @@ OV_PARTS="${BENCH_OV_PARTS:-16}"
 TP_ELEMS="${BENCH_TP_ELEMS:-20}"
 NRHS="${BENCH_NRHS:-8}"
 SEQ_STEPS="${BENCH_SEQ_STEPS:-5}"
+HIER_PARTS="${BENCH_HIER_PARTS:-32}"
 
 if [[ ! -x "$BUILD_DIR/bench/bench_speedup" ]]; then
   echo "error: $BUILD_DIR/bench/bench_speedup not built (run cmake --build $BUILD_DIR first)" >&2
@@ -70,6 +72,11 @@ echo "== bench_sequence (numeric-only refresh vs cold setup, bitwise gate) =="
 "$BUILD_DIR/bench/bench_sequence" \
   --steps "$SEQ_STEPS" \
   --json "$OUT_DIR/BENCH_sequence.json"
+
+echo "== bench_hierarchy (multilevel coarse ladder, bitwise + drift gates) =="
+"$BUILD_DIR/bench/bench_hierarchy" \
+  --parts "$HIER_PARTS" --scale "$SCALE" \
+  --json "$OUT_DIR/BENCH_hierarchy.json"
 
 echo "== bench_table2 (weak scaling, modeled Summit times) =="
 "$BUILD_DIR/bench/bench_table2" \

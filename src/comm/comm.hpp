@@ -35,6 +35,8 @@
 // plus the payload each rank ships.
 #pragma once
 
+#include <cmath>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -160,11 +162,30 @@ class Communicator {
 
   /// Measured per-rank profile: communication events recorded by the
   /// collectives below, plus the rank-local compute the distributed kernels
-  /// attribute while sharding (see la/dist.hpp).
-  OpProfile& prof(int r) { return prof_[static_cast<size_t>(r)]; }
-  const OpProfile& prof(int r) const { return prof_[static_cast<size_t>(r)]; }
+  /// attribute while sharding (see la/dist.hpp).  Virtual so a SubComm can
+  /// redirect every recording -- its own and its callers' -- into the
+  /// PARENT communicator's profiles at the member world ranks: subset work
+  /// stays attributed to the ranks that actually did it.
+  virtual OpProfile& prof(int r) { return prof_[static_cast<size_t>(r)]; }
+  virtual const OpProfile& prof(int r) const {
+    return prof_[static_cast<size_t>(r)];
+  }
   const std::vector<OpProfile>& rank_profiles() const { return prof_; }
   void reset_profiles() { prof_.assign(static_cast<size_t>(nranks_), {}); }
+
+  /// The rank id in the ROOT communicator that local rank r maps to:
+  /// identity here, the member list composed through any nesting for a
+  /// SubComm.  Device transfers are attributed by world rank because the
+  /// arena holds one device space per root-communicator rank.
+  virtual int world_rank(int r) const { return r; }
+
+  /// Subset-scoped sub-communicator over `members` (local rank ids,
+  /// strictly increasing).  Collectives on the returned communicator span
+  /// only the members: they record subset-reduction events (priced over
+  /// log2(S), see OpProfile::sub_reductions) into the members' profiles
+  /// HERE, and point-to-point traffic charges the member destination rank
+  /// exactly like parent traffic.  The parent must outlive the child.
+  std::unique_ptr<Communicator> split(std::vector<int> members);
 
   /// BSP rank region: fn(r) for every rank, in parallel on the exec pool
   /// (each rank is one task; nested kernels inside run inline).
@@ -266,12 +287,12 @@ class Communicator {
     device::DeviceArena* arena = device::arena_of(policy_);
     for (const auto& m : msgs) {
       if (m.src == m.dst) continue;
-      auto& p = prof_[static_cast<size_t>(m.dst)];
+      auto& p = prof(m.dst);
       p.neighbor_msgs += 1;
       p.msg_bytes += m.bytes;
       if (arena != nullptr) {
-        arena->transfer(m.src, device::Dir::D2H, m.bytes, family);
-        arena->transfer(m.dst, device::Dir::H2D, m.bytes, family);
+        arena->transfer(world_rank(m.src), device::Dir::D2H, m.bytes, family);
+        arena->transfer(world_rank(m.dst), device::Dir::H2D, m.bytes, family);
       }
     }
     if (arena != nullptr) arena->sync_all();
@@ -360,17 +381,23 @@ class Communicator {
     device::DeviceArena* arena =
         nranks_ > 1 ? device::arena_of(policy_) : nullptr;
     for (int r = 0; r < nranks_; ++r) {
-      auto& p = prof_[static_cast<size_t>(r)];
-      p.reductions += 1;
-      p.msg_bytes += nranks_ > 1 ? bytes : 0.0;
+      charge_collective(prof(r), bytes);
       if (arena != nullptr) {
-        arena->transfer(r, device::Dir::D2H, pcie_bytes_per_rank,
+        arena->transfer(world_rank(r), device::Dir::D2H, pcie_bytes_per_rank,
                         device::Xfer::Collective);
-        arena->transfer(r, device::Dir::H2D, pcie_bytes_per_rank,
+        arena->transfer(world_rank(r), device::Dir::H2D, pcie_bytes_per_rank,
                         device::Xfer::Collective);
       }
     }
     if (arena != nullptr) arena->sync_all();
+  }
+
+  /// Per-rank bookkeeping of one blocking collective: the global
+  /// communicators count a full-fabric reduction; a SubComm overrides this
+  /// to count a subset reduction whose tree spans only its members.
+  virtual void charge_collective(OpProfile& p, double bytes) {
+    p.reductions += 1;
+    p.msg_bytes += nranks_ > 1 ? bytes : 0.0;
   }
 
  private:
@@ -388,7 +415,7 @@ class Communicator {
     std::vector<char> windowed(static_cast<size_t>(nranks_), 0);
     for (const auto& m : msgs) {
       if (m.src == m.dst) continue;
-      auto& p = prof_[static_cast<size_t>(m.dst)];
+      auto& p = prof(m.dst);
       p.neighbor_msgs += 1;
       p.msg_bytes += m.bytes;
       p.ov_neighbor_msgs += 1;
@@ -399,8 +426,10 @@ class Communicator {
         p.overlap_s += window;
       }
       if (arena != nullptr) {
-        arena->transfer(m.src, device::Dir::D2H, m.bytes, device::Xfer::Halo);
-        arena->transfer(m.dst, device::Dir::H2D, m.bytes, device::Xfer::Halo);
+        arena->transfer(world_rank(m.src), device::Dir::D2H, m.bytes,
+                        device::Xfer::Halo);
+        arena->transfer(world_rank(m.dst), device::Dir::H2D, m.bytes,
+                        device::Xfer::Halo);
       }
     }
     if (arena != nullptr) arena->sync_all();
@@ -415,7 +444,7 @@ class Communicator {
     device::DeviceArena* arena =
         nranks_ > 1 ? device::arena_of(policy_) : nullptr;
     for (int r = 0; r < nranks_; ++r) {
-      auto& p = prof_[static_cast<size_t>(r)];
+      auto& p = prof(r);
       p.reductions += 1;
       p.ov_reductions += 1;
       if (nranks_ > 1) {
@@ -425,8 +454,10 @@ class Communicator {
         p.overlap_s += window;
       }
       if (arena != nullptr) {
-        arena->transfer(r, device::Dir::D2H, bytes, device::Xfer::Collective);
-        arena->transfer(r, device::Dir::H2D, bytes, device::Xfer::Collective);
+        arena->transfer(world_rank(r), device::Dir::D2H, bytes,
+                        device::Xfer::Collective);
+        arena->transfer(world_rank(r), device::Dir::H2D, bytes,
+                        device::Xfer::Collective);
       }
     }
     if (arena != nullptr) arena->sync_all();
@@ -475,5 +506,59 @@ class SimComm final : public Communicator {
   }
   const char* name() const override { return "sim"; }
 };
+
+/// Subset-scoped communicator (the coarse-hierarchy comm): S member ranks
+/// of a parent communicator seen as local ranks 0..S-1.  Nothing is
+/// recorded here -- every profile access and every device transfer is
+/// redirected to the parent at the member world ranks, so per-rank
+/// attribution survives arbitrary nesting.  Collectives record
+/// subset-reduction events (sub_reductions / sub_red_log2) instead of
+/// full-fabric reductions: the perf model prices them over log2(S), not
+/// log2(P) (DESIGN.md section 10).  Created via Communicator::split.
+class SubComm final : public Communicator {
+ public:
+  SubComm(Communicator& parent, std::vector<int> members)
+      : Communicator(static_cast<int>(members.size()), parent.policy()),
+        parent_(&parent),
+        members_(std::move(members)),
+        red_log2_(std::log2(static_cast<double>(members_.size()))) {
+    FROSCH_CHECK(!members_.empty(), "SubComm: need at least one member");
+    for (size_t i = 0; i < members_.size(); ++i) {
+      FROSCH_CHECK(members_[i] >= 0 && members_[i] < parent_->size(),
+                   "SubComm: member rank out of parent range");
+      FROSCH_CHECK(i == 0 || members_[i] > members_[i - 1],
+                   "SubComm: member ranks must be strictly increasing");
+    }
+  }
+  const char* name() const override { return "sub"; }
+
+  OpProfile& prof(int r) override {
+    return parent_->prof(members_[static_cast<size_t>(r)]);
+  }
+  const OpProfile& prof(int r) const override {
+    return parent_->prof(members_[static_cast<size_t>(r)]);
+  }
+  int world_rank(int r) const override {
+    return parent_->world_rank(members_[static_cast<size_t>(r)]);
+  }
+  const std::vector<int>& members() const { return members_; }
+
+ protected:
+  void charge_collective(OpProfile& p, double bytes) override {
+    p.sub_reductions += 1;
+    p.sub_red_log2 += red_log2_;
+    p.msg_bytes += size() > 1 ? bytes : 0.0;
+  }
+
+ private:
+  Communicator* parent_;
+  std::vector<int> members_;
+  double red_log2_;
+};
+
+inline std::unique_ptr<Communicator> Communicator::split(
+    std::vector<int> members) {
+  return std::make_unique<SubComm>(*this, std::move(members));
+}
 
 }  // namespace frosch::comm

@@ -14,6 +14,8 @@ OpProfile& OpProfile::operator+=(const OpProfile& o) {
   reductions += o.reductions;
   neighbor_msgs += o.neighbor_msgs;
   msg_bytes += o.msg_bytes;
+  sub_reductions += o.sub_reductions;
+  sub_red_log2 += o.sub_red_log2;
   ov_reductions += o.ov_reductions;
   ov_neighbor_msgs += o.ov_neighbor_msgs;
   ov_msg_bytes += o.ov_msg_bytes;
@@ -31,6 +33,8 @@ OpProfile& OpProfile::operator-=(const OpProfile& o) {
   reductions = std::max<count_t>(0, reductions - o.reductions);
   neighbor_msgs = std::max<count_t>(0, neighbor_msgs - o.neighbor_msgs);
   msg_bytes = std::max(0.0, msg_bytes - o.msg_bytes);
+  sub_reductions = std::max<count_t>(0, sub_reductions - o.sub_reductions);
+  sub_red_log2 = std::max(0.0, sub_red_log2 - o.sub_red_log2);
   ov_reductions = std::max<count_t>(0, ov_reductions - o.ov_reductions);
   ov_neighbor_msgs =
       std::max<count_t>(0, ov_neighbor_msgs - o.ov_neighbor_msgs);
@@ -46,6 +50,9 @@ std::string OpProfile::summary() const {
       << " depth=" << critical_path << " width=" << mean_width();
   if (reductions > 0 || neighbor_msgs > 0) {
     oss << " reduces=" << reductions << " msgs=" << neighbor_msgs;
+  }
+  if (sub_reductions > 0) {
+    oss << " sub_reduces=" << sub_reductions;
   }
   if (overlap_windows > 0) {
     oss << " overlap_windows=" << overlap_windows << " overlap_s=" << overlap_s;

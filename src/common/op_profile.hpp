@@ -38,6 +38,17 @@ struct OpProfile {
   count_t neighbor_msgs = 0; ///< point-to-point halo messages
   double msg_bytes = 0.0;    ///< total point-to-point payload
 
+  // Subset-scoped collectives (comm::SubComm): bulk-synchronous operations
+  // whose reduction tree spans only S member ranks, not the full fabric.
+  // The model prices them as alpha * log2(S) per event, so the recorded
+  // quantity is the ACCUMULATED tree depth, one log2(S) term per
+  // collective (sub_reductions counts the events).  Payload bytes go into
+  // msg_bytes like every other wire payload.  Global collectives leave
+  // both fields zero, which is what keeps hand-built and pre-subset
+  // profiles pricing exactly as before.
+  count_t sub_reductions = 0; ///< subset-scoped collective operations
+  double sub_red_log2 = 0.0;  ///< sum of log2(subset size) over those events
+
   // Overlapped-communication side (consumed by the overlap pricing rule,
   // see perf/summit.hpp).  The ov_* fields are SUBSETS of the totals above:
   // an async post/wait pair charges both the normal field and its ov_ twin,

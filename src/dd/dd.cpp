@@ -32,6 +32,32 @@ const char* to_string(CoarseSpaceKind k) {
   return "unknown";
 }
 
+const char* to_string(CoarseRanks k) {
+  switch (k) {
+    case CoarseRanks::Root: return "root";
+    case CoarseRanks::Every8th: return "every-8th";
+    case CoarseRanks::Every4th: return "every-4th";
+    case CoarseRanks::Every2nd: return "every-2nd";
+    case CoarseRanks::All: return "all";
+  }
+  return "unknown";
+}
+
+std::vector<int> coarse_members(int nranks, CoarseRanks kind) {
+  if (nranks < 1) nranks = 1;
+  int stride = nranks;  // Root: only rank 0
+  switch (kind) {
+    case CoarseRanks::Root: stride = nranks; break;
+    case CoarseRanks::Every8th: stride = 8; break;
+    case CoarseRanks::Every4th: stride = 4; break;
+    case CoarseRanks::Every2nd: stride = 2; break;
+    case CoarseRanks::All: stride = 1; break;
+  }
+  std::vector<int> members;
+  for (int r = 0; r < nranks; r += stride) members.push_back(r);
+  return members;
+}
+
 const char* to_string(Ordering k) {
   switch (k) {
     case Ordering::Natural: return "natural";

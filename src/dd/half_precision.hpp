@@ -106,6 +106,13 @@ class HalfPrecisionPreconditioner final : public Preconditioner<Scalar> {
   }
   const SchwarzPreconditioner<Half>& inner() const { return inner_; }
 
+  /// Pass-through to the inner Half-precision Schwarz: the coarse
+  /// hierarchy of a mixed-precision run is built and applied in `Half`,
+  /// exactly like the rest of the preconditioner.
+  void set_coarse_solver(std::unique_ptr<CoarseLevelSolver<Half>> s) {
+    inner_.set_coarse_solver(std::move(s));
+  }
+
  private:
   la::CsrMatrix<Half> Ah_;  ///< cached downcast; values refreshed per numeric
   SchwarzPreconditioner<Half> inner_;

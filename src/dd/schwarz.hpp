@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "comm/comm.hpp"
+#include "dd/coarse_solver.hpp"
 #include "dd/coarse_space.hpp"
 #include "dd/preconditioner.hpp"
 #include "device/arena.hpp"
@@ -64,6 +65,11 @@ struct SchwarzConfig {
   /// nullptr: the preconditioner creates the historical one-rank-per-
   /// subdomain topology internally, so communication is still measured.
   comm::Communicator* comm = nullptr;
+
+  /// How the coarse problem is solved when a CoarseLevelSolver is
+  /// installed (set_coarse_solver): process subset + recursion depth.
+  /// Ignored by the inline path; the default replicates it exactly.
+  HierarchyConfig hierarchy;
 
   SchwarzConfig() {
     // Defaults mirror Section VII: Tacho-style direct solvers everywhere
@@ -100,6 +106,16 @@ struct SchwarzProfiles {
   std::map<std::string, OpProfile> numeric_breakdown;  ///< Fig. 4 bars
   index_t coarse_dim = 0;
   count_t apply_count = 0;
+
+  /// Accumulated payload of the full-communicator coarse collectives, in
+  /// bytes: the Galerkin/value gathers of setup and refresh plus the
+  /// rhs-gather/solution-broadcast pair of every apply.  This is the
+  /// replicated-coarse wire cliff bench_scaling reports per rung.
+  double coarse_comm_bytes = 0.0;
+
+  /// Per-level dimensions, subset sizes, and compute shares of the coarse
+  /// hierarchy (empty on the inline path and for one-level runs).
+  std::vector<CoarseLevelReport> coarse_levels;
 };
 
 template <class Scalar>
@@ -123,6 +139,19 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
   const comm::Communicator* communicator() const { return comm_; }
   /// Owning virtual rank of each subdomain.
   const IndexVector& part_ranks() const { return part_rank_; }
+
+  /// Installs the coarse-level solver the coarse problem is delegated to
+  /// (the facade installs an mlevel::CoarseHierarchy built from
+  /// cfg.hierarchy).  Without one -- direct construction in tests, one-off
+  /// uses -- the historical inline gather-and-factor-on-root path runs;
+  /// the hierarchy's default configuration replicates that path exactly.
+  /// Must be called before numeric_setup.
+  void set_coarse_solver(std::unique_ptr<CoarseLevelSolver<Scalar>> s) {
+    coarse_hook_ = std::move(s);
+  }
+  const CoarseLevelSolver<Scalar>* coarse_solver_hook() const {
+    return coarse_hook_.get();
+  }
 
   /// Phase (a): pattern-only analysis.
   void symbolic_setup(const la::CsrMatrix<Scalar>& A) override {
@@ -174,8 +203,11 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
                                                  &extract_maps_[p]);
           // Each subdomain solver stages and launches against the device of
           // its OWNING virtual rank (one GPU per rank in the paper's runs).
+          // The arena is indexed by ROOT-communicator rank, so a subset
+          // communicator's local ranks map through world_rank.
           LocalSolverConfig scfg = cfg_.subdomain;
-          scfg.exec.device_rank = static_cast<int>(part_rank_[p]);
+          scfg.exec.device_rank =
+              comm_->world_rank(static_cast<int>(part_rank_[p]));
           auto solver = std::make_unique<LocalSolver<Scalar>>(scfg);
           solver->symbolic(local_mats_[p], &sym[p]);
           solvers_[p] = std::move(solver);
@@ -256,10 +288,11 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
       bk["coarse-rap-spgemm"] += rap;
       prof_.coarse.numeric += rap;
       prof_.coarse_dim = A0_.num_rows();
-      // The Galerkin contributions are gathered onto the coarse root (the
-      // replicated-coarse strategy): one collective, the coarse matrix's
-      // actual storage as payload.
+      // The Galerkin contributions are gathered onto the coarse subset (the
+      // replicated-coarse strategy when the subset is the root alone): one
+      // collective, the coarse matrix's actual storage as payload.
       comm_->gather(A0_.storage_bytes());
+      prof_.coarse_comm_bytes += A0_.storage_bytes();
 
       // Device runs: the assembled coarse basis crosses PCIe once per
       // numeric setup; the apply-phase Phi products then find it resident
@@ -268,12 +301,17 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
         device::touch(cfg_.exec, phi_.values().data(), phi_.storage_bytes(),
                       device::Xfer::CoarseOp);
 
-      coarse_solver_ = std::make_unique<LocalSolver<Scalar>>(cfg_.coarse);
       OpProfile cfac;
-      coarse_solver_->symbolic(A0_, &cfac);
-      coarse_solver_->numeric(A0_, &cfac, &cfac);
+      if (coarse_hook_) {
+        coarse_hook_->numeric_setup(A0_, *comm_, &cfac);
+      } else {
+        coarse_solver_ = std::make_unique<LocalSolver<Scalar>>(cfg_.coarse);
+        coarse_solver_->symbolic(A0_, &cfac);
+        coarse_solver_->numeric(A0_, &cfac, &cfac);
+      }
       bk["coarse-factorization"] += cfac;
       prof_.coarse.numeric += cfac;
+      if (coarse_hook_) prof_.coarse_levels = coarse_hook_->level_reports();
     }
 
     // (3) Local numeric factorizations + triangular-solve setup.
@@ -349,9 +387,11 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
       bk["coarse-rap-spgemm"] += rap;
       prof_.coarse.numeric += rap;
       prof_.coarse_dim = A0_.num_rows();
-      // The root already holds the coarse sparsity; the refresh gather
+      // The subset already holds the coarse sparsity; the refresh gather
       // carries the coarse VALUES only.
       comm_->gather(static_cast<double>(A0_.num_entries()) * sizeof(Scalar));
+      prof_.coarse_comm_bytes +=
+          static_cast<double>(A0_.num_entries()) * sizeof(Scalar);
 
       // Device runs: only the refreshed basis values re-cross PCIe (charged
       // to the CoarseOp family); the new mirror keeps the apply-phase Phi
@@ -366,9 +406,14 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
       }
 
       OpProfile cfac;
-      coarse_solver_->numeric_refresh(A0_, &cfac, &cfac);
+      if (coarse_hook_) {
+        coarse_hook_->numeric_refresh(A0_, *comm_, &cfac);
+      } else {
+        coarse_solver_->numeric_refresh(A0_, &cfac, &cfac);
+      }
       bk["coarse-factorization"] += cfac;
       prof_.coarse.numeric += cfac;
+      if (coarse_hook_) prof_.coarse_levels = coarse_hook_->level_reports();
     }
 
     // (3) Local numeric refactorizations against the frozen symbolic
@@ -435,7 +480,8 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
       const auto& dofs = decomp_.overlap_dofs[p];
       for (size_t q = 0; q < dofs.size(); ++q) y[dofs[q]] += yls[p][q];
       // Restriction + prolongation kernels launch on the owning rank's GPU.
-      if (arena != nullptr) arena->launch(static_cast<int>(part_rank_[p]), 2);
+      if (arena != nullptr)
+        arena->launch(comm_->world_rank(static_cast<int>(part_rank_[p])), 2);
       prof_.ranks[part_rank_[p]].solve += locals[p];
       if (prof) *prof += locals[p];
     }
@@ -443,16 +489,23 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
       OpProfile cp;
       std::vector<Scalar> r0, z0(static_cast<size_t>(A0_.num_rows())), w;
       la::spmv_transpose(phi_, x, r0, Scalar(1), Scalar(0), &cp, cfg_.exec);
-      // Coarse rhs gathered to the root, solved there, solution replicated:
-      // two collectives with the coarse vector's actual payload.
+      // Coarse rhs gathered to the subset, solved there, solution
+      // replicated: two collectives with the coarse vector's payload.
       comm_->gather(static_cast<double>(A0_.num_rows()) * sizeof(Scalar));
-      coarse_solver_->solve(r0, z0, &cp);
+      if (coarse_hook_) {
+        coarse_hook_->solve(r0, z0, &cp);
+      } else {
+        coarse_solver_->solve(r0, z0, &cp);
+      }
       comm_->broadcast(static_cast<double>(A0_.num_rows()) * sizeof(Scalar));
+      prof_.coarse_comm_bytes +=
+          2.0 * static_cast<double>(A0_.num_rows()) * sizeof(Scalar);
       la::spmv(phi_, z0, w, Scalar(1), Scalar(0), &cp, cfg_.exec);
       exec::parallel_for(cfg_.exec, n_, [&](index_t i) { y[i] += w[i]; });
       device::launches(cfg_.exec, 1);  // the additive coarse combine
       prof_.coarse.solve += cp;
       if (prof) *prof += cp;
+      if (coarse_hook_) prof_.coarse_levels = coarse_hook_->level_reports();
     }
     ++prof_.apply_count;
   }
@@ -583,7 +636,8 @@ class SchwarzPreconditioner final : public Preconditioner<Scalar> {
   std::vector<la::CsrMatrix<Scalar>> local_mats_;
   std::vector<IndexVector> extract_maps_;  ///< local entry -> A entry
   std::vector<std::unique_ptr<LocalSolver<Scalar>>> solvers_;
-  std::unique_ptr<LocalSolver<Scalar>> coarse_solver_;
+  std::unique_ptr<LocalSolver<Scalar>> coarse_solver_;  ///< inline path
+  std::unique_ptr<CoarseLevelSolver<Scalar>> coarse_hook_;
   la::CsrMatrix<Scalar> phi_, A0_;
   la::CsrMatrix<Scalar> phi_gamma_;      ///< cached interface basis
   ExtensionCache<Scalar> ext_cache_;     ///< cached extension base layers

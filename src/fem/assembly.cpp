@@ -85,12 +85,75 @@ void elasticity_element(double hx, double hy, double hz, double E, double nu,
       }
 }
 
+/// Trilinear shape-function VALUES at (xi, eta, zeta), same node order.
+void shape_values(double xi, double eta, double zeta, double N[8]) {
+  const double sx[2] = {-1.0, 1.0};
+  int a = 0;
+  for (int dz = 0; dz <= 1; ++dz)
+    for (int dy = 0; dy <= 1; ++dy)
+      for (int dx = 0; dx <= 1; ++dx) {
+        N[a] = 0.125 * (1 + sx[dx] * xi) * (1 + sx[dy] * eta) *
+               (1 + sx[dz] * zeta);
+        ++a;
+      }
+}
+
+/// 8x8 element matrix of eps * Laplace + convection b.grad: the second term
+/// C_ij = integral N_i (b . grad N_j) is NONSYMMETRIC (C^T would convect
+/// along -b).
+void convection_diffusion_element(double hx, double hy, double hz, double eps,
+                                  const std::array<double, 3>& b,
+                                  double Ke[8][8]) {
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j) Ke[i][j] = 0.0;
+  const double jac[3] = {2.0 / hx, 2.0 / hy, 2.0 / hz};
+  const double detJ = (hx / 2) * (hy / 2) * (hz / 2);
+  double dN[8][3], N[8];
+  for (int qz = 0; qz < 2; ++qz)
+    for (int qy = 0; qy < 2; ++qy)
+      for (int qx = 0; qx < 2; ++qx) {
+        const double xi = qx ? kGauss : -kGauss;
+        const double eta = qy ? kGauss : -kGauss;
+        const double zeta = qz ? kGauss : -kGauss;
+        shape_derivs(xi, eta, zeta, dN);
+        shape_values(xi, eta, zeta, N);
+        for (int i = 0; i < 8; ++i)
+          for (int j = 0; j < 8; ++j) {
+            double diff = 0.0, conv = 0.0;
+            for (int d = 0; d < 3; ++d) {
+              diff += (dN[i][d] * jac[d]) * (dN[j][d] * jac[d]);
+              conv += b[d] * dN[j][d] * jac[d];
+            }
+            Ke[i][j] += (eps * diff + N[i] * conv) * detJ;
+          }
+      }
+}
+
 }  // namespace
 
 la::CsrMatrix<double> assemble_laplace(const BrickMesh& mesh) {
   la::TripletBuilder<double> b(mesh.num_nodes(), mesh.num_nodes());
   double Ke[8][8];
   laplace_element(mesh.hx(), mesh.hy(), mesh.hz(), Ke);
+  for (index_t ez = 0; ez < mesh.elems_z(); ++ez)
+    for (index_t ey = 0; ey < mesh.elems_y(); ++ey)
+      for (index_t ex = 0; ex < mesh.elems_x(); ++ex) {
+        const auto nodes = mesh.elem_nodes(ex, ey, ez);
+        for (int i = 0; i < 8; ++i)
+          for (int j = 0; j < 8; ++j) b.add(nodes[i], nodes[j], Ke[i][j]);
+      }
+  return b.build();
+}
+
+la::CsrMatrix<double> assemble_convection_diffusion(
+    const BrickMesh& mesh, double diffusion,
+    const std::array<double, 3>& velocity) {
+  FROSCH_CHECK(diffusion > 0.0,
+               "assemble_convection_diffusion: diffusion must be positive");
+  la::TripletBuilder<double> b(mesh.num_nodes(), mesh.num_nodes());
+  double Ke[8][8];
+  convection_diffusion_element(mesh.hx(), mesh.hy(), mesh.hz(), diffusion,
+                               velocity, Ke);
   for (index_t ez = 0; ez < mesh.elems_z(); ++ez)
     for (index_t ey = 0; ey < mesh.elems_y(); ++ey)
       for (index_t ex = 0; ex < mesh.elems_x(); ++ex) {

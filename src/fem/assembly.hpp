@@ -6,6 +6,8 @@
 // eliminates constrained dofs symmetrically, keeping the matrix SPD.
 #pragma once
 
+#include <array>
+
 #include "fem/mesh.hpp"
 #include "la/csr.hpp"
 #include "la/dense.hpp"
@@ -25,6 +27,16 @@ la::CsrMatrix<double> assemble_laplace(const BrickMesh& mesh);
 /// (2x2x2 Gauss quadrature, exact for Q1 on bricks).
 la::CsrMatrix<double> assemble_elasticity(const BrickMesh& mesh,
                                           const ElasticityMaterial& mat = {});
+
+/// Assembles the Q1 operator of steady convection-diffusion,
+///   -eps * div(grad u) + b . grad u,
+/// with natural BCs: eps times the Laplace stiffness plus the (NONSYMMETRIC)
+/// convection matrix C_ij = integral N_i (b . grad N_j).  The element
+/// Peclet number |b| h / (2 eps) tunes how far from symmetric (and from
+/// CG-solvable) the operator is -- the GMRES workload of the multilevel
+/// suite.  Galerkin, no stabilization: keep the element Peclet moderate.
+la::CsrMatrix<double> assemble_convection_diffusion(
+    const BrickMesh& mesh, double diffusion, const std::array<double, 3>& velocity);
 
 /// Result of a symmetric Dirichlet elimination: the reduced operator plus
 /// the mapping between reduced and full dof numbering.

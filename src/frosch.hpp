@@ -46,6 +46,7 @@
 #include "la/mm_io.hpp"
 #include "la/ops.hpp"
 #include "la/spmv.hpp"
+#include "mlevel/hierarchy.hpp"
 #include "perf/experiment.hpp"
 #include "solver/config.hpp"
 #include "solver/parameter_list.hpp"

@@ -1,0 +1,11 @@
+// Explicit instantiations for the mlevel layer's library.
+#include "common/half.hpp"
+#include "mlevel/hierarchy.hpp"
+
+namespace frosch::mlevel {
+
+template class CoarseHierarchy<double>;
+template class CoarseHierarchy<float>;
+template class CoarseHierarchy<half>;
+
+}  // namespace frosch::mlevel

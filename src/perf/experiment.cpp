@@ -95,6 +95,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   res.ranks = spec.ranks;
   res.converged = rep.converged;
   res.iterations = rep.iterations;
+  res.coarse_dim = rep.coarse_dim;
   res.schwarz = rep.schwarz;
   res.krylov = rep.krylov;
   res.rank_krylov = rep.rank_krylov;
@@ -143,15 +144,12 @@ ModeledTimes model_times(const ExperimentResult& r, const SummitModel& model,
   // Overlap-matrix assembly: stays on the host in GPU runs.
   t.setup += model.local_time(r.schwarz.rank_comm, exec, ranks_per_gpu, fp32,
                               /*host_resident=*/true);
-  // Coarse RAP + coarse factorization: distributed over the ranks (FROSch
-  // builds and factors the coarse problem on a process subset; at the
-  // paper's scales -- up to 672 ranks -- it is subdominant, and the paper
-  // notes it only becomes the bottleneck beyond that).  Host work even in
-  // GPU runs (the Fig. 4 "black bar").
-  const OpProfile coarse_num_share =
-      split_across_ranks(r.schwarz.coarse.numeric, P);
-  t.setup += model.local_time({coarse_num_share}, exec, ranks_per_gpu, fp32,
-                              /*host_resident=*/true);
+  // Coarse RAP + per-level factorization: hierarchy-aware (see
+  // model_coarse) -- the replicated-root default pays the serial cliff on
+  // one rank, wider subsets and recursive levels divide it.  Host work
+  // even in GPU runs (the Fig. 4 "black bar").
+  const ModeledCoarse mc = model_coarse(r, model, exec, ranks_per_gpu);
+  t.setup += mc.setup;
   // Setup-phase wire traffic, MEASURED per rank by the comm layer: the
   // overlap-matrix row imports and the coarse-matrix gather.
   t.setup += model.network_time(r.rank_setup_comm, P);
@@ -201,8 +199,7 @@ ModeledTimes model_times(const ExperimentResult& r, const SummitModel& model,
                                 ranks_per_gpu, fp32);
   }
   // Coarse solves: distributed like the coarse construction.
-  t.solve += model.local_time({split_across_ranks(r.schwarz.coarse.solve, P)},
-                              exec, ranks_per_gpu, fp32);
+  t.solve += mc.solve;
   // Wire traffic of the solve: on the measured per-rank path it is priced
   // with the compute above (overlapped_phase_time); only the legacy
   // aggregate path still adds it separately here.
@@ -217,6 +214,42 @@ ModeledTimes model_times(const ExperimentResult& r, const SummitModel& model,
   if (exec == Execution::Gpu)
     t.solve += model.transfer_time(r.solve_transfers);
   return t;
+}
+
+ModeledCoarse model_coarse(const ExperimentResult& r, const SummitModel& model,
+                           Execution exec, int ranks_per_gpu) {
+  const bool fp32 = false;
+  const int P = static_cast<int>(r.ranks);
+  ModeledCoarse mc;
+  const auto& levels = r.schwarz.coarse_levels;
+  if (levels.empty()) {
+    // Pre-hierarchy rule (hand-built results): even split over all ranks.
+    mc.setup = model.local_time(
+        {split_across_ranks(r.schwarz.coarse.numeric, P)}, exec, ranks_per_gpu,
+        fp32, /*host_resident=*/true);
+    mc.solve = model.local_time({split_across_ranks(r.schwarz.coarse.solve, P)},
+                                exec, ranks_per_gpu, fp32);
+    return mc;
+  }
+  // Per-level shares: each level's factor/solve compute is max-over-its-
+  // subset (S=1 = the serial root cliff).  The coarse PhaseProfile covers
+  // the WHOLE hierarchy, so what the level reports attribute is removed
+  // (clamped member-wise by operator-=) and only the remainder -- the RAP,
+  // partitioning, gather assembly -- is split across all P ranks.
+  OpProfile num_rem = r.schwarz.coarse.numeric;
+  OpProfile sol_rem = r.schwarz.coarse.solve;
+  for (const auto& lv : levels) {
+    mc.setup += model.local_time(lv.rank_numeric, exec, ranks_per_gpu, fp32,
+                                 /*host_resident=*/true);
+    mc.solve += model.local_time(lv.rank_solve, exec, ranks_per_gpu, fp32);
+    for (const auto& p : lv.rank_numeric) num_rem -= p;
+    for (const auto& p : lv.rank_solve) sol_rem -= p;
+  }
+  mc.setup += model.local_time({split_across_ranks(num_rem, P)}, exec,
+                               ranks_per_gpu, fp32, /*host_resident=*/true);
+  mc.solve += model.local_time({split_across_ranks(sol_rem, P)}, exec,
+                               ranks_per_gpu, fp32);
+  return mc;
 }
 
 std::vector<std::pair<std::string, double>> model_setup_breakdown(

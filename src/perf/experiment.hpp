@@ -52,6 +52,7 @@ struct ExperimentResult {
   index_t ranks = 0;
   bool converged = false;
   index_t iterations = 0;
+  index_t coarse_dim = 0;     ///< first coarse-level dimension
   dd::SchwarzProfiles schwarz;   ///< setup + apply COMPUTE profiles (per rank)
   OpProfile krylov;              ///< GMRES-side work, aggregate view
   /// MEASURED per-rank solve profiles from the virtual distributed
@@ -90,6 +91,24 @@ struct ModeledTimes {
 ModeledTimes model_times(const ExperimentResult& r, const SummitModel& model,
                          Execution exec, int ranks_per_gpu,
                          bool factor_on_cpu = false);
+
+/// Modeled coarse-problem component alone, hierarchy-aware (the
+/// bench_hierarchy metric; also the coarse share inside model_times).
+///
+/// With per-level reports (schwarz.coarse_levels) each level's compute is
+/// held by its S subset ranks -- max-over-subset, so the replicated-root
+/// default (S=1) pays the full serial factor/solve on one rank (the
+/// paper's coarse-problem cliff) and widening the subset or recursing
+/// divides it.  Whatever the levels do not attribute (the RAP, the
+/// gathers' assembly) stays evenly distributed over all P ranks.  Without
+/// reports (hand-built results) the whole coarse profile is split over P,
+/// the pre-hierarchy rule.
+struct ModeledCoarse {
+  double setup = 0.0;  ///< coarse construction + factorization (host work)
+  double solve = 0.0;  ///< coarse solves across all applications
+};
+ModeledCoarse model_coarse(const ExperimentResult& r, const SummitModel& model,
+                           Execution exec, int ranks_per_gpu);
 
 /// Modeled numeric-setup breakdown (Fig. 4): bar name -> seconds.
 std::vector<std::pair<std::string, double>> model_setup_breakdown(

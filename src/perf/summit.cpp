@@ -25,6 +25,8 @@ OpProfile split_across_ranks(const OpProfile& global, int num_ranks) {
   p.bytes /= r;
   p.work_items /= r;
   p.reductions = 0;
+  p.sub_reductions = 0;
+  p.sub_red_log2 = 0.0;
   p.neighbor_msgs = 0;
   p.msg_bytes = 0.0;
   p.ov_reductions = 0;
@@ -38,6 +40,8 @@ OpProfile split_across_ranks(const OpProfile& global, int num_ranks) {
 OpProfile network_part(const OpProfile& p) {
   OpProfile n;
   n.reductions = p.reductions;
+  n.sub_reductions = p.sub_reductions;
+  n.sub_red_log2 = p.sub_red_log2;
   n.neighbor_msgs = p.neighbor_msgs;
   n.msg_bytes = p.msg_bytes;
   n.ov_reductions = p.ov_reductions;
@@ -51,6 +55,8 @@ OpProfile network_part(const OpProfile& p) {
 OpProfile compute_part(const OpProfile& p) {
   OpProfile c = p;
   c.reductions = 0;
+  c.sub_reductions = 0;
+  c.sub_red_log2 = 0.0;
   c.neighbor_msgs = 0;
   c.msg_bytes = 0.0;
   c.ov_reductions = 0;

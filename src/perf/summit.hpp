@@ -132,21 +132,27 @@ class SummitModel {
   ///  * point-to-point is pairwise: each rank pays for its own imports
   ///    (messages are charged to their destination), and the bulk-
   ///    synchronous phase ends when the busiest rank finishes --
-  ///    max-over-ranks(msgs * alpha_p2p + bytes * beta).
+  ///    max-over-ranks(msgs * alpha_p2p + bytes * beta);
+  ///  * SUBSET-scoped collectives (comm::SubComm, the coarse-rank subset)
+  ///    span their S members only, so their tree depth is log2(S), not
+  ///    log2(P): each rank's profile pre-accumulates log2(S) per event in
+  ///    sub_red_log2, and the phase pays alpha * max-over-ranks of it.
   double network_time(const std::vector<OpProfile>& rank_profiles,
                       int total_ranks) const {
     if (total_ranks <= 1) return 0.0;
     count_t reds = 0;
+    double sub_log2 = 0.0;
     double p2p = 0.0;
     for (const auto& p : rank_profiles) {
       reds = std::max(reds, p.reductions);
+      sub_log2 = std::max(sub_log2, p.sub_red_log2);
       p2p = std::max(p2p, static_cast<double>(p.neighbor_msgs) *
                               cfg_.net.p2p_alpha +
                           p.msg_bytes * cfg_.net.beta);
     }
     return static_cast<double>(reds) * cfg_.net.allreduce_alpha *
                std::log2(static_cast<double>(total_ranks)) +
-           p2p;
+           sub_log2 * cfg_.net.allreduce_alpha + p2p;
   }
 
   /// Legacy aggregate-profile overload (reductions only; p2p is charged

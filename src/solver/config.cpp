@@ -113,6 +113,9 @@ SolverConfig SolverConfig::from_parameters(const ParameterList& p,
   read_int(p, "overlap", c.schwarz.overlap);
   if (p.has("two-level")) c.schwarz.two_level = p.get<bool>("two-level");
   read_enum(p, "coarse-space", c.schwarz.coarse_space);
+  read_int(p, "levels", c.schwarz.hierarchy.levels);
+  read_enum(p, "coarse_ranks", c.schwarz.hierarchy.coarse_ranks);
+  read_int(p, "coarse_parts", c.schwarz.hierarchy.coarse_parts);
   read_enum(p, "subdomain-solver", c.schwarz.subdomain.kind);
   read_enum(p, "subdomain-trisolve", c.schwarz.subdomain.trisolve);
   read_enum(p, "extension-solver", c.schwarz.extension.kind);
@@ -159,6 +162,12 @@ SolverConfig SolverConfig::from_parameters(const ParameterList& p,
                "flush only)");
   FROSCH_CHECK(c.schwarz.overlap >= 0,
                "SolverConfig: overlap must be non-negative");
+  FROSCH_CHECK(c.schwarz.hierarchy.levels >= 2 &&
+                   c.schwarz.hierarchy.levels <= 4,
+               "SolverConfig: levels must be in [2, 4] (2 = the classic "
+               "two-level method with a direct coarse solve)");
+  FROSCH_CHECK(c.schwarz.hierarchy.coarse_parts >= 0,
+               "SolverConfig: coarse_parts must be non-negative (0 = auto)");
   FROSCH_CHECK(c.schwarz.subdomain.ilu_level >= 0,
                "SolverConfig: ilu-level must be non-negative");
   FROSCH_CHECK(c.schwarz.subdomain.fastilu_sweeps > 0 &&
@@ -210,6 +219,17 @@ std::vector<SolverConfig::ParameterDoc> SolverConfig::parameter_docs() {
       {"overlap", "int", "algebraic overlap layers"},
       {"two-level", "bool", "coarse level on/off"},
       {"coarse-space", enum_names<CoarseSpaceKind>(), "coarse space kind"},
+      {"levels", "int (2..4)",
+       "Schwarz hierarchy depth: 2 = direct coarse solve (default), 3+ = "
+       "the coarse problem is itself preconditioned by a recursive Schwarz "
+       "level, terminating in a direct solve at the top"},
+      {"coarse_ranks", enum_names<dd::CoarseRanks>(),
+       "process subset holding the coarse problem (root = replicate on "
+       "rank 0, the default; every-Nth/all widen the subset, priced over "
+       "log2(subset) by the Summit model)"},
+      {"coarse_parts", "int",
+       "subdomain count of a recursive coarse level (0 = auto: half the "
+       "parent level's parts, bounded by the coarse dimension)"},
       {"subdomain-solver", enum_names<LocalSolverKind>(),
        "local subdomain factorization"},
       {"subdomain-trisolve", enum_names<TrisolveKind>(),

@@ -5,6 +5,7 @@
 #include "common/strings.hpp"
 #include "dd/half_precision.hpp"
 #include "dd/schwarz.hpp"
+#include "mlevel/hierarchy.hpp"
 #include "solver/config.hpp"
 
 namespace frosch {
@@ -41,20 +42,36 @@ std::string PreconditionerRegistry::names_joined() const {
 PreconditionerRegistry& preconditioner_registry() {
   static PreconditionerRegistry registry = [] {
     PreconditionerRegistry r;
+    // Every schwarz variant delegates its coarse problem to a
+    // mlevel::CoarseHierarchy (in the variant's internal precision).  The
+    // default configuration (levels=2, coarse_ranks=root) is the
+    // hierarchy's degenerate terminal branch -- bitwise identical to the
+    // historical inline coarse path.
     r.add("schwarz", [](const SolverConfig& cfg, const dd::Decomposition& d) {
-      return std::make_unique<dd::SchwarzPreconditioner<double>>(cfg.schwarz,
-                                                                d);
+      auto p = std::make_unique<dd::SchwarzPreconditioner<double>>(cfg.schwarz,
+                                                                   d);
+      p->set_coarse_solver(std::make_unique<mlevel::CoarseHierarchy<double>>(
+          cfg.schwarz, d.num_parts));
+      return p;
     });
     r.add("schwarz-float",
           [](const SolverConfig& cfg, const dd::Decomposition& d) {
-            return std::make_unique<
+            auto p = std::make_unique<
                 dd::HalfPrecisionPreconditioner<double, float>>(cfg.schwarz,
                                                                 d);
+            p->set_coarse_solver(
+                std::make_unique<mlevel::CoarseHierarchy<float>>(cfg.schwarz,
+                                                                 d.num_parts));
+            return p;
           });
     r.add("schwarz-half",
           [](const SolverConfig& cfg, const dd::Decomposition& d) {
-            return std::make_unique<
+            auto p = std::make_unique<
                 dd::HalfPrecisionPreconditioner<double, half>>(cfg.schwarz, d);
+            p->set_coarse_solver(
+                std::make_unique<mlevel::CoarseHierarchy<half>>(cfg.schwarz,
+                                                                d.num_parts));
+            return p;
           });
     r.add("none", [](const SolverConfig&, const dd::Decomposition&) {
       return std::unique_ptr<dd::Preconditioner<double>>();

@@ -39,6 +39,8 @@ dd::SchwarzProfiles schwarz_delta(const dd::SchwarzProfiles& now,
   d.coarse.symbolic -= before.coarse.symbolic;
   d.coarse.numeric -= before.coarse.numeric;
   d.coarse.solve -= before.coarse.solve;
+  d.coarse_comm_bytes =
+      std::max(0.0, d.coarse_comm_bytes - before.coarse_comm_bytes);
   for (auto& [key, prof] : d.numeric_breakdown) {
     const auto it = before.numeric_breakdown.find(key);
     if (it != before.numeric_breakdown.end()) prof -= it->second;
@@ -336,6 +338,8 @@ SolveReport Solver::finish_report(
     for (size_t p = 0; p < rep.schwarz.ranks.size(); ++p)
       rep.schwarz.ranks[p].solve -= before.ranks[p].solve;
     rep.schwarz.coarse.solve -= before.coarse.solve;
+    rep.schwarz.coarse_comm_bytes = std::max(
+        0.0, rep.schwarz.coarse_comm_bytes - before.coarse_comm_bytes);
     rep.schwarz.apply_count -= before.apply_count;
     // The Krylov-side profile records everything done under the solver,
     // INCLUDING the preconditioner applications; subtract this solve's

@@ -48,6 +48,22 @@ MeshProblem elasticity_problem(index_t e, index_t px, index_t py, index_t pz) {
   return p;
 }
 
+MeshProblem convection_problem(index_t e, index_t px, index_t py, index_t pz,
+                               double diffusion) {
+  fem::BrickMesh mesh(e, e, e);
+  auto Afull = fem::assemble_convection_diffusion(mesh, diffusion,
+                                                  {1.0, 0.5, 0.25});
+  IndexVector fixed;
+  for (index_t nd : mesh.x0_face_nodes()) fixed.push_back(nd);
+  auto sys = fem::apply_dirichlet(Afull, fixed);
+  MeshProblem p;
+  p.A = sys.A;
+  p.Z = fem::restrict_nullspace(fem::laplace_nullspace(mesh), sys.keep);
+  p.num_parts = px * py * pz;
+  p.owner = owner_from_boxes(mesh, sys.keep, px, py, pz, 1);
+  return p;
+}
+
 MeshProblem strip_problem(index_t px) {
   fem::BrickMesh mesh(4 * px, 4, 4, double(px), 1.0, 1.0);
   auto Afull = fem::assemble_laplace(mesh);

@@ -26,6 +26,12 @@ MeshProblem laplace_problem(index_t e, index_t px, index_t py, index_t pz);
 /// Elasticity analogue (3 dofs/node), clamped on x=0.
 MeshProblem elasticity_problem(index_t e, index_t px, index_t py, index_t pz);
 
+/// Nonsymmetric convection-diffusion problem (the GMRES workload): Peclet
+/// tuned via `diffusion` against a fixed skew velocity field, Dirichlet on
+/// x=0, constant null space for the coarse space.
+MeshProblem convection_problem(index_t e, index_t px, index_t py, index_t pz,
+                               double diffusion = 0.5);
+
 /// Strip-decomposed Laplace on a bar of px subdomains: the textbook setup
 /// where one-level Schwarz degrades with px and the coarse level saves it.
 MeshProblem strip_problem(index_t px);

@@ -68,6 +68,55 @@ TEST(Laplace, DirichletSystemIsSpd) {
   EXPECT_NO_THROW(chol.numeric(sys.A));
 }
 
+TEST(ConvectionDiffusion, MatrixIsNonsymmetric) {
+  // The convection term C_ij = integral N_i (b . grad N_j) is genuinely
+  // nonsymmetric -- the whole point of the GMRES workload.
+  BrickMesh mesh(3, 3, 3);
+  auto A = assemble_convection_diffusion(mesh, 0.5, {1.0, 0.5, 0.25});
+  double max_skew = 0.0;
+  for (index_t i = 0; i < A.num_rows(); ++i) {
+    for (index_t k = A.row_begin(i); k < A.row_end(i); ++k) {
+      const index_t j = A.col(k);
+      if (j <= i) continue;
+      for (index_t kk = A.row_begin(j); kk < A.row_end(j); ++kk)
+        if (A.col(kk) == i)
+          max_skew = std::max(max_skew, std::abs(A.val(k) - A.val(kk)));
+    }
+  }
+  EXPECT_GT(max_skew, 1e-3);
+}
+
+TEST(ConvectionDiffusion, ZeroVelocityReducesToScaledLaplace) {
+  // With b = 0 only the diffusion term survives: the operator must equal
+  // eps times the Laplace stiffness, entry for entry.
+  BrickMesh mesh(3, 2, 2);
+  const double eps = 0.25;
+  auto A = assemble_convection_diffusion(mesh, eps, {0.0, 0.0, 0.0});
+  auto L = assemble_laplace(mesh);
+  ASSERT_EQ(A.num_entries(), L.num_entries());
+  for (index_t k = 0; k < index_t(A.num_entries()); ++k)
+    EXPECT_NEAR(A.val(k), eps * L.val(k), 1e-12) << "entry " << k;
+}
+
+TEST(ConvectionDiffusion, ConstantsInNullSpace) {
+  // Both -eps*div(grad u) and b.grad u annihilate constants, so the
+  // laplace null space is still the right GDSW input.
+  BrickMesh mesh(3, 3, 2);
+  auto A = assemble_convection_diffusion(mesh, 0.5, {1.0, 0.5, 0.25});
+  auto Z = laplace_nullspace(mesh);
+  std::vector<double> z(static_cast<size_t>(A.num_rows()));
+  for (index_t i = 0; i < A.num_rows(); ++i) z[i] = Z(i, 0);
+  std::vector<double> Az;
+  la::spmv(A, z, Az);
+  for (double v : Az) EXPECT_NEAR(v, 0.0, 1e-11);
+}
+
+TEST(ConvectionDiffusion, RequiresPositiveDiffusion) {
+  BrickMesh mesh(2, 2, 2);
+  EXPECT_THROW(assemble_convection_diffusion(mesh, 0.0, {1.0, 0.0, 0.0}),
+               Error);
+}
+
 TEST(Elasticity, MatrixIsSymmetric) {
   BrickMesh mesh(2, 2, 2);
   auto A = assemble_elasticity(mesh);

@@ -809,6 +809,22 @@ TEST(RefreshSuite, BitwiseIdenticalToColdSetupOnElasticity) {
   sweep_refresh_bitwise(test::elasticity_problem(5, 2, 2, 2), cfg);
 }
 
+TEST(RefreshSuite, BitwiseIdenticalToColdSetupThroughThreeLevelHierarchy) {
+  // refresh() must propagate the numeric overlay through EVERY level of the
+  // coarse hierarchy: the level-2 Schwarz refactors its subdomains and the
+  // recursion re-gathers the level-3 operator.  GDSW + 32 parts so the
+  // coarse problem is big enough for the recursion to engage.
+  SolverConfig cfg;
+  cfg.schwarz.coarse_space = dd::CoarseSpaceKind::GDSW;
+  cfg.schwarz.hierarchy.levels = 3;
+  cfg.schwarz.hierarchy.coarse_ranks = dd::CoarseRanks::All;
+  cfg.krylov.method = krylov::KrylovMethod::Gmres;
+  cfg.ranks = 4;
+  cfg.threads = 2;
+  cfg.propagate_exec();
+  check_refresh_bitwise(test::laplace_problem(12, 4, 4, 2), cfg);
+}
+
 TEST(RefreshSuite, FiveMatrixScaledSequencePinsIterations) {
   // Power-of-two scalings are exact in floating point, so the whole Krylov
   // trajectory scales exactly: every step of the sequence must converge in
